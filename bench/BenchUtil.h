@@ -1,0 +1,132 @@
+//===- BenchUtil.h - Shared benchmark harness utilities ---------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction benchmarks: deterministic
+/// input generation, pristine/working array pairs (factorizations destroy
+/// their input, so every timed iteration starts from a fresh copy), and a
+/// google-benchmark runner that reports MFlop/s the way the paper's graphs
+/// do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_BENCH_BENCHUTIL_H
+#define SHACKLE_BENCH_BENCHUTIL_H
+
+#include "shackle_kernels.gen.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace shackle_bench {
+
+/// SplitMix64-based deterministic fill in [Lo, Hi].
+inline void fillRandom(std::vector<double> &Buf, uint64_t Seed, double Lo,
+                       double Hi) {
+  uint64_t X = Seed ? Seed : 0x9e3779b97f4a7c15ULL;
+  for (double &V : Buf) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Z ^= Z >> 31;
+    V = Lo + (Hi - Lo) * (static_cast<double>(Z >> 11) * 0x1.0p-53);
+  }
+}
+
+/// Boosts the diagonal of a dense row-major matrix (SPD / diagonally
+/// dominant inputs for factorizations).
+inline void boostDiagonal(std::vector<double> &A, int64_t N, double Boost) {
+  for (int64_t I = 0; I < N; ++I)
+    A[I * N + I] += Boost;
+}
+
+/// Boosts the diagonal in LAPACK band storage.
+inline void boostBandDiagonal(std::vector<double> &Ab, int64_t N, int64_t BW,
+                              double Boost) {
+  for (int64_t J = 0; J < N; ++J)
+    Ab[J * (BW + 1)] += Boost;
+}
+
+/// Pristine inputs plus working copies handed to kernels.
+class Workspace {
+public:
+  /// Adds an array of \p Count doubles filled from \p Seed; returns its id.
+  unsigned addArray(size_t Count, uint64_t Seed, double Lo = 0.5,
+                    double Hi = 1.5) {
+    Init.emplace_back(Count);
+    fillRandom(Init.back(), Seed, Lo, Hi);
+    Work.emplace_back(Count);
+    return Init.size() - 1;
+  }
+
+  std::vector<double> &init(unsigned Id) { return Init[Id]; }
+
+  void setParams(std::vector<int64_t> P) { Params = std::move(P); }
+  const int64_t *params() const { return Params.data(); }
+
+  /// Restores every working array from its pristine copy.
+  void reset() {
+    for (size_t I = 0; I < Init.size(); ++I)
+      std::memcpy(Work[I].data(), Init[I].data(),
+                  Init[I].size() * sizeof(double));
+    Ptrs.clear();
+    for (std::vector<double> &B : Work)
+      Ptrs.push_back(B.data());
+  }
+
+  double **arrays() { return Ptrs.data(); }
+  std::vector<double> &work(unsigned Id) { return Work[Id]; }
+
+private:
+  std::vector<std::vector<double>> Init, Work;
+  std::vector<double *> Ptrs;
+  std::vector<int64_t> Params;
+};
+
+/// Times a generated kernel, reporting MFlop/s. \p Flops is the useful work
+/// per invocation.
+inline void runGenKernel(benchmark::State &St, const char *Name,
+                         Workspace &WS, double Flops) {
+  shackle_kernel_fn Fn = shackle_gen_lookup(Name);
+  if (!Fn) {
+    St.SkipWithError("kernel not found");
+    return;
+  }
+  for (auto _ : St) {
+    St.PauseTiming();
+    WS.reset();
+    St.ResumeTiming();
+    Fn(WS.arrays(), WS.params());
+    benchmark::ClobberMemory();
+  }
+  St.counters["MFlop/s"] = benchmark::Counter(
+      Flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Times a hand-written kernel (lambda taking the Workspace), reporting
+/// MFlop/s.
+template <typename Fn>
+inline void runHandKernel(benchmark::State &St, Fn &&Body, Workspace &WS,
+                          double Flops) {
+  for (auto _ : St) {
+    St.PauseTiming();
+    WS.reset();
+    St.ResumeTiming();
+    Body(WS);
+    benchmark::ClobberMemory();
+  }
+  St.counters["MFlop/s"] = benchmark::Counter(
+      Flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+} // namespace shackle_bench
+
+#endif // SHACKLE_BENCH_BENCHUTIL_H

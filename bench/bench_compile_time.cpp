@@ -1,0 +1,67 @@
+//===- bench_compile_time.cpp - Compiler cost table -----------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a paper figure: measures the *compiler's* own cost — exact legality
+// checking (one integer-programming problem per dependence per block
+// coordinate) and polyhedral code generation — for each benchmark
+// configuration. Documents that the data-centric pipeline runs in tens of
+// milliseconds even for products on imperfect nests, i.e. entirely
+// practical as a compilation step.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "programs/Benchmarks.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace shackle;
+
+namespace {
+
+template <typename MakeFn, typename ChainFn>
+void runCompile(benchmark::State &St, MakeFn Make, ChainFn MakeChain,
+                bool Generate) {
+  BenchSpec Spec = Make();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = MakeChain(P);
+  for (auto _ : St) {
+    if (Generate) {
+      LoopNest Nest = generateShackledCode(P, Chain);
+      benchmark::DoNotOptimize(Nest.countInstances());
+    } else {
+      LegalityResult R = checkLegality(P, Chain);
+      benchmark::DoNotOptimize(R.Legal);
+    }
+  }
+}
+
+#define COMPILE_BENCH(NAME, MAKE, CHAIN)                                      \
+  void BM_Legality_##NAME(benchmark::State &St) {                             \
+    runCompile(St, MAKE, [](const Program &P) { return CHAIN; }, false);      \
+  }                                                                           \
+  void BM_Codegen_##NAME(benchmark::State &St) {                              \
+    runCompile(St, MAKE, [](const Program &P) { return CHAIN; }, true);       \
+  }                                                                           \
+  BENCHMARK(BM_Legality_##NAME)->Unit(benchmark::kMillisecond);               \
+  BENCHMARK(BM_Codegen_##NAME)->Unit(benchmark::kMillisecond)
+
+COMPILE_BENCH(MatMulC, makeMatMul, mmmShackleC(P, 64));
+COMPILE_BENCH(MatMulCxA, makeMatMul, mmmShackleCxA(P, 64));
+COMPILE_BENCH(MatMulTwoLevel, makeMatMul, mmmShackleTwoLevel(P, 64, 8));
+COMPILE_BENCH(CholStores, makeCholeskyRight, choleskyShackleStores(P, 64));
+COMPILE_BENCH(CholProduct, makeCholeskyRight,
+              choleskyShackleProduct(P, 64, true));
+COMPILE_BENCH(QRCols, makeQRHouseholder, qrColumnShackle(P, 32));
+COMPILE_BENCH(ADI, makeADI, adiShackle(P));
+COMPILE_BENCH(Gmtry, makeGmtry, gmtryShackleStores(P, 64));
+COMPILE_BENCH(Banded, makeCholeskyBanded, choleskyShackleStores(P, 32));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+//===- bench_fig13_gmtry.cpp - Paper Figure 13(i) -----------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 13(i): the GMTRY kernel (SPEC Dnasa7) — Gaussian elimination
+// without pivoting. Shackling A in both dimensions (through the stores,
+// like Cholesky) blocks the elimination; the paper reports the elimination
+// speeding up by about 3x on the SP-2. Lines:
+//   "Input code"       -> gmtry_orig
+//   "Transformed code" -> gmtry_stores_64
+//   hand-written elimination as a sanity envelope.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "kernels/Baselines.h"
+
+using namespace shackle_bench;
+
+namespace {
+
+double gaussFlops(int64_t N) {
+  double Nd = static_cast<double>(N);
+  return 2.0 * Nd * Nd * Nd / 3.0;
+}
+
+Workspace makeGmtryWorkspace(int64_t N) {
+  Workspace WS;
+  WS.addArray(N * N, 21);
+  boostDiagonal(WS.init(0), N, 3.0 * static_cast<double>(N));
+  WS.setParams({N});
+  return WS;
+}
+
+void BM_InputCode(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeGmtryWorkspace(N);
+  runGenKernel(St, "gmtry_orig", WS, gaussFlops(N));
+}
+
+void BM_Shackled(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeGmtryWorkspace(N);
+  runGenKernel(St, "gmtry_stores_64", WS, gaussFlops(N));
+}
+
+void BM_HandGauss(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeGmtryWorkspace(N);
+  runHandKernel(
+      St,
+      [N](Workspace &W) { shackle::gaussNaive(W.work(0).data(), N); }, WS,
+      gaussFlops(N));
+}
+
+} // namespace
+
+BENCHMARK(BM_InputCode)->DenseRange(100, 600, 100)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Shackled)->DenseRange(100, 600, 100)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HandGauss)->DenseRange(100, 600, 100)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

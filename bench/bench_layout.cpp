@@ -1,0 +1,81 @@
+//===- bench_layout.cpp - Logical vs physical blocking (Section 5.3) -----------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5.3 ablation: data shackling only *logically* remaps the array —
+// "array C need not be laid out in block order to obtain the benefits of
+// blocking this array" — but the physical reshaping is available too. This
+// bench measures, at the same 64-block shackle:
+//   column-major storage (the paper's default, BLAS/LAPACK convention),
+//   tiled block-major storage (physical reshaping; costs an extra integer
+//   division per access but makes every block contiguous).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace shackle_bench;
+
+namespace {
+
+double mmmFlops(int64_t N) {
+  double Nd = static_cast<double>(N);
+  return 2.0 * Nd * Nd * Nd;
+}
+
+Workspace makeColMajorWS(int64_t N) {
+  Workspace WS;
+  WS.addArray(N * N, 41);
+  WS.addArray(N * N, 42);
+  WS.addArray(N * N, 43);
+  WS.setParams({N});
+  return WS;
+}
+
+Workspace makeTiledWS(int64_t N) {
+  // Tiled 64x64 storage pads each dimension to a multiple of 64.
+  int64_t Tiles = (N + 63) / 64;
+  int64_t Size = Tiles * Tiles * 64 * 64;
+  Workspace WS;
+  WS.addArray(Size, 41);
+  WS.addArray(Size, 42);
+  WS.addArray(Size, 43);
+  WS.setParams({N});
+  return WS;
+}
+
+void BM_ColMajorBlocked(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeColMajorWS(N);
+  runGenKernel(St, "mmm_shackle_cxa_64", WS, mmmFlops(N));
+}
+
+void BM_TiledBlocked(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeTiledWS(N);
+  runGenKernel(St, "mmm_tiled_cxa_64", WS, mmmFlops(N));
+}
+
+void BM_ColMajorInput(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeColMajorWS(N);
+  runGenKernel(St, "mmm_orig", WS, mmmFlops(N));
+}
+
+void BM_TiledInput(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeTiledWS(N);
+  runGenKernel(St, "mmm_tiled_orig", WS, mmmFlops(N));
+}
+
+} // namespace
+
+BENCHMARK(BM_ColMajorInput)->RangeMultiplier(2)->Range(128, 1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TiledInput)->RangeMultiplier(2)->Range(128, 1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColMajorBlocked)->RangeMultiplier(2)->Range(128, 1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TiledBlocked)->RangeMultiplier(2)->Range(128, 1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+//===- bench_mmm.cpp - Matrix multiply: Figures 3/6 + block-size ablation ----//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Matrix multiplication through the paper's Section 4/6 progression:
+//   input I-J-K code                  -> mmm_orig
+//   single shackle on C (Figure 6,
+//     partially blocked: K unbounded) -> mmm_shackle_c_64
+//   product shackle C x A (Figure 3,
+//     fully blocked)                  -> mmm_shackle_cxa_64
+//   hand-blocked + micro BLAS         -> blockedMatMul
+// plus the block-size ablation the paper leaves open (Section 8): the fully
+// blocked kernel at B in {16, 32, 64, 128} at fixed N.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "kernels/Baselines.h"
+
+#include <string>
+
+using namespace shackle_bench;
+
+namespace {
+
+double mmmFlops(int64_t N) {
+  double Nd = static_cast<double>(N);
+  return 2.0 * Nd * Nd * Nd;
+}
+
+Workspace makeMMMWorkspace(int64_t N) {
+  Workspace WS;
+  WS.addArray(N * N, 41); // C
+  WS.addArray(N * N, 42); // A
+  WS.addArray(N * N, 43); // B
+  WS.setParams({N});
+  return WS;
+}
+
+void BM_Input(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeMMMWorkspace(N);
+  runGenKernel(St, "mmm_orig", WS, mmmFlops(N));
+}
+
+void BM_ShackleC(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeMMMWorkspace(N);
+  runGenKernel(St, "mmm_shackle_c_64", WS, mmmFlops(N));
+}
+
+void BM_ShackleCxA(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeMMMWorkspace(N);
+  runGenKernel(St, "mmm_shackle_cxa_64", WS, mmmFlops(N));
+}
+
+void BM_HandBlocked(benchmark::State &St) {
+  int64_t N = St.range(0);
+  Workspace WS = makeMMMWorkspace(N);
+  runHandKernel(
+      St,
+      [N](Workspace &W) {
+        shackle::blockedMatMul(W.work(0).data(), W.work(1).data(),
+                               W.work(2).data(), N, 64);
+      },
+      WS, mmmFlops(N));
+}
+
+// Block-size ablation at fixed N = 512.
+void BM_BlockSizeSweep(benchmark::State &St) {
+  int64_t B = St.range(0);
+  int64_t N = 512;
+  Workspace WS = makeMMMWorkspace(N);
+  std::string Name = "mmm_shackle_cxa_" + std::to_string(B);
+  runGenKernel(St, Name.c_str(), WS, mmmFlops(N));
+}
+
+} // namespace
+
+BENCHMARK(BM_Input)->DenseRange(100, 600, 100)->Arg(1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShackleC)->DenseRange(100, 600, 100)->Arg(1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShackleCxA)->DenseRange(100, 600, 100)->Arg(1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HandBlocked)->DenseRange(100, 600, 100)->Arg(1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlockSizeSweep)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->MinTime(0.05)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

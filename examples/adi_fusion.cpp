@@ -1,0 +1,53 @@
+//===- adi_fusion.cpp - Shackling as fusion + interchange ----------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The ADI kernel (paper Figure 14): choosing B[i-1,k] as the data-centric
+// reference in both statements and blocking B into 1x1 blocks traversed in
+// storage order performs, in one data-centric step, what the control-centric
+// recipe needs two transformations for (fuse the k loops, then interchange
+// with the i loop). The generated code *is* the paper's Figure 14(ii).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "programs/Benchmarks.h"
+
+#include <cstdio>
+
+using namespace shackle;
+
+int main() {
+  BenchSpec Spec = makeADI();
+  const Program &P = *Spec.Prog;
+  std::printf("== ADI input code (paper Figure 14(i), 0-based) ==\n%s\n",
+              P.str().c_str());
+
+  ShackleChain Chain = adiShackle(P);
+  LegalityResult R = checkLegality(P, Chain);
+  std::printf("1x1 shackle on B[i-1,k]: %s\n\n", R.summary(P).c_str());
+  if (!R.Legal)
+    return 1;
+
+  LoopNest Fused = generateShackledCode(P, Chain);
+  std::printf("== Transformed code (fusion + interchange, Figure 14(ii)) =="
+              "\n%s\n",
+              Fused.str().c_str());
+
+  LoopNest Orig = generateOriginalCode(P);
+  int64_t N = 64;
+  ProgramInstance A(P, {N}), B(P, {N});
+  A.fillRandom(17, 1.0, 2.0);
+  for (unsigned Id = 0; Id < P.getNumArrays(); ++Id)
+    B.buffer(Id) = A.buffer(Id);
+  runLoopNest(Orig, A);
+  runLoopNest(Fused, B);
+  std::printf("verified on N=%lld: max diff = %g\n",
+              static_cast<long long>(N), A.maxAbsDifference(B));
+  return 0;
+}

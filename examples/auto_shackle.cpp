@@ -1,0 +1,57 @@
+//===- auto_shackle.cpp - Automatic shackle selection ---------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 8 plan, running: enumerate plausible data shackles
+// for right-looking Cholesky, discard the illegal ones with the exact
+// Theorem-1 test, rank the legal ones with the cache cost model, and print
+// the resulting league table plus a block-size training sweep for the
+// winner.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/AutoShackle.h"
+#include "core/ShackleDriver.h"
+#include "programs/Benchmarks.h"
+
+#include <cstdio>
+
+using namespace shackle;
+
+int main() {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  std::printf("Searching shackles for:\n%s\n", P.str().c_str());
+
+  AutoShackleOptions Opts;
+  Opts.BlockSizes = {8, 16};
+  Opts.EvalParams = {96};
+  AutoShackleResult R = searchShackles(P, /*ArrayId=*/0, Opts);
+
+  std::printf("%-64s %8s %12s %12s %12s\n", "candidate", "legal", "L1 miss",
+              "L2 miss", "cost");
+  for (const ShackleCandidate &C : R.Candidates) {
+    if (C.Evaluated)
+      std::printf("%-64s %8s %12llu %12llu %12.0f\n", C.Description.c_str(),
+                  "yes",
+                  static_cast<unsigned long long>(C.Misses[0]),
+                  static_cast<unsigned long long>(C.Misses[1]), C.Cost);
+    else
+      std::printf("%-64s %8s\n", C.Description.c_str(),
+                  C.Legal ? "yes" : "no");
+  }
+
+  if (const ShackleCandidate *Best = R.best()) {
+    std::printf("\nwinner: %s\n", Best->Description.c_str());
+    std::printf("\nblock-size training sweep for the winner's structure:\n");
+    for (auto [B, Cost] :
+         sweepBlockSizes(P, Best->Chain, {4, 8, 16, 32, 64}, Opts))
+      std::printf("  B=%-4lld cost=%.0f\n", static_cast<long long>(B), Cost);
+    std::printf("\ngenerated code for the winner:\n%s",
+                generateShackledCode(P, Best->Chain).str().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- banded_cholesky.cpp - Blocking composed with data reshaping -------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 15 setting: banded Cholesky factorization is "regular
+// Cholesky factorization restricted to accessing data in the band", the
+// same data shackle as for the dense code is applied to the restricted
+// program, and the physical array uses LAPACK band storage — i.e. the
+// logical blocking composes with a physical data transformation. This
+// example prints the restricted source, the blocked code generated for it,
+// and verifies the transformed band-storage execution against both the
+// original band program and a dense Cholesky restricted to the band.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "kernels/Baselines.h"
+#include "programs/Benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace shackle;
+
+int main() {
+  BenchSpec Spec = makeCholeskyBanded();
+  const Program &P = *Spec.Prog;
+  std::printf("== Banded Cholesky source (band-restricted, 0-based) ==\n%s\n",
+              P.str().c_str());
+
+  ShackleChain Chain = choleskyShackleStores(P, 16);
+  LegalityResult R = checkLegality(P, Chain);
+  std::printf("stores shackle with 16x16 logical blocks: %s\n\n",
+              R.summary(P).c_str());
+  if (!R.Legal)
+    return 1;
+
+  LoopNest Blocked = generateShackledCode(P, Chain);
+  std::printf("== Blocked code (walks LAPACK band storage) ==\n%s\n",
+              Blocked.str().c_str());
+
+  // Verify against the original program and against a dense factorization
+  // restricted to the band.
+  const int64_t N = 60, BW = 9;
+  ProgramInstance Ref(P, {N, BW}), Test(P, {N, BW});
+  Ref.fillRandom(4, 0.5, 1.5);
+  for (int64_t J = 0; J < N; ++J) {
+    int64_t Idx[2] = {J, J};
+    Ref.buffer(0)[Ref.offset(0, Idx)] += 3.0 * static_cast<double>(BW + 1);
+  }
+  Test.buffer(0) = Ref.buffer(0);
+  std::vector<double> Band0 = Ref.buffer(0);
+
+  runLoopNest(generateOriginalCode(P), Ref);
+  runLoopNest(Blocked, Test);
+  std::printf("blocked vs original band program: max diff = %g\n",
+              Ref.maxAbsDifference(Test));
+
+  // Dense cross-check: expand the band, factor densely, compare in-band.
+  std::vector<double> Dense(N * N, 0.0);
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = J; I <= std::min(N - 1, J + BW); ++I) {
+      double V = Band0[(I - J) + J * (BW + 1)];
+      Dense[I * N + J] = V;
+      Dense[J * N + I] = V;
+    }
+  naiveCholeskyRight(Dense.data(), N);
+  double MaxDiff = 0;
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = J; I <= std::min(N - 1, J + BW); ++I) {
+      int64_t Idx[2] = {I, J};
+      MaxDiff = std::max(MaxDiff,
+                         std::fabs(Test.buffer(0)[Test.offset(0, Idx)] -
+                                   Dense[I * N + J]));
+    }
+  std::printf("blocked band factor vs dense factor (in band): max diff = "
+              "%g\n",
+              MaxDiff);
+  return 0;
+}

@@ -1,0 +1,19 @@
+# Right-looking Cholesky factorization (paper Figure 1(ii), 0-based).
+# Try:
+#   shackle file examples/dsl/cholesky.dsl print
+#   shackle file examples/dsl/cholesky.dsl legality --array=A --block=64,64 --order=colblocks
+#   shackle file examples/dsl/cholesky.dsl codegen  --array=A --block=64,64 --order=colblocks
+param N
+array A[N][N] colmajor
+
+do J = 0, N-1
+  S1: A[J][J] = sqrt(A[J][J])
+  do I = J+1, N-1
+    S2: A[I][J] = A[I][J] / A[J][J]
+  end
+  do L = J+1, N-1
+    do K = J+1, L
+      S3: A[L][K] = A[L][K] - A[L][J]*A[K][J]
+    end
+  end
+end

@@ -1,0 +1,11 @@
+# One Jacobi sweep over a 2-D grid (ping-pong arrays): every statement
+# stores to New, so blocking New through the stores tiles the sweep.
+param N
+array New[N][N] colmajor
+array Old[N][N] colmajor
+
+do i = 1, N-2
+  do j = 1, N-2
+    S1: New[i][j] = 0.25 * (Old[i-1][j] + Old[i+1][j] + Old[i][j-1] + Old[i][j+1])
+  end
+end

@@ -1,0 +1,13 @@
+# Matrix multiplication, I-J-K order (paper Figure 1(i), 0-based).
+param N
+array C[N][N] colmajor
+array A[N][N] colmajor
+array B[N][N] colmajor
+
+do I = 0, N-1
+  do J = 0, N-1
+    do K = 0, N-1
+      S1: C[I][J] = C[I][J] + A[I][K]*B[K][J]
+    end
+  end
+end

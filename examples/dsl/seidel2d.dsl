@@ -1,0 +1,15 @@
+# 2-D Gauss-Seidel relaxation: the paper's Section 8 example class where a
+# single block sweep cannot be legal. Try:
+#   shackle file examples/dsl/seidel2d.dsl legality --array=A --block=8,8
+#   (then see examples/relaxation_multipass for the multi-pass runtime)
+param N
+param T
+array A[N][N]
+
+do t = 0, T-1
+  do i = 1, N-2
+    do j = 1, N-2
+      S1: A[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1])
+    end
+  end
+end

@@ -1,0 +1,15 @@
+# Upper-triangular solve, written with flipped indices so loops ascend while
+# the data flows bottom-up. The forward block walk over b is illegal; the
+# reversed walk is legal (the paper's "similar to loop reversal" remark):
+#   shackle file examples/dsl/trisolve_upper.dsl legality --array=b --block=8
+#   shackle file examples/dsl/trisolve_upper.dsl legality --array=b --block=8 --reversed
+param N
+array b[N]
+array U[N][N] colmajor
+
+do i = 0, N-1
+  do j = 0, i-1
+    S1: b[N-1-i] = b[N-1-i] - U[N-1-i][N-1-j] * b[N-1-j]
+  end
+  S2: b[N-1-i] = b[N-1-i] / U[N-1-i][N-1-i]
+end

@@ -1,0 +1,90 @@
+//===- quickstart.cpp - Shackle in five minutes -------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's running example, end to end through the public API:
+//
+//   1. write matrix multiplication in the loop-nest IR;
+//   2. block array C with 25x25 cutting planes and shackle the C[I,J]
+//      reference (paper Definition 1);
+//   3. check legality with the exact integer test (Theorem 1);
+//   4. look at the naive "runtime resolution" code (Figure 5) and the
+//      polyhedrally simplified code (Figure 6);
+//   5. execute both with the interpreter and confirm they compute exactly
+//      what the original program computes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace shackle;
+
+int main() {
+  // --- 1. The source program: C += A * B in I-J-K order. -----------------
+  Program P;
+  unsigned N = P.addParam("N");
+  unsigned C = P.addSquareArray("C", 2, N);
+  unsigned A = P.addSquareArray("A", 2, N);
+  unsigned B = P.addSquareArray("B", 2, N);
+
+  unsigned I = P.beginLoop("I", P.cst(0), P.v(N) - 1);
+  unsigned J = P.beginLoop("J", P.cst(0), P.v(N) - 1);
+  unsigned K = P.beginLoop("K", P.cst(0), P.v(N) - 1);
+  ArrayRef CRef;
+  CRef.ArrayId = C;
+  CRef.Indices = {P.v(I), P.v(J)};
+  ScalarExpr::Ptr Rhs = ScalarExpr::add(
+      ScalarExpr::load(CRef),
+      ScalarExpr::mul(
+          ScalarExpr::load(ArrayRef{A, {P.v(I), P.v(K)}}),
+          ScalarExpr::load(ArrayRef{B, {P.v(K), P.v(J)}})));
+  P.addStmt("S1", CRef, std::move(Rhs));
+  P.endLoop();
+  P.endLoop();
+  P.endLoop();
+  P.finalize();
+
+  std::printf("== Source program (paper Figure 1(i), 0-based) ==\n%s\n",
+              P.str().c_str());
+
+  // --- 2. Block C into 25x25 blocks; shackle C[I,J]. ----------------------
+  ShackleChain Chain;
+  Chain.Factors.push_back(
+      DataShackle::onStores(P, DataBlocking::rectangular(C, {25, 25})));
+
+  // --- 3. Legality (Theorem 1): exact, with N symbolic. -------------------
+  LegalityResult Legal = checkLegality(P, Chain);
+  std::printf("Shackle on C is %s\n\n", Legal.summary(P).c_str());
+  if (!Legal.Legal)
+    return 1;
+
+  // --- 4. Generated code, naive and simplified. ---------------------------
+  LoopNest Naive = generateNaiveShackledCode(P, Chain);
+  std::printf("== Naive runtime-resolution code (Figure 5) ==\n%s\n",
+              Naive.str().c_str());
+  LoopNest Blocked = generateShackledCode(P, Chain);
+  std::printf("== Simplified blocked code (Figure 6) ==\n%s\n",
+              Blocked.str().c_str());
+
+  // --- 5. Execute all three on the same inputs. ---------------------------
+  LoopNest Orig = generateOriginalCode(P);
+  ProgramInstance RefI(P, {40}), NaiveI(P, {40}), BlockedI(P, {40});
+  RefI.fillRandom(2024, 0.5, 1.5);
+  NaiveI.fillRandom(2024, 0.5, 1.5);
+  BlockedI.fillRandom(2024, 0.5, 1.5);
+  runLoopNest(Orig, RefI);
+  runLoopNest(Naive, NaiveI);
+  runLoopNest(Blocked, BlockedI);
+  std::printf("max |orig - naive|   = %g\n",
+              RefI.maxAbsDifference(NaiveI));
+  std::printf("max |orig - blocked| = %g\n",
+              RefI.maxAbsDifference(BlockedI));
+  return 0;
+}

@@ -1,0 +1,239 @@
+//===- AutoShackle.cpp - Automatic shackle search ------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/AutoShackle.h"
+
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace shackle;
+
+namespace {
+
+/// Distinct references of statement \p S targeting \p ArrayId (textual
+/// duplicates collapsed).
+std::vector<ArrayRef> candidateRefs(const Stmt &S, unsigned ArrayId) {
+  std::vector<ArrayRef> Out;
+  for (const auto &[Ref, IsWrite] : S.refs()) {
+    (void)IsWrite;
+    if (Ref->ArrayId != ArrayId)
+      continue;
+    if (std::find(Out.begin(), Out.end(), *Ref) == Out.end())
+      Out.push_back(*Ref);
+  }
+  return Out;
+}
+
+std::string refStr(const Program &P, const ArrayRef &R) {
+  std::string S = P.getArray(R.ArrayId).Name + "[";
+  for (unsigned D = 0; D < R.Indices.size(); ++D) {
+    if (D)
+      S += ",";
+    S += R.Indices[D].str(P.getVarNames());
+  }
+  return S + "]";
+}
+
+/// Evaluates the candidate's memory behaviour through the simulator.
+void evaluate(const Program &P, ShackleCandidate &Cand,
+              const AutoShackleOptions &Opts,
+              const std::vector<CacheConfig> &Caches) {
+  LoopNest Nest = generateShackledCode(P, Cand.Chain);
+  ProgramInstance Inst(P, Opts.EvalParams);
+  CacheHierarchy H(Caches);
+  TraceFn Trace = [&H](unsigned ArrayId, int64_t Off, bool) {
+    H.access((static_cast<uint64_t>(ArrayId + 1) << 33) +
+             static_cast<uint64_t>(Off) * sizeof(double));
+  };
+  runLoopNest(Nest, Inst, &Trace);
+  Cand.Accesses = H.accesses();
+  Cand.Misses.clear();
+  Cand.Cost = 0;
+  for (unsigned L = 0; L < H.numLevels(); ++L) {
+    Cand.Misses.push_back(H.level(L).misses());
+    double W = L < Opts.LevelWeights.size() ? Opts.LevelWeights[L] : 1.0;
+    Cand.Cost += W * static_cast<double>(H.level(L).misses());
+  }
+  Cand.Evaluated = true;
+}
+
+} // namespace
+
+AutoShackleResult shackle::searchShackles(const Program &P, unsigned ArrayId,
+                                          const AutoShackleOptions &Opts) {
+  assert(!Opts.EvalParams.empty() && "evaluation parameters are required");
+  AutoShackleResult Result;
+
+  std::vector<CacheConfig> Caches = Opts.Caches;
+  if (Caches.empty())
+    Caches = {CacheConfig{"L1", 32 * 1024, 64, 4},
+              CacheConfig{"L2", 256 * 1024, 64, 8}};
+
+  // Per-statement candidate references.
+  std::vector<std::vector<ArrayRef>> Refs;
+  unsigned Combos = 1;
+  for (unsigned Id = 0; Id < P.getNumStmts(); ++Id) {
+    Refs.push_back(candidateRefs(P.getStmt(Id), ArrayId));
+    if (Refs.back().empty())
+      return Result; // Statement without a reference: caller must supply
+                     // dummy references; the search does not invent them.
+    Combos *= Refs.back().size();
+    if (Combos > Opts.MaxCombos)
+      return Result;
+  }
+
+  unsigned Rank = P.getArray(ArrayId).Extents.size();
+  std::vector<std::vector<unsigned>> Orders;
+  {
+    std::vector<unsigned> Identity(Rank);
+    for (unsigned D = 0; D < Rank; ++D)
+      Identity[D] = D;
+    Orders.push_back(Identity);
+    if (Opts.TryBothTraversalOrders && Rank == 2)
+      Orders.push_back({1, 0});
+  }
+
+  // Enumerate single shackles.
+  for (unsigned Combo = 0; Combo < Combos; ++Combo) {
+    std::vector<const ArrayRef *> Choice;
+    unsigned Rest = Combo;
+    for (unsigned Id = 0; Id < P.getNumStmts(); ++Id) {
+      Choice.push_back(&Refs[Id][Rest % Refs[Id].size()]);
+      Rest /= Refs[Id].size();
+    }
+    for (const std::vector<unsigned> &Order : Orders) {
+      for (bool Rev : Opts.TryReversed ? std::vector<bool>{false, true}
+                                       : std::vector<bool>{false}) {
+        for (int64_t B : Opts.BlockSizes) {
+          DataShackle Sh;
+          Sh.Blocking = DataBlocking::rectangular(
+              ArrayId, std::vector<int64_t>(Rank, B), Order);
+          Sh.Blocking.Planes[0].Reversed = Rev;
+          for (const ArrayRef *R : Choice)
+            Sh.ShackledRefs.push_back(*R);
+
+          ShackleCandidate Cand;
+          Cand.Chain.Factors.push_back(std::move(Sh));
+          for (unsigned Id = 0; Id < P.getNumStmts(); ++Id)
+            Cand.Description += P.getStmt(Id).Label + "=" +
+                                refStr(P, *Choice[Id]) + " ";
+          Cand.Description += "order=";
+          for (unsigned D : Order)
+            Cand.Description += std::to_string(D);
+          if (Rev)
+            Cand.Description += " reversed";
+          Cand.Description += " B=" + std::to_string(B);
+
+          Cand.Legal = checkLegality(P, Cand.Chain).Legal;
+          if (Cand.Legal)
+            evaluate(P, Cand, Opts, Caches);
+          Result.Candidates.push_back(std::move(Cand));
+        }
+      }
+    }
+  }
+
+  // Products of the two cheapest distinct single shackles per block size.
+  if (Opts.TryProducts) {
+    std::vector<unsigned> LegalIdx;
+    for (unsigned I = 0; I < Result.Candidates.size(); ++I)
+      if (Result.Candidates[I].Legal)
+        LegalIdx.push_back(I);
+    std::sort(LegalIdx.begin(), LegalIdx.end(), [&](unsigned A, unsigned B) {
+      return Result.Candidates[A].Cost < Result.Candidates[B].Cost;
+    });
+    unsigned Limit = std::min<size_t>(LegalIdx.size(), 3);
+    for (unsigned AI = 0; AI < Limit; ++AI) {
+      for (unsigned BI = 0; BI < Limit; ++BI) {
+        if (AI == BI)
+          continue;
+        const ShackleCandidate &A = Result.Candidates[LegalIdx[AI]];
+        const ShackleCandidate &B = Result.Candidates[LegalIdx[BI]];
+        ShackleCandidate Prod;
+        Prod.Chain.Factors = {A.Chain.Factors[0], B.Chain.Factors[0]};
+        Prod.Description =
+            "product[" + A.Description + "] x [" + B.Description + "]";
+        Prod.Legal = checkLegality(P, Prod.Chain).Legal;
+        if (Prod.Legal)
+          evaluate(P, Prod, Opts, Caches);
+        Result.Candidates.push_back(std::move(Prod));
+      }
+    }
+  }
+
+  // Two-level refinements of the cheapest singles (Section 6.3).
+  if (Opts.TryTwoLevel && Opts.TwoLevelDivisor >= 2) {
+    std::vector<unsigned> LegalIdx;
+    for (unsigned I = 0; I < Result.Candidates.size(); ++I)
+      if (Result.Candidates[I].Legal &&
+          Result.Candidates[I].Chain.Factors.size() == 1)
+        LegalIdx.push_back(I);
+    std::sort(LegalIdx.begin(), LegalIdx.end(), [&](unsigned A, unsigned B) {
+      return Result.Candidates[A].Cost < Result.Candidates[B].Cost;
+    });
+    unsigned Limit = std::min<size_t>(LegalIdx.size(), 2);
+    for (unsigned I = 0; I < Limit; ++I) {
+      const ShackleCandidate &Base = Result.Candidates[LegalIdx[I]];
+      int64_t OuterB = Base.Chain.Factors[0].Blocking.Planes[0].BlockSize;
+      if (OuterB % Opts.TwoLevelDivisor != 0 ||
+          OuterB / Opts.TwoLevelDivisor < 2)
+        continue;
+      DataShackle Inner = Base.Chain.Factors[0];
+      for (CuttingPlaneSet &PS : Inner.Blocking.Planes)
+        PS.BlockSize /= Opts.TwoLevelDivisor;
+      ShackleCandidate TwoLevel;
+      TwoLevel.Chain.Factors = {Base.Chain.Factors[0], std::move(Inner)};
+      TwoLevel.Description = "two-level[" + Base.Description + " / " +
+                             std::to_string(Opts.TwoLevelDivisor) + "]";
+      TwoLevel.Legal = checkLegality(P, TwoLevel.Chain).Legal;
+      if (TwoLevel.Legal)
+        evaluate(P, TwoLevel, Opts, Caches);
+      Result.Candidates.push_back(std::move(TwoLevel));
+    }
+  }
+
+  // Rank: legal+evaluated first by cost.
+  std::stable_sort(Result.Candidates.begin(), Result.Candidates.end(),
+                   [](const ShackleCandidate &A, const ShackleCandidate &B) {
+                     if (A.Evaluated != B.Evaluated)
+                       return A.Evaluated;
+                     return A.Cost < B.Cost;
+                   });
+  if (!Result.Candidates.empty() && Result.Candidates.front().Evaluated)
+    Result.BestIndex = 0;
+  return Result;
+}
+
+std::vector<std::pair<int64_t, double>>
+shackle::sweepBlockSizes(const Program &P, const ShackleChain &Chain,
+                         const std::vector<int64_t> &Sizes,
+                         const AutoShackleOptions &Opts) {
+  std::vector<CacheConfig> Caches = Opts.Caches;
+  if (Caches.empty())
+    Caches = {CacheConfig{"L1", 32 * 1024, 64, 4},
+              CacheConfig{"L2", 256 * 1024, 64, 8}};
+
+  std::vector<std::pair<int64_t, double>> Out;
+  for (int64_t B : Sizes) {
+    ShackleCandidate Cand;
+    Cand.Chain = Chain;
+    for (DataShackle &F : Cand.Chain.Factors)
+      for (CuttingPlaneSet &PS : F.Blocking.Planes)
+        PS.BlockSize = B;
+    if (!checkLegality(P, Cand.Chain).Legal)
+      continue;
+    evaluate(P, Cand, Opts, Caches);
+    Out.emplace_back(B, Cand.Cost);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.second < B.second; });
+  return Out;
+}

@@ -1,0 +1,107 @@
+//===- AutoShackle.h - Automatic shackle search -----------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 8 sketch, implemented: "a search method that
+/// enumerates over plausible data shackles, evaluates each one and picks
+/// the best", with "accurate cost models for the memory hierarchy".
+///
+/// The enumeration follows the paper's own hints:
+///  * data-centric references are drawn from each statement's references to
+///    the blocked array (Theorem 2's guidance);
+///  * cutting planes stay axis-aligned — "to a first order of
+///    approximation, the orientation of cutting planes is irrelevant as far
+///    as performance is concerned ... orientation is important for
+///    legality" — so only the traversal order and reversal vary;
+///  * block sizes come from a training sweep (the Dongarra-Schreiber
+///    "training sets" idea the paper cites for block-size selection).
+///
+/// Cost model: the deterministic cache hierarchy simulator, fed by the
+/// interpreter's address trace of the candidate's generated code. For
+/// affine programs the trace is input-independent, so no numeric
+/// initialization is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_AUTOTUNE_AUTOSHACKLE_H
+#define SHACKLE_AUTOTUNE_AUTOSHACKLE_H
+
+#include "cachesim/CacheSim.h"
+#include "core/DataShackle.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+struct AutoShackleOptions {
+  /// Square block sizes to sweep.
+  std::vector<int64_t> BlockSizes = {8, 16, 32};
+  /// Concrete parameter values used to evaluate candidates (e.g. {96}).
+  std::vector<int64_t> EvalParams;
+  /// Cache geometry for the cost model; empty selects a small two-level
+  /// hierarchy suited to the EvalParams sizes.
+  std::vector<CacheConfig> Caches;
+  /// Also try the transposed traversal order (for rank-2 blockings).
+  bool TryBothTraversalOrders = true;
+  /// Also try reversing the slowest-varying plane set.
+  bool TryReversed = false;
+  /// Also try Cartesian products of the best single shackles.
+  bool TryProducts = true;
+  /// Also try multi-level chains: the best single candidates refined by a
+  /// copy of themselves with block size divided by TwoLevelDivisor
+  /// (Section 6.3's construction).
+  bool TryTwoLevel = true;
+  int64_t TwoLevelDivisor = 8;
+  /// Upper bound on reference-choice combinations considered.
+  unsigned MaxCombos = 256;
+  /// Per-level miss weights (latency-ish): cost = sum w_l * misses_l.
+  std::vector<double> LevelWeights = {1.0, 8.0};
+};
+
+struct ShackleCandidate {
+  ShackleChain Chain;
+  std::string Description;
+  bool Legal = false;
+  bool Evaluated = false;
+  std::vector<uint64_t> Misses; ///< Per cache level.
+  uint64_t Accesses = 0;
+  double Cost = 0.0;
+};
+
+struct AutoShackleResult {
+  /// All candidates considered, the legal+evaluated ones sorted first by
+  /// ascending cost.
+  std::vector<ShackleCandidate> Candidates;
+  /// Index of the winner in Candidates, or -1 if nothing legal was found.
+  int BestIndex = -1;
+
+  const ShackleCandidate *best() const {
+    return BestIndex < 0 ? nullptr : &Candidates[BestIndex];
+  }
+};
+
+/// Enumerates, legality-checks, and cost-ranks data shackles that block
+/// array \p ArrayId of \p P. Every statement must contain at least one
+/// reference to the array (use dummy references in the program's shackle
+/// configuration otherwise; the search does not invent them).
+AutoShackleResult searchShackles(const Program &P, unsigned ArrayId,
+                                 const AutoShackleOptions &Opts);
+
+/// Block-size training sweep for a fixed shackle structure: re-blocks
+/// \p Chain's factors with each size and returns (size, cost) pairs sorted
+/// by ascending cost. All factors are re-blocked uniformly.
+std::vector<std::pair<int64_t, double>>
+sweepBlockSizes(const Program &P, const ShackleChain &Chain,
+                const std::vector<int64_t> &Sizes,
+                const AutoShackleOptions &Opts);
+
+} // namespace shackle
+
+#endif // SHACKLE_AUTOTUNE_AUTOSHACKLE_H

@@ -1,0 +1,115 @@
+//===- CacheSim.cpp - Multi-level cache hierarchy simulator ------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace shackle;
+
+namespace {
+
+unsigned log2Exact(uint64_t V) {
+  unsigned L = 0;
+  while ((1ULL << L) < V)
+    ++L;
+  assert((1ULL << L) == V && "cache geometry must be a power of two");
+  return L;
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const CacheConfig &C) : Config(C) {
+  assert(C.SizeBytes % (static_cast<uint64_t>(C.LineBytes) *
+                        C.Associativity) ==
+             0 &&
+         "size must be divisible by line * associativity");
+  NumSets = C.SizeBytes / (static_cast<uint64_t>(C.LineBytes) *
+                           C.Associativity);
+  LineShift = log2Exact(C.LineBytes);
+  SetShift = log2Exact(NumSets);
+  Tags.assign(static_cast<size_t>(NumSets) * C.Associativity, 0);
+  Stamps.assign(Tags.size(), 0);
+  Valid.assign(Tags.size(), false);
+}
+
+bool CacheLevel::access(uint64_t Address) {
+  uint64_t Line = Address >> LineShift;
+  unsigned Set = static_cast<unsigned>(Line & (NumSets - 1));
+  uint64_t Tag = Line >> SetShift;
+  unsigned Base = Set * Config.Associativity;
+  ++Clock;
+
+  unsigned LruWay = 0;
+  uint64_t LruStamp = UINT64_MAX;
+  for (unsigned Way = 0; Way < Config.Associativity; ++Way) {
+    unsigned Slot = Base + Way;
+    if (Valid[Slot] && Tags[Slot] == Tag) {
+      Stamps[Slot] = Clock;
+      ++Hits;
+      return true;
+    }
+    uint64_t Stamp = Valid[Slot] ? Stamps[Slot] : 0;
+    if (!Valid[Slot]) {
+      LruWay = Way;
+      LruStamp = 0;
+    } else if (Stamp < LruStamp) {
+      LruWay = Way;
+      LruStamp = Stamp;
+    }
+  }
+  ++Misses;
+  unsigned Slot = Base + LruWay;
+  Tags[Slot] = Tag;
+  Stamps[Slot] = Clock;
+  Valid[Slot] = true;
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &Configs) {
+  for (const CacheConfig &C : Configs)
+    Levels.emplace_back(C);
+}
+
+CacheHierarchy CacheHierarchy::classic() {
+  return CacheHierarchy({
+      CacheConfig{"L1", 64 * 1024, 64, 4},
+      CacheConfig{"L2", 1024 * 1024, 64, 8},
+  });
+}
+
+void CacheHierarchy::access(uint64_t Address) {
+  ++Accesses;
+  for (CacheLevel &L : Levels)
+    if (L.access(Address))
+      return;
+}
+
+void CacheHierarchy::resetCounters() {
+  Accesses = 0;
+  for (CacheLevel &L : Levels)
+    L.resetCounters();
+}
+
+std::string CacheHierarchy::report() const {
+  std::string Out;
+  char Buf[160];
+  for (const CacheLevel &L : Levels) {
+    uint64_t Total = L.hits() + L.misses();
+    double Rate = Total ? 100.0 * static_cast<double>(L.misses()) /
+                              static_cast<double>(Total)
+                        : 0.0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-3s accesses=%12llu  misses=%12llu  missrate=%6.2f%%\n",
+                  L.config().Name.c_str(),
+                  static_cast<unsigned long long>(Total),
+                  static_cast<unsigned long long>(L.misses()), Rate);
+    Out += Buf;
+  }
+  return Out;
+}

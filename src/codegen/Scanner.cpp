@@ -1,0 +1,506 @@
+//===- Scanner.cpp - Polyhedra scanning code generation ---------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Scanner.h"
+
+#include "polyhedral/OmegaTest.h"
+#include "polyhedral/SetOps.h"
+#include "polyhedral/Simplify.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace shackle;
+
+namespace {
+
+/// Eliminates every dimension with index > Dim while keeping the arity, so
+/// the result stays in the full scanning space.
+Polyhedron projectOntoPrefix(const Polyhedron &P, unsigned Dim) {
+  Polyhedron Q = P;
+  for (unsigned V = P.getNumVars(); V-- > Dim + 1;)
+    Q.fourierMotzkinEliminate(V);
+  return Q;
+}
+
+/// A maximal region over dims 0..Dim within which a fixed set of statements
+/// is active.
+struct Piece {
+  Polyhedron Dom;
+  std::vector<unsigned> Items;
+};
+
+/// True iff some point of A at dimension \p Dim comes after some point of B,
+/// for identical values of the outer dimensions 0..Dim-1. A and B must only
+/// constrain dims 0..Dim.
+bool afterExists(const Polyhedron &A, const Polyhedron &B, unsigned Dim) {
+  Polyhedron Q = A;
+  unsigned Y = Q.appendVar("__y");
+  for (const ConstraintRow &Row : B.equalities()) {
+    ConstraintRow R = Row;
+    R.insert(R.end() - 1, 0);
+    std::swap(R[Dim], R[Y]);
+    Q.addEquality(std::move(R));
+  }
+  for (const ConstraintRow &Row : B.inequalities()) {
+    ConstraintRow R = Row;
+    R.insert(R.end() - 1, 0);
+    std::swap(R[Dim], R[Y]);
+    Q.addInequality(std::move(R));
+  }
+  // x_Dim >= y + 1.
+  ConstraintRow Gt(Q.getNumVars() + 1, 0);
+  Gt[Dim] = 1;
+  Gt[Y] = -1;
+  Gt.back() = -1;
+  Q.addInequality(std::move(Gt));
+  return !isIntegerEmpty(Q);
+}
+
+/// Splits the projections of the active items at dimension \p Dim into
+/// disjoint pieces, each labeled with the items active inside it.
+std::vector<Piece> separate(const std::vector<Polyhedron> &Projections,
+                            const std::vector<unsigned> &ItemIdxs) {
+  std::vector<Piece> Pieces;
+  for (unsigned PI = 0; PI < Projections.size(); ++PI) {
+    const Polyhedron &P = Projections[PI];
+    unsigned Item = ItemIdxs[PI];
+
+    // The part of P not covered by any existing piece becomes new pieces.
+    std::vector<Polyhedron> OldDoms;
+    for (const Piece &Pc : Pieces)
+      OldDoms.push_back(Pc.Dom);
+
+    std::vector<Piece> Next;
+    for (Piece &Old : Pieces) {
+      Polyhedron Inter = intersect(Old.Dom, P);
+      if (Inter.normalize() && !isIntegerEmpty(Inter)) {
+        Piece Both;
+        Both.Dom = std::move(Inter);
+        Both.Items = Old.Items;
+        Both.Items.push_back(Item);
+        Next.push_back(std::move(Both));
+        for (Polyhedron &Rest : subtract(Old.Dom, P)) {
+          Piece OnlyOld;
+          OnlyOld.Dom = std::move(Rest);
+          OnlyOld.Items = Old.Items;
+          Next.push_back(std::move(OnlyOld));
+        }
+      } else {
+        Next.push_back(std::move(Old));
+      }
+    }
+    for (Polyhedron &Rest : subtractAll(P, OldDoms)) {
+      Piece OnlyNew;
+      OnlyNew.Dom = std::move(Rest);
+      OnlyNew.Items = {Item};
+      Next.push_back(std::move(OnlyNew));
+    }
+    Pieces = std::move(Next);
+  }
+  return Pieces;
+}
+
+/// Orders disjoint pieces by their position along dimension \p Dim
+/// (selection sort with a semantic "must precede" test).
+void sortPieces(std::vector<Piece> &Pieces, unsigned Dim) {
+  for (unsigned I = 0; I + 1 < Pieces.size(); ++I) {
+    bool Found = false;
+    for (unsigned J = I; J < Pieces.size(); ++J) {
+      bool IsMin = true;
+      for (unsigned K = I; K < Pieces.size(); ++K) {
+        if (K == J)
+          continue;
+        if (afterExists(Pieces[J].Dom, Pieces[K].Dom, Dim)) {
+          IsMin = false;
+          break;
+        }
+      }
+      if (IsMin) {
+        std::swap(Pieces[I], Pieces[J]);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      fatalError("pieces are not totally ordered along a scan dimension; "
+                 "context-dependent ordering is not supported");
+  }
+}
+
+class ScannerImpl {
+public:
+  ScannerImpl(const ScanSpace &Space, std::vector<ScanItem> Items,
+              const Program &Prog, const Polyhedron &InitialContext)
+      : Space(Space), Items(std::move(Items)), Prog(Prog),
+        InitialContext(InitialContext) {}
+
+  LoopNest run() {
+    LoopNest Nest;
+    Nest.Prog = &Prog;
+    Nest.NumDims = Space.numDims();
+    Nest.NumParams = Space.NumParams;
+    Nest.DimNames = Space.DimNames;
+    std::vector<unsigned> All(Items.size());
+    for (unsigned I = 0; I < Items.size(); ++I)
+      All[I] = I;
+    Nest.Roots = generate(All, Space.NumParams, InitialContext);
+    return Nest;
+  }
+
+private:
+  std::vector<ASTNodePtr> generate(const std::vector<unsigned> &Active,
+                                   unsigned Dim, const Polyhedron &Context);
+  std::vector<ASTNodePtr> generateLeaf(const std::vector<unsigned> &Active,
+                                       const Polyhedron &Context);
+  std::vector<ASTNodePtr> generateSchedule(const std::vector<unsigned> &Active,
+                                           unsigned Dim,
+                                           const Polyhedron &Context);
+  std::vector<ASTNodePtr> generateLoop(const std::vector<unsigned> &Active,
+                                       unsigned Dim,
+                                       const Polyhedron &Context);
+
+  const ScanSpace &Space;
+  std::vector<ScanItem> Items;
+  const Program &Prog;
+  const Polyhedron &InitialContext;
+};
+
+std::vector<ASTNodePtr>
+ScannerImpl::generate(const std::vector<unsigned> &Active, unsigned Dim,
+                      const Polyhedron &Context) {
+  if (Active.empty())
+    return {};
+  if (Dim == Space.numDims())
+    return generateLeaf(Active, Context);
+  if (Space.IsSchedule[Dim])
+    return generateSchedule(Active, Dim, Context);
+  return generateLoop(Active, Dim, Context);
+}
+
+std::vector<ASTNodePtr>
+ScannerImpl::generateLeaf(const std::vector<unsigned> &Active,
+                          const Polyhedron &Context) {
+  // Distinct statements always differ in some schedule position, so at most
+  // one item can reach a leaf.
+  assert(Active.size() == 1 && "multiple statements with identical schedule");
+  const ScanItem &Item = Items[Active.front()];
+  ASTNodePtr Inst = ASTNode::makeInstance(Item.S, Item.VarMap);
+
+  Polyhedron Guard = gist(Item.Domain, Context);
+  if (Guard.getNumEqualities() == 0 && Guard.getNumInequalities() == 0) {
+    std::vector<ASTNodePtr> Out;
+    Out.push_back(std::move(Inst));
+    return Out;
+  }
+  ASTNodePtr If = ASTNode::makeIf();
+  for (const ConstraintRow &Row : Guard.equalities())
+    If->EqConds.push_back(Row);
+  for (const ConstraintRow &Row : Guard.inequalities())
+    If->IneqConds.push_back(Row);
+  If->Body.push_back(std::move(Inst));
+  std::vector<ASTNodePtr> Out;
+  Out.push_back(std::move(If));
+  return Out;
+}
+
+/// Extracts the constant value a schedule dimension takes in \p Domain.
+static int64_t schedulePosition(const Polyhedron &Domain, unsigned Dim) {
+  for (const ConstraintRow &Row : Domain.equalities()) {
+    if (Row[Dim] != 1 && Row[Dim] != -1)
+      continue;
+    bool Pure = true;
+    for (unsigned V = 0; V + 1 < Row.size(); ++V)
+      if (V != Dim && Row[V] != 0)
+        Pure = false;
+    if (Pure)
+      return Row[Dim] == 1 ? -Row.back() : Row.back();
+  }
+  fatalError("schedule dimension is not pinned to a constant");
+}
+
+std::vector<ASTNodePtr>
+ScannerImpl::generateSchedule(const std::vector<unsigned> &Active,
+                              unsigned Dim, const Polyhedron &Context) {
+  std::map<int64_t, std::vector<unsigned>> Groups;
+  for (unsigned I : Active)
+    Groups[schedulePosition(Items[I].Domain, Dim)].push_back(I);
+
+  std::vector<ASTNodePtr> Out;
+  for (auto &[Pos, Group] : Groups) {
+    Polyhedron Inner = Context;
+    ConstraintRow Eq(Inner.getNumVars() + 1, 0);
+    Eq[Dim] = 1;
+    Eq.back() = -Pos;
+    Inner.addEquality(std::move(Eq));
+    std::vector<ASTNodePtr> Sub = generate(Group, Dim + 1, Inner);
+    Out.insert(Out.end(), std::make_move_iterator(Sub.begin()),
+               std::make_move_iterator(Sub.end()));
+  }
+  return Out;
+}
+
+std::vector<ASTNodePtr>
+ScannerImpl::generateLoop(const std::vector<unsigned> &Active, unsigned Dim,
+                          const Polyhedron &Context) {
+  // Project every active item onto dims 0..Dim.
+  std::vector<Polyhedron> Projections;
+  for (unsigned I : Active) {
+    Polyhedron Proj = projectOntoPrefix(Items[I].Domain, Dim);
+    Proj.normalize();
+    Proj.removeDuplicateConstraints();
+    Projections.push_back(std::move(Proj));
+  }
+
+  std::vector<Piece> Pieces = separate(Projections, Active);
+  sortPieces(Pieces, Dim);
+
+  std::vector<ASTNodePtr> Out;
+  for (Piece &Pc : Pieces) {
+    Polyhedron Simplified = gist(Pc.Dom, Context);
+
+    // If the piece pins this dimension to an exact affine expression of the
+    // outer dimensions, bind it instead of looping — the shape the paper's
+    // generated code takes where a block index is substituted (Figure 7's
+    // diagonal-block sections).
+    int PinIdx = -1;
+    for (unsigned I = 0; I < Simplified.getNumEqualities(); ++I) {
+      int64_t C = Simplified.getEquality(I)[Dim];
+      if (C == 1 || C == -1) {
+        PinIdx = static_cast<int>(I);
+        break;
+      }
+    }
+    if (PinIdx >= 0) {
+      ConstraintRow Pin = Simplified.getEquality(PinIdx);
+      int64_t C = Pin[Dim];
+      BoundExpr Value;
+      Value.Expr = AffineExpr::constant(Space.numDims(), Pin.back() * -C);
+      for (unsigned V = 0; V + 1 < Pin.size(); ++V)
+        if (V != Dim)
+          Value.Expr.setCoeff(V, Pin[V] * -C);
+      ASTNodePtr Let = ASTNode::makeLet(Dim, std::move(Value));
+
+      ASTNodePtr InnerGuard;
+      Simplified.removeEquality(PinIdx);
+      if (Simplified.getNumEqualities() || Simplified.getNumInequalities()) {
+        InnerGuard = ASTNode::makeIf();
+        for (const ConstraintRow &Row : Simplified.equalities())
+          InnerGuard->EqConds.push_back(Row);
+        for (const ConstraintRow &Row : Simplified.inequalities())
+          InnerGuard->IneqConds.push_back(Row);
+      }
+
+      Polyhedron Inner = intersect(Context, Pc.Dom);
+      Inner.removeDuplicateConstraints();
+      std::vector<ScanItem> Saved;
+      for (unsigned I : Pc.Items) {
+        Saved.push_back(
+            ScanItem{Items[I].Domain, Items[I].S, Items[I].VarMap});
+        Items[I].Domain = intersect(Items[I].Domain, Pc.Dom);
+        Items[I].Domain.removeDuplicateConstraints();
+      }
+      std::vector<ASTNodePtr> Sub = generate(Pc.Items, Dim + 1, Inner);
+      for (unsigned K = 0; K < Pc.Items.size(); ++K)
+        Items[Pc.Items[K]].Domain = std::move(Saved[K].Domain);
+      if (Sub.empty())
+        continue;
+      if (InnerGuard) {
+        InnerGuard->Body = std::move(Sub);
+        Let->Body.push_back(std::move(InnerGuard));
+      } else {
+        Let->Body = std::move(Sub);
+      }
+      Out.push_back(std::move(Let));
+      continue;
+    }
+
+    ASTNodePtr Loop = ASTNode::makeLoop(Dim);
+    ASTNodePtr Guard; // Conditions on outer dims, if any.
+
+    auto AddBoundsFromRow = [&](ConstraintRow Row, bool IsEq) {
+      int64_t C = Row[Dim];
+      if (C == 0) {
+        if (!Guard)
+          Guard = ASTNode::makeIf();
+        if (IsEq)
+          Guard->EqConds.push_back(std::move(Row));
+        else
+          Guard->IneqConds.push_back(std::move(Row));
+        return;
+      }
+      // Normalize an equality so the dimension's coefficient is positive.
+      if (IsEq && C < 0) {
+        for (int64_t &V : Row)
+          V = -V;
+        C = -C;
+      }
+      // C * d + rest (>= or ==) 0.
+      AffineExpr Rest = AffineExpr::constant(Space.numDims(), Row.back());
+      for (unsigned V = 0; V + 1 < Row.size(); ++V)
+        if (V != Dim)
+          Rest.setCoeff(V, Row[V]);
+      if (C > 0) {
+        // d >= ceil(-rest / C); for an equality also d <= floor(-rest / C).
+        BoundExpr Lb;
+        Lb.Expr = Rest * -1;
+        Lb.Divisor = C;
+        Lb.IsCeil = true;
+        Loop->Lbs.push_back(std::move(Lb));
+        if (IsEq) {
+          BoundExpr Ub;
+          Ub.Expr = Rest * -1;
+          Ub.Divisor = C;
+          Ub.IsCeil = false;
+          Loop->Ubs.push_back(std::move(Ub));
+        }
+        return;
+      }
+      // (-C) * d <= rest  =>  d <= floor(rest / -C).
+      BoundExpr Ub;
+      Ub.Expr = Rest;
+      Ub.Divisor = -C;
+      Ub.IsCeil = false;
+      Loop->Ubs.push_back(std::move(Ub));
+    };
+
+    for (const ConstraintRow &Row : Simplified.equalities())
+      AddBoundsFromRow(Row, /*IsEq=*/true);
+    for (const ConstraintRow &Row : Simplified.inequalities())
+      AddBoundsFromRow(Row, /*IsEq=*/false);
+
+    // A piece must bound its dimension on both sides; if the gist dropped a
+    // bound as redundant against the context, recover it from the raw piece.
+    if (Loop->Lbs.empty() || Loop->Ubs.empty()) {
+      for (const ConstraintRow &Row : Pc.Dom.inequalities()) {
+        int64_t C = Row[Dim];
+        if (C == 0)
+          continue;
+        AffineExpr Rest = AffineExpr::constant(Space.numDims(), Row.back());
+        for (unsigned V = 0; V + 1 < Row.size(); ++V)
+          if (V != Dim)
+            Rest.setCoeff(V, Row[V]);
+        if (C > 0 && Loop->Lbs.empty()) {
+          BoundExpr Lb;
+          Lb.Expr = Rest * -1;
+          Lb.Divisor = C;
+          Lb.IsCeil = true;
+          Loop->Lbs.push_back(std::move(Lb));
+        } else if (C < 0 && Loop->Ubs.empty()) {
+          BoundExpr Ub;
+          Ub.Expr = Rest;
+          Ub.Divisor = -C;
+          Ub.IsCeil = false;
+          Loop->Ubs.push_back(std::move(Ub));
+        }
+      }
+    }
+    if (Loop->Lbs.empty() || Loop->Ubs.empty())
+      fatalError("scanning dimension is unbounded");
+
+    // Recurse with domains restricted to this piece.
+    Polyhedron Inner = intersect(Context, Pc.Dom);
+    Inner.removeDuplicateConstraints();
+    std::vector<unsigned> SubActive;
+    for (unsigned I : Pc.Items)
+      SubActive.push_back(I);
+    std::vector<ScanItem> Saved;
+    for (unsigned I : SubActive) {
+      Saved.push_back(ScanItem{Items[I].Domain, Items[I].S, Items[I].VarMap});
+      Items[I].Domain = intersect(Items[I].Domain, Pc.Dom);
+      Items[I].Domain.removeDuplicateConstraints();
+    }
+    Loop->Body = generate(SubActive, Dim + 1, Inner);
+    for (unsigned K = 0; K < SubActive.size(); ++K)
+      Items[SubActive[K]].Domain = std::move(Saved[K].Domain);
+
+    if (Loop->Body.empty())
+      continue;
+    if (Guard) {
+      Guard->Body.push_back(std::move(Loop));
+      Out.push_back(std::move(Guard));
+    } else {
+      Out.push_back(std::move(Loop));
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+namespace {
+
+void markUsedDims(const ASTNode &N, std::vector<bool> &Used) {
+  auto MarkBound = [&](const BoundExpr &B) {
+    for (unsigned V = 0; V < B.Expr.getNumVars(); ++V)
+      if (B.Expr.getCoeff(V) != 0)
+        Used[V] = true;
+  };
+  for (const BoundExpr &B : N.Lbs)
+    MarkBound(B);
+  for (const BoundExpr &B : N.Ubs)
+    MarkBound(B);
+  auto MarkRow = [&](const ConstraintRow &Row) {
+    for (unsigned V = 0; V + 1 < Row.size() && V < Used.size(); ++V)
+      if (Row[V] != 0)
+        Used[V] = true;
+  };
+  for (const ConstraintRow &Row : N.EqConds)
+    MarkRow(Row);
+  for (const ConstraintRow &Row : N.IneqConds)
+    MarkRow(Row);
+  for (unsigned D : N.VarMap)
+    Used[D] = true;
+  for (const ASTNodePtr &C : N.Body)
+    markUsedDims(*C, Used);
+}
+
+void pruneLetsIn(std::vector<ASTNodePtr> &Body, unsigned NumDims) {
+  for (unsigned I = 0; I < Body.size();) {
+    ASTNode &N = *Body[I];
+    pruneLetsIn(N.Body, NumDims);
+    if (N.Kind != ASTKind::Let) {
+      ++I;
+      continue;
+    }
+    std::vector<bool> Used(NumDims, false);
+    for (const ASTNodePtr &C : N.Body)
+      markUsedDims(*C, Used);
+    if (Used[N.Dim]) {
+      ++I;
+      continue;
+    }
+    // Splice the children in place of the Let.
+    std::vector<ASTNodePtr> Children = std::move(N.Body);
+    Body.erase(Body.begin() + I);
+    Body.insert(Body.begin() + I, std::make_move_iterator(Children.begin()),
+                std::make_move_iterator(Children.end()));
+  }
+}
+
+} // namespace
+
+void shackle::pruneUnusedLets(LoopNest &Nest) {
+  pruneLetsIn(Nest.Roots, Nest.NumDims);
+}
+
+LoopNest shackle::scanPolyhedra(const ScanSpace &Space,
+                                std::vector<ScanItem> Items,
+                                const Program &Prog,
+                                const Polyhedron &InitialContext) {
+  assert(Space.DimNames.size() == Space.IsSchedule.size() &&
+         "scan space metadata mismatch");
+  for (const ScanItem &Item : Items) {
+    assert(Item.Domain.getNumVars() == Space.numDims() &&
+           "item domain not in the scan space");
+    (void)Item;
+  }
+  ScannerImpl Impl(Space, std::move(Items), Prog, InitialContext);
+  return Impl.run();
+}

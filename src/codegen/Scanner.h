@@ -1,0 +1,71 @@
+//===- Scanner.h - Polyhedra scanning code generation -----------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a loop nest that enumerates, in lexicographic order of the
+/// scanning space, the integer points of a set of statement domains. This is
+/// the role the Omega calculator's code generator plays in the paper: the
+/// data shackle fixes *what* must run when each block is touched, and this
+/// scanner merely produces clean loops for it (paper Section 4.2: polyhedral
+/// tools "simplify programs").
+///
+/// The algorithm is the classic Quillere-Rajopadhye-Wilde scheme: at each
+/// dimension, project every statement's domain onto the outer dimensions,
+/// split the projections into disjoint pieces (set difference), sort the
+/// pieces, emit one loop per piece, and recurse. Dimensions marked as
+/// schedule positions carry a constant per statement and become statement
+/// ordering instead of loops. Loop bounds use exact integer ceil/floor
+/// division, and any constraint not captured by bounds becomes a guard,
+/// so the generated code is exact even where rational projection is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_CODEGEN_SCANNER_H
+#define SHACKLE_CODEGEN_SCANNER_H
+
+#include "codegen/LoopAST.h"
+#include "ir/Program.h"
+#include "polyhedral/Polyhedron.h"
+
+#include <vector>
+
+namespace shackle {
+
+/// The scanning space: parameters first, then loop/schedule dimensions in
+/// enumeration order.
+struct ScanSpace {
+  unsigned NumParams = 0;
+  std::vector<std::string> DimNames;
+  /// True for 2d+1 schedule-position dimensions (each statement's domain
+  /// fixes them to a constant; they order statements, no loop is emitted).
+  std::vector<bool> IsSchedule;
+
+  unsigned numDims() const { return DimNames.size(); }
+};
+
+/// One statement's domain within the scanning space.
+struct ScanItem {
+  Polyhedron Domain; ///< Over the full scan space.
+  const Stmt *S = nullptr;
+  std::vector<unsigned> VarMap; ///< Stmt loop var k lives at scan dim VarMap[k].
+};
+
+/// Generates the loop nest scanning \p Items in lexicographic order of the
+/// scan space. \p InitialContext holds what is known about the parameters
+/// (e.g. N >= 1), over the same space.
+LoopNest scanPolyhedra(const ScanSpace &Space, std::vector<ScanItem> Items,
+                       const Program &Prog,
+                       const Polyhedron &InitialContext);
+
+/// Removes Let bindings whose dimension is never read below them (these come
+/// from the zero-padding of statements nested less deeply than the scanning
+/// space).
+void pruneUnusedLets(LoopNest &Nest);
+
+} // namespace shackle
+
+#endif // SHACKLE_CODEGEN_SCANNER_H

@@ -1,0 +1,37 @@
+//===- DataBlocking.cpp - Cutting planes on a data object -------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DataBlocking.h"
+
+#include <cassert>
+
+using namespace shackle;
+
+DataBlocking DataBlocking::rectangular(unsigned ArrayId,
+                                       const std::vector<int64_t> &Sizes) {
+  std::vector<unsigned> Order(Sizes.size());
+  for (unsigned D = 0; D < Sizes.size(); ++D)
+    Order[D] = D;
+  return rectangular(ArrayId, Sizes, Order);
+}
+
+DataBlocking DataBlocking::rectangular(unsigned ArrayId,
+                                       const std::vector<int64_t> &Sizes,
+                                       const std::vector<unsigned> &DimOrder) {
+  assert(DimOrder.size() == Sizes.size() && "one order entry per dimension");
+  DataBlocking B;
+  B.ArrayId = ArrayId;
+  for (unsigned D : DimOrder) {
+    assert(Sizes[D] >= 1 && "block sizes must be positive");
+    CuttingPlaneSet S;
+    S.Normal.assign(Sizes.size(), 0);
+    S.Normal[D] = 1;
+    S.BlockSize = Sizes[D];
+    B.Planes.push_back(std::move(S));
+  }
+  return B;
+}

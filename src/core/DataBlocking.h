@@ -1,0 +1,64 @@
+//===- DataBlocking.h - Cutting planes on a data object ---------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first component of a data shackle (paper Definition 1): a division of
+/// an array into blocks by sets of parallel cutting planes, plus the order in
+/// which the blocks are touched. Each set of planes has a normal vector over
+/// the array's index space and a separation (the block size); the matrix
+/// whose columns are the normals is the paper's "cutting planes matrix", and
+/// blocks are visited in lexicographic order of their coordinates (a set may
+/// be marked Reversed to walk bottom-to-top / right-to-left, the paper's
+/// loop-reversal analogue for cases like triangular back-solve).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_CORE_DATABLOCKING_H
+#define SHACKLE_CORE_DATABLOCKING_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// One set of parallel cutting planes with normal \p Normal and separation
+/// \p BlockSize. For an array element with (0-based) index vector a, the
+/// block coordinate along this set is floor((Normal . a) / BlockSize), or its
+/// negation when Reversed.
+struct CuttingPlaneSet {
+  std::vector<int64_t> Normal; ///< One entry per array dimension.
+  int64_t BlockSize = 1;
+  bool Reversed = false;
+};
+
+/// A blocking of one array: the cutting-planes matrix column by column, in
+/// traversal-significance order (the first set varies slowest).
+struct DataBlocking {
+  unsigned ArrayId = 0;
+  std::vector<CuttingPlaneSet> Planes;
+
+  /// Convenience: axis-aligned rectangular blocking of a rank-\p Rank array
+  /// with the given per-dimension block sizes (in dimension order: the first
+  /// array dimension varies slowest in the block walk).
+  static DataBlocking rectangular(unsigned ArrayId,
+                                  const std::vector<int64_t> &Sizes);
+
+  /// Rectangular blocking with an explicit traversal order: DimOrder[0] is
+  /// the array dimension whose blocks vary slowest. Sizes remains indexed by
+  /// array dimension. E.g. DimOrder {1, 0} walks a matrix column-block by
+  /// column-block, the paper's "top to bottom, left to right" order.
+  static DataBlocking rectangular(unsigned ArrayId,
+                                  const std::vector<int64_t> &Sizes,
+                                  const std::vector<unsigned> &DimOrder);
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_CORE_DATABLOCKING_H

@@ -1,0 +1,109 @@
+//===- DataShackle.h - Data shackles and their products ---------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central abstraction. A DataShackle (Definition 1) combines a
+/// DataBlocking of one array with, for every statement, one *shackled
+/// reference* to that array: when the master walk touches a block, all
+/// instances of each statement whose shackled reference lands in the block
+/// are executed (in original program order within the block). Statements
+/// without a reference to the blocked array are tied to it with a *dummy
+/// reference* (Section 5.3).
+///
+/// A ShackleChain is the Cartesian product M1 x M2 x ... of Section 6: the
+/// first factor partitions statement instances, later factors refine the
+/// partitions without reordering across them. Products of shackles on
+/// different arrays give fully blocked code (e.g. LAPACK-style matrix
+/// multiply from shackling C and A), and products of products give
+/// multi-level blocking (Section 6.3, Figure 10) with one factor per level
+/// of the memory hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_CORE_DATASHACKLE_H
+#define SHACKLE_CORE_DATASHACKLE_H
+
+#include "core/DataBlocking.h"
+#include "ir/Program.h"
+#include "polyhedral/Polyhedron.h"
+
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// A single data shackle: blocking plus one shackled reference per statement.
+struct DataShackle {
+  DataBlocking Blocking;
+  /// Indexed by statement id. Each reference must target Blocking.ArrayId
+  /// and have affine subscripts over the statement's loop variables and the
+  /// program parameters. References need not appear textually in the
+  /// statement (dummy references are permitted and only influence ordering).
+  std::vector<ArrayRef> ShackledRefs;
+
+  /// Builds a shackle that ties every statement through its left-hand-side
+  /// (store) reference. All statements must write to \p Blocking's array;
+  /// this is the paper's choice for matrix multiplication and Cholesky.
+  static DataShackle onStores(const Program &P, DataBlocking Blocking);
+
+  /// Builds a shackle from an explicit per-statement reference choice:
+  /// \p RefIndex[s] selects entry i of statement s's refs() list (0 = store,
+  /// 1.. = loads in pre-order).
+  static DataShackle onRefs(const Program &P, DataBlocking Blocking,
+                            const std::vector<unsigned> &RefIndex);
+};
+
+/// A Cartesian product of shackles, outer factors first. A single-element
+/// chain is a plain shackle; a multi-level blocking uses one (group of)
+/// factor(s) per memory level, largest block sizes first.
+struct ShackleChain {
+  std::vector<DataShackle> Factors;
+
+  /// Total number of block coordinates contributed by all factors.
+  unsigned numBlockDims() const;
+
+  /// Names for the block coordinate dimensions: b1, b2, ...
+  std::vector<std::string> blockDimNames() const;
+};
+
+/// Appends, to \p Poly, the constraints linking the block coordinate held in
+/// space dimension \p BlockDim to plane \p Plane of \p Factor applied to
+/// statement \p S's shackled reference. \p VarDims maps every program
+/// variable to its dimension in Poly's space (or -1 if unavailable; such
+/// variables must not occur in the reference).
+///
+/// The constraints are the 0-based form of the paper's blocking map: with
+/// e = Normal . ref(indices),   0 <= e - B*z <= B-1   (or with z negated
+/// when the plane set is Reversed), i.e. z = floor(e / B).
+void addBlockLinkConstraints(Polyhedron &Poly, const Program &P,
+                             const DataShackle &Factor, unsigned Plane,
+                             unsigned StmtId, unsigned BlockDim,
+                             const std::vector<int> &VarDims);
+
+/// Converts an affine expression over program variables into a constraint-row
+/// "payload" over a polyhedron space via \p VarDims (every used variable must
+/// be mapped). The result has Poly-arity + 1 entries (trailing constant).
+ConstraintRow mapAffineToSpace(const AffineExpr &E, const Program &P,
+                               const std::vector<int> &VarDims,
+                               unsigned SpaceSize);
+
+/// Appends statement \p S's iteration-domain constraints (its enclosing loop
+/// bounds) to \p Poly via \p VarDims.
+void addDomainConstraints(Polyhedron &Poly, const Program &P, const Stmt &S,
+                          const std::vector<int> &VarDims);
+
+/// Appends the parameter context (each parameter >= its declared minimum).
+void addParamContext(Polyhedron &Poly, const Program &P,
+                     const std::vector<int> &VarDims);
+
+/// Renders a human-readable description of a shackle chain, e.g.
+/// "block A 64x64 (cols,rows): S1=A[J,J] S2=A[I,J] S3=A[L,K]".
+std::string describeChain(const Program &P, const ShackleChain &Chain);
+
+} // namespace shackle
+
+#endif // SHACKLE_CORE_DATASHACKLE_H

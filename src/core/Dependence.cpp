@@ -1,0 +1,269 @@
+//===- Dependence.cpp - Exact dependence problems ----------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dependence.h"
+
+#include "core/DataShackle.h"
+#include "polyhedral/OmegaTest.h"
+
+#include <cassert>
+#include <map>
+#include <tuple>
+
+using namespace shackle;
+
+std::string DependenceProblem::describe(const Program &P) const {
+  const char *KindName = Kind == DependenceKind::Flow    ? "flow"
+                         : Kind == DependenceKind::Anti ? "anti"
+                                                        : "output";
+  return std::string(KindName) + " " + P.getStmt(SrcStmt).Label + " -> " +
+         P.getStmt(DstStmt).Label + " @level " + std::to_string(Level);
+}
+
+namespace {
+
+/// Length of the common prefix of enclosing-loop variable lists (shared
+/// loops have identical variable ids).
+unsigned commonDepth(const Stmt &A, const Stmt &B) {
+  unsigned D = 0;
+  while (D < A.LoopVars.size() && D < B.LoopVars.size() &&
+         A.LoopVars[D] == B.LoopVars[D])
+    ++D;
+  return D;
+}
+
+/// True iff \p A is textually before \p B once all common loop variables are
+/// equal: the 2d+1 schedule position at the divergence level decides.
+bool textuallyBefore(const Stmt &A, const Stmt &B, unsigned CP) {
+  assert(CP < A.Schedule.size() && CP < B.Schedule.size());
+  return A.Schedule[CP] < B.Schedule[CP];
+}
+
+} // namespace
+
+std::vector<DependenceProblem>
+shackle::buildDependenceProblems(const Program &P) {
+  assert(P.isFinalized() && "program must be finalized");
+  std::vector<DependenceProblem> Out;
+
+  for (unsigned SId = 0; SId < P.getNumStmts(); ++SId) {
+    for (unsigned TId = 0; TId < P.getNumStmts(); ++TId) {
+      const Stmt &Src = P.getStmt(SId);
+      const Stmt &Dst = P.getStmt(TId);
+      auto SrcRefs = Src.refs();
+      auto DstRefs = Dst.refs();
+      unsigned CP = commonDepth(Src, Dst);
+
+      for (unsigned SR = 0; SR < SrcRefs.size(); ++SR) {
+        for (unsigned DR = 0; DR < DstRefs.size(); ++DR) {
+          const auto &[SrcRef, SrcWrite] = SrcRefs[SR];
+          const auto &[DstRef, DstWrite] = DstRefs[DR];
+          if (!SrcWrite && !DstWrite)
+            continue;
+          if (SrcRef->ArrayId != DstRef->ArrayId)
+            continue;
+
+          DependenceKind Kind = SrcWrite && DstWrite ? DependenceKind::Output
+                                : SrcWrite           ? DependenceKind::Flow
+                                                     : DependenceKind::Anti;
+
+          // Space: [params][src vars][dst vars].
+          unsigned NumParams = P.getNumParams();
+          unsigned SrcOffset = NumParams;
+          unsigned DstOffset = NumParams + Src.getDepth();
+          unsigned SpaceSize = DstOffset + Dst.getDepth();
+
+          std::vector<std::string> Names;
+          for (unsigned V = 0; V < NumParams; ++V)
+            Names.push_back(P.getVarName(V));
+          for (unsigned K = 0; K < Src.getDepth(); ++K)
+            Names.push_back(P.getVarName(Src.LoopVars[K]) + "_w");
+          for (unsigned K = 0; K < Dst.getDepth(); ++K)
+            Names.push_back(P.getVarName(Dst.LoopVars[K]) + "_r");
+
+          std::vector<int> SrcMap(P.getNumVars(), -1);
+          std::vector<int> DstMap(P.getNumVars(), -1);
+          for (unsigned V = 0; V < NumParams; ++V)
+            SrcMap[V] = DstMap[V] = static_cast<int>(V);
+          for (unsigned K = 0; K < Src.getDepth(); ++K)
+            SrcMap[Src.LoopVars[K]] = static_cast<int>(SrcOffset + K);
+          for (unsigned K = 0; K < Dst.getDepth(); ++K)
+            DstMap[Dst.LoopVars[K]] = static_cast<int>(DstOffset + K);
+
+          Polyhedron Base(Names);
+          addParamContext(Base, P, SrcMap);
+          addDomainConstraints(Base, P, Src, SrcMap);
+          addDomainConstraints(Base, P, Dst, DstMap);
+
+          // Same array element.
+          assert(SrcRef->Indices.size() == DstRef->Indices.size());
+          for (unsigned D = 0; D < SrcRef->Indices.size(); ++D) {
+            ConstraintRow SRow = mapAffineToSpace(SrcRef->Indices[D], P,
+                                                  SrcMap, SpaceSize);
+            ConstraintRow DRow = mapAffineToSpace(DstRef->Indices[D], P,
+                                                  DstMap, SpaceSize);
+            for (unsigned I = 0; I <= SpaceSize; ++I)
+              SRow[I] -= DRow[I];
+            Base.addEquality(std::move(SRow));
+          }
+
+          // Ordering cases. Level L < CP: common vars equal up to L-1, and
+          // src_L < dst_L. Level CP: all common vars equal and Src textually
+          // before Dst.
+          for (unsigned L = 0; L <= CP; ++L) {
+            if (L == CP && !textuallyBefore(Src, Dst, CP))
+              break;
+            DependenceProblem DP;
+            DP.SrcStmt = SId;
+            DP.DstStmt = TId;
+            DP.SrcRefIdx = SR;
+            DP.DstRefIdx = DR;
+            DP.Kind = Kind;
+            DP.Level = L;
+            DP.NumParams = NumParams;
+            DP.SrcOffset = SrcOffset;
+            DP.DstOffset = DstOffset;
+            DP.Poly = Base;
+            for (unsigned K = 0; K < L; ++K) {
+              ConstraintRow Eq(SpaceSize + 1, 0);
+              Eq[SrcOffset + K] = 1;
+              Eq[DstOffset + K] = -1;
+              DP.Poly.addEquality(std::move(Eq));
+            }
+            if (L < CP) {
+              // src_L <= dst_L - 1.
+              ConstraintRow Lt(SpaceSize + 1, 0);
+              Lt[DstOffset + L] = 1;
+              Lt[SrcOffset + L] = -1;
+              Lt.back() = -1;
+              DP.Poly.addInequality(std::move(Lt));
+            }
+            // At L == CP all common variables are equal (added above) and
+            // the textual order checked before entering carries the
+            // dependence.
+            Out.push_back(std::move(DP));
+          }
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+bool shackle::dependenceExists(const Program &P, unsigned SrcStmt,
+                               unsigned DstStmt) {
+  for (const DependenceProblem &DP : buildDependenceProblems(P)) {
+    if (DP.SrcStmt != SrcStmt || DP.DstStmt != DstStmt)
+      continue;
+    if (!isIntegerEmpty(DP.Poly))
+      return true;
+  }
+  return false;
+}
+
+std::string DependenceSummary::str(const Program &P) const {
+  const char *KindName = Kind == DependenceKind::Flow    ? "flow"
+                         : Kind == DependenceKind::Anti ? "anti"
+                                                        : "output";
+  std::string S = std::string(KindName) + " " + P.getStmt(SrcStmt).Label +
+                  " -> " + P.getStmt(DstStmt).Label + " (";
+  for (unsigned K = 0; K < Directions.size(); ++K) {
+    if (K)
+      S += ",";
+    S += Directions[K].symbol();
+  }
+  S += ")";
+  if (LoopIndependent)
+    S += " loop-independent";
+  return S;
+}
+
+std::vector<DependenceSummary>
+shackle::summarizeDependences(const Program &P) {
+  // Group the per-level conjunctive problems by reference pair, then probe
+  // each common level for each realizable sign.
+  struct Key {
+    unsigned Src, Dst, SrcRef, DstRef;
+    bool operator<(const Key &O) const {
+      return std::tie(Src, Dst, SrcRef, DstRef) <
+             std::tie(O.Src, O.Dst, O.SrcRef, O.DstRef);
+    }
+  };
+  std::vector<DependenceProblem> Problems = buildDependenceProblems(P);
+
+  std::vector<DependenceSummary> Out;
+  std::map<Key, unsigned> Index;
+  for (DependenceProblem &DP : Problems) {
+    Key K{DP.SrcStmt, DP.DstStmt, DP.SrcRefIdx, DP.DstRefIdx};
+    unsigned CP = 0;
+    {
+      const Stmt &Src = P.getStmt(DP.SrcStmt);
+      const Stmt &Dst = P.getStmt(DP.DstStmt);
+      while (CP < Src.LoopVars.size() && CP < Dst.LoopVars.size() &&
+             Src.LoopVars[CP] == Dst.LoopVars[CP])
+        ++CP;
+    }
+
+    auto It = Index.find(K);
+    if (It == Index.end()) {
+      DependenceSummary S;
+      S.SrcStmt = DP.SrcStmt;
+      S.DstStmt = DP.DstStmt;
+      S.SrcRefIdx = DP.SrcRefIdx;
+      S.DstRefIdx = DP.DstRefIdx;
+      S.Kind = DP.Kind;
+      S.Directions.resize(CP);
+      It = Index.emplace(K, Out.size()).first;
+      Out.push_back(std::move(S));
+    }
+    DependenceSummary &S = Out[It->second];
+
+    if (DP.Level == CP && !isIntegerEmpty(DP.Poly))
+      S.LoopIndependent = true;
+
+    for (unsigned L = 0; L < CP; ++L) {
+      // Probe each sign of dst_L - src_L within this ordering case.
+      for (int Sign = -1; Sign <= 1; ++Sign) {
+        DirectionSet &D = S.Directions[L];
+        if ((Sign < 0 && D.Gt) || (Sign == 0 && D.Eq) || (Sign > 0 && D.Lt))
+          continue; // Already established.
+        Polyhedron Q = DP.Poly;
+        ConstraintRow Row(Q.getNumVars() + 1, 0);
+        if (Sign == 0) {
+          Row[DP.DstOffset + L] = 1;
+          Row[DP.SrcOffset + L] = -1;
+          Q.addEquality(std::move(Row));
+        } else {
+          // Sign > 0: dst - src >= 1; Sign < 0: src - dst >= 1.
+          Row[DP.DstOffset + L] = Sign > 0 ? 1 : -1;
+          Row[DP.SrcOffset + L] = Sign > 0 ? -1 : 1;
+          Row.back() = -1;
+          Q.addInequality(std::move(Row));
+        }
+        if (isIntegerEmpty(Q))
+          continue;
+        if (Sign < 0)
+          D.Gt = true;
+        else if (Sign == 0)
+          D.Eq = true;
+        else
+          D.Lt = true;
+      }
+    }
+  }
+
+  // Drop reference pairs with no feasible dependence at all.
+  std::vector<DependenceSummary> Filtered;
+  for (DependenceSummary &S : Out) {
+    bool Any = S.LoopIndependent;
+    for (const DirectionSet &D : S.Directions)
+      Any |= D.Lt || D.Eq || D.Gt;
+    if (Any)
+      Filtered.push_back(std::move(S));
+  }
+  return Filtered;
+}

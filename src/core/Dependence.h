@@ -1,0 +1,110 @@
+//===- Dependence.h - Exact dependence problems ------------------*- C++ -*-=//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the integer linear systems whose feasibility decides whether a
+/// dependence exists between two statement instances, exactly as in the
+/// paper's Section 5 example (system (1)): same array element, both
+/// instances inside their loop bounds, and the source executing strictly
+/// before the target in *original program order*. Because shackling applies
+/// to imperfectly nested loops, program order is encoded level by level
+/// against the statements' 2d+1 schedules rather than with
+/// distance/direction abstractions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_CORE_DEPENDENCE_H
+#define SHACKLE_CORE_DEPENDENCE_H
+
+#include "ir/Program.h"
+#include "polyhedral/Polyhedron.h"
+
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+enum class DependenceKind { Flow, Anti, Output };
+
+/// One conjunctive dependence problem: a pair of references, and the
+/// polyhedron over [params][source instance][target instance] whose integer
+/// points are the dependent instance pairs ordered at a particular common
+/// loop level (or textually, at Level == common nesting depth).
+struct DependenceProblem {
+  unsigned SrcStmt = 0, DstStmt = 0;
+  unsigned SrcRefIdx = 0, DstRefIdx = 0; ///< Indices into Stmt::refs().
+  DependenceKind Kind = DependenceKind::Flow;
+  /// Loop level carrying the order constraint; equal to the common nesting
+  /// depth for the textual-order case.
+  unsigned Level = 0;
+  Polyhedron Poly;
+  unsigned NumParams = 0;
+  unsigned SrcOffset = 0; ///< First dim of the source instance variables.
+  unsigned DstOffset = 0; ///< First dim of the target instance variables.
+
+  std::string describe(const Program &P) const;
+};
+
+/// Builds every conjunctive dependence problem of \p P: all pairs of
+/// references to a common array where at least one reference writes,
+/// split by ordering level. Problems are not pre-filtered for feasibility;
+/// callers intersect them with further constraints (legality) or test them
+/// directly (dependence existence).
+std::vector<DependenceProblem> buildDependenceProblems(const Program &P);
+
+/// Convenience: true iff any dependence problem between the two statements
+/// is feasible.
+bool dependenceExists(const Program &P, unsigned SrcStmt, unsigned DstStmt);
+
+/// Direction signs a dependence can take at one common loop level.
+struct DirectionSet {
+  bool Lt = false; ///< src iteration < dst iteration (carried forward).
+  bool Eq = false; ///< equal (loop-independent at this level).
+  bool Gt = false; ///< src iteration > dst iteration.
+
+  char symbol() const {
+    if (Lt && Eq && Gt)
+      return '*';
+    if (Lt && Eq)
+      return '-'; // <=
+    if (Lt)
+      return '<';
+    if (Eq && Gt)
+      return '+'; // >=
+    if (Gt)
+      return '>';
+    if (Eq)
+      return '=';
+    return '0';
+  }
+};
+
+/// A per-statement-pair, per-reference-pair dependence summarized as a
+/// classic direction vector over the common loops (computed exactly: one
+/// integer feasibility test per level per sign).
+struct DependenceSummary {
+  unsigned SrcStmt = 0, DstStmt = 0;
+  unsigned SrcRefIdx = 0, DstRefIdx = 0;
+  DependenceKind Kind = DependenceKind::Flow;
+  /// One entry per common loop, outermost first. Only directions realized
+  /// by some pair of *dependent, program-ordered* instances are set.
+  std::vector<DirectionSet> Directions;
+  /// True if the dependence also occurs with all common loop variables
+  /// equal (decided by textual order).
+  bool LoopIndependent = false;
+
+  /// E.g. "flow S2 -> S3 (=,<)".
+  std::string str(const Program &P) const;
+};
+
+/// Computes exact direction vectors for every feasible dependence of \p P.
+/// Infeasible reference pairs are omitted.
+std::vector<DependenceSummary> summarizeDependences(const Program &P);
+
+} // namespace shackle
+
+#endif // SHACKLE_CORE_DEPENDENCE_H

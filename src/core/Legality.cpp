@@ -1,0 +1,127 @@
+//===- Legality.cpp - Shackle legality checking ------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Legality.h"
+
+#include "polyhedral/OmegaTest.h"
+#include "polyhedral/Sample.h"
+
+#include <cassert>
+
+using namespace shackle;
+
+std::string LegalityViolation::witnessStr(const Program &P) const {
+  std::optional<std::vector<int64_t>> W = sampleIntegerPoint(ViolationPoly);
+  if (!W)
+    return "";
+  const Stmt &Src = P.getStmt(Problem.SrcStmt);
+  const Stmt &Dst = P.getStmt(Problem.DstStmt);
+  std::string S = "with";
+  for (unsigned V = 0; V < Problem.NumParams; ++V)
+    S += " " + P.getVarName(V) + "=" + std::to_string((*W)[V]);
+  S += ": " + Src.Label + "(";
+  for (unsigned K = 0; K < Src.getDepth(); ++K) {
+    if (K)
+      S += ",";
+    S += P.getVarName(Src.LoopVars[K]) + "=" +
+         std::to_string((*W)[Problem.SrcOffset + K]);
+  }
+  S += ") must precede " + Dst.Label + "(";
+  for (unsigned K = 0; K < Dst.getDepth(); ++K) {
+    if (K)
+      S += ",";
+    S += P.getVarName(Dst.LoopVars[K]) + "=" +
+         std::to_string((*W)[Problem.DstOffset + K]);
+  }
+  S += ") but its block is touched later";
+  return S;
+}
+
+std::string LegalityResult::summary(const Program &P) const {
+  if (Legal)
+    return "legal";
+  std::string S = "illegal:";
+  for (const LegalityViolation &V : Violations)
+    S += " [" + V.Problem.describe(P) + " runs backwards at block dim b" +
+         std::to_string(V.BlockDim + 1) + "]";
+  return S;
+}
+
+LegalityResult shackle::checkLegality(const Program &P,
+                                      const ShackleChain &Chain,
+                                      bool FirstViolationOnly) {
+  assert(!Chain.Factors.empty() && "empty shackle chain");
+  for (const DataShackle &F : Chain.Factors) {
+    assert(F.ShackledRefs.size() == P.getNumStmts() &&
+           "shackle must cover every statement");
+    (void)F;
+  }
+
+  LegalityResult Result;
+  unsigned NumBlockDims = Chain.numBlockDims();
+
+  for (DependenceProblem &DP : buildDependenceProblems(P)) {
+    const Stmt &Src = P.getStmt(DP.SrcStmt);
+    const Stmt &Dst = P.getStmt(DP.DstStmt);
+
+    // Extend the dependence space with the source and target block
+    // coordinates.
+    Polyhedron Poly = DP.Poly;
+    std::vector<unsigned> ZSrc, ZDst;
+    for (unsigned I = 0; I < NumBlockDims; ++I)
+      ZSrc.push_back(Poly.appendVar("zw" + std::to_string(I + 1)));
+    for (unsigned I = 0; I < NumBlockDims; ++I)
+      ZDst.push_back(Poly.appendVar("zr" + std::to_string(I + 1)));
+
+    std::vector<int> SrcMap(P.getNumVars(), -1);
+    std::vector<int> DstMap(P.getNumVars(), -1);
+    for (unsigned V = 0; V < DP.NumParams; ++V)
+      SrcMap[V] = DstMap[V] = static_cast<int>(V);
+    for (unsigned K = 0; K < Src.getDepth(); ++K)
+      SrcMap[Src.LoopVars[K]] = static_cast<int>(DP.SrcOffset + K);
+    for (unsigned K = 0; K < Dst.getDepth(); ++K)
+      DstMap[Dst.LoopVars[K]] = static_cast<int>(DP.DstOffset + K);
+
+    unsigned Z = 0;
+    for (const DataShackle &F : Chain.Factors) {
+      for (unsigned Pl = 0; Pl < F.Blocking.Planes.size(); ++Pl, ++Z) {
+        addBlockLinkConstraints(Poly, P, F, Pl, DP.SrcStmt, ZSrc[Z], SrcMap);
+        addBlockLinkConstraints(Poly, P, F, Pl, DP.DstStmt, ZDst[Z], DstMap);
+      }
+    }
+
+    // Violation: target block strictly before source block, case split on
+    // the first differing coordinate.
+    for (unsigned J = 0; J < NumBlockDims; ++J) {
+      Polyhedron Bad = Poly;
+      for (unsigned K = 0; K < J; ++K) {
+        ConstraintRow Eq(Bad.getNumVars() + 1, 0);
+        Eq[ZSrc[K]] = 1;
+        Eq[ZDst[K]] = -1;
+        Bad.addEquality(std::move(Eq));
+      }
+      ConstraintRow Lt(Bad.getNumVars() + 1, 0);
+      Lt[ZSrc[J]] = 1;
+      Lt[ZDst[J]] = -1;
+      Lt.back() = -1; // zdst_J <= zsrc_J - 1.
+      Bad.addInequality(std::move(Lt));
+
+      if (!isIntegerEmpty(Bad)) {
+        Result.Legal = false;
+        LegalityViolation V;
+        V.Problem = std::move(DP);
+        V.BlockDim = J;
+        V.ViolationPoly = std::move(Bad);
+        Result.Violations.push_back(std::move(V));
+        if (FirstViolationOnly)
+          return Result;
+        break; // Report each dependence at most once.
+      }
+    }
+  }
+  return Result;
+}

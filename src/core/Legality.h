@@ -1,0 +1,66 @@
+//===- Legality.h - Shackle legality checking (Theorem 1) -------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's Theorem 1: a data shackle (or Cartesian product of
+/// shackles) is legal iff for every dependence (S1,u) -> (S2,s), the block
+/// coordinates assigned to the target are not lexicographically before the
+/// block coordinates assigned to the source. For each dependence problem and
+/// each possible "first differing block coordinate" we form the conjunction
+///
+///   {dependence exists} /\ {M(S2,s) <lex M(S1,u)}
+///
+/// and ask the Omega test for an integer point; any solution is a
+/// counterexample and the shackle is rejected. The problem size parameters
+/// stay symbolic, so legality holds for every N.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_CORE_LEGALITY_H
+#define SHACKLE_CORE_LEGALITY_H
+
+#include "core/DataShackle.h"
+#include "core/Dependence.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// A dependence that the shackle would execute backwards.
+struct LegalityViolation {
+  DependenceProblem Problem;
+  /// Index of the block coordinate that runs backwards first.
+  unsigned BlockDim = 0;
+  /// The full violation system: dependence /\ block links /\ "target block
+  /// strictly before source block". Feasible by construction.
+  Polyhedron ViolationPoly;
+
+  /// Extracts and formats a concrete counterexample: parameter values and
+  /// the two statement instances the shackle would reorder. Returns an
+  /// empty string if no witness is found within the search box (should not
+  /// happen for real violations).
+  std::string witnessStr(const Program &P) const;
+};
+
+struct LegalityResult {
+  bool Legal = true;
+  std::vector<LegalityViolation> Violations;
+
+  std::string summary(const Program &P) const;
+};
+
+/// Checks \p Chain against every dependence of \p P. With
+/// \p FirstViolationOnly (the default) the check stops at the first
+/// counterexample; otherwise all violated dependences are reported.
+LegalityResult checkLegality(const Program &P, const ShackleChain &Chain,
+                             bool FirstViolationOnly = true);
+
+} // namespace shackle
+
+#endif // SHACKLE_CORE_LEGALITY_H

@@ -1,0 +1,48 @@
+//===- ShackleDriver.h - Shackled code generation driver --------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the pipeline: given a source Program and a (chain of) data
+/// shackle(s), produce executable blocked code. Three entry points mirror the
+/// paper:
+///
+///  * generateOriginalCode — the untransformed program as a LoopNest, so the
+///    same interpreter/emitter back ends run the baseline.
+///  * generateNaiveShackledCode — the paper's Figure 5: enumerate blocks,
+///    re-run the whole original iteration space under affine guards that
+///    filter instances into the current block ("runtime resolution" code).
+///  * generateShackledCode — the paper's Figures 6/7/10: the same semantics
+///    fed through the polyhedral scanner, which turns guards into loop
+///    bounds, splits index sets, and sorts the pieces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_CORE_SHACKLEDRIVER_H
+#define SHACKLE_CORE_SHACKLEDRIVER_H
+
+#include "codegen/LoopAST.h"
+#include "core/DataShackle.h"
+#include "ir/Program.h"
+
+namespace shackle {
+
+/// Lowers the unmodified program into a LoopNest (dims: params, then one per
+/// source loop in pre-order).
+LoopNest generateOriginalCode(const Program &P);
+
+/// Figure-5 style code: block loops outside, the original program inside,
+/// each statement guarded by "its shackled reference falls in the current
+/// block". No polyhedral simplification.
+LoopNest generateNaiveShackledCode(const Program &P, const ShackleChain &C);
+
+/// Fully simplified blocked code via the polyhedral scanner. The caller is
+/// responsible for having checked legality.
+LoopNest generateShackledCode(const Program &P, const ShackleChain &C);
+
+} // namespace shackle
+
+#endif // SHACKLE_CORE_SHACKLEDRIVER_H

@@ -1,0 +1,323 @@
+//===- EmitC.cpp - C++ source emission for generated code --------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "emitc/EmitC.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace shackle;
+
+namespace {
+
+/// Renders an affine expression over scan dimensions as a C expression.
+std::string cAffine(const AffineExpr &E,
+                    const std::vector<std::string> &DimNames) {
+  std::string S;
+  bool First = true;
+  for (unsigned V = 0; V < E.getNumVars(); ++V) {
+    int64_t C = E.getCoeff(V);
+    if (C == 0)
+      continue;
+    if (First) {
+      if (C == -1)
+        S += "-";
+      else if (C != 1)
+        S += std::to_string(C) + "*";
+    } else {
+      S += C > 0 ? " + " : " - ";
+      int64_t A = C > 0 ? C : -C;
+      if (A != 1)
+        S += std::to_string(A) + "*";
+    }
+    S += DimNames[V];
+    First = false;
+  }
+  int64_t K = E.getConstant();
+  if (First)
+    return std::to_string(K) + "L";
+  if (K > 0)
+    S += " + " + std::to_string(K);
+  else if (K < 0)
+    S += " - " + std::to_string(-K);
+  return S;
+}
+
+std::string cBound(const BoundExpr &B,
+                   const std::vector<std::string> &DimNames) {
+  std::string Inner = cAffine(B.Expr, DimNames);
+  if (B.Divisor == 1)
+    return Inner;
+  return std::string(B.IsCeil ? "shk_ceildiv(" : "shk_floordiv(") + Inner +
+         ", " + std::to_string(B.Divisor) + ")";
+}
+
+std::string cBoundList(const std::vector<BoundExpr> &Bs,
+                       const std::vector<std::string> &DimNames, bool IsMax) {
+  assert(!Bs.empty());
+  std::string S = cBound(Bs[0], DimNames);
+  for (unsigned I = 1; I < Bs.size(); ++I)
+    S = std::string(IsMax ? "shk_max(" : "shk_min(") + S + ", " +
+        cBound(Bs[I], DimNames) + ")";
+  return S;
+}
+
+std::string cRow(const ConstraintRow &Row,
+                 const std::vector<std::string> &DimNames) {
+  AffineExpr E = AffineExpr::constant(DimNames.size(), Row.back());
+  for (unsigned V = 0; V + 1 < Row.size(); ++V)
+    E.setCoeff(V, Row[V]);
+  return cAffine(E, DimNames);
+}
+
+/// Emits statement bodies: array addressing and scalar expressions.
+class StmtEmitter {
+public:
+  StmtEmitter(const Program &P, const std::vector<std::string> &DimNames)
+      : P(P), DimNames(DimNames) {}
+
+  /// Sets the variable renaming for the current statement instance.
+  void bind(const Stmt &S, const std::vector<unsigned> &VarMap) {
+    VarNamesC.assign(P.getNumVars(), "");
+    for (unsigned V = 0; V < P.getNumParams(); ++V)
+      VarNamesC[V] = P.getVarName(V);
+    for (unsigned K = 0; K < VarMap.size(); ++K)
+      VarNamesC[S.LoopVars[K]] = DimNames[VarMap[K]];
+  }
+
+  std::string refExpr(const ArrayRef &R) const {
+    const ArrayDecl &A = P.getArray(R.ArrayId);
+    std::string Off;
+    switch (A.Layout) {
+    case LayoutKind::RowMajor: {
+      for (unsigned D = 0; D < R.Indices.size(); ++D) {
+        std::string Idx = "(" + cAffine(R.Indices[D], VarNamesC) + ")";
+        if (D == 0)
+          Off = Idx;
+        else
+          Off = "(" + Off + ")*(" + cAffine(A.Extents[D], VarNamesC) + ") + " +
+                Idx;
+      }
+      break;
+    }
+    case LayoutKind::ColMajor: {
+      for (unsigned D = R.Indices.size(); D-- > 0;) {
+        std::string Idx = "(" + cAffine(R.Indices[D], VarNamesC) + ")";
+        if (D + 1 == R.Indices.size())
+          Off = Idx;
+        else
+          Off = "(" + Off + ")*(" + cAffine(A.Extents[D], VarNamesC) + ") + " +
+                Idx;
+      }
+      break;
+    }
+    case LayoutKind::BandLower: {
+      assert(R.Indices.size() == 2 && "band storage is for matrices");
+      std::string I = cAffine(R.Indices[0], VarNamesC);
+      std::string J = cAffine(R.Indices[1], VarNamesC);
+      std::string Bw = P.getVarName(A.BandParam);
+      Off = "((" + I + ") - (" + J + ")) + (" + J + ")*(" + Bw + " + 1)";
+      break;
+    }
+    case LayoutKind::TiledRowMajor: {
+      // Physically tiled storage: indices are non-negative, so truncating
+      // C++ division and modulo match floor semantics.
+      assert(R.Indices.size() == 2 && "tiled storage is for matrices");
+      std::string I = "(" + cAffine(R.Indices[0], VarNamesC) + ")";
+      std::string J = "(" + cAffine(R.Indices[1], VarNamesC) + ")";
+      std::string TR = std::to_string(A.TileRows);
+      std::string TC = std::to_string(A.TileCols);
+      std::string GridCols = "shk_ceildiv(" +
+                             cAffine(A.Extents[1], VarNamesC) + ", " + TC +
+                             ")";
+      Off = "(((" + I + "/" + TR + ")*" + GridCols + " + " + J + "/" + TC +
+            ")*" + TR + " + " + I + "%" + TR + ")*" + TC + " + " + J + "%" +
+            TC;
+      break;
+    }
+    }
+    return "a" + std::to_string(R.ArrayId) + "[" + Off + "]";
+  }
+
+  std::string scalarExpr(const ScalarExpr *E) const {
+    switch (E->getKind()) {
+    case ExprKind::Number: {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", E->getNumber());
+      return Buf;
+    }
+    case ExprKind::Load:
+      return refExpr(E->getRef());
+    case ExprKind::Add:
+      return "(" + scalarExpr(E->getLHS()) + " + " + scalarExpr(E->getRHS()) +
+             ")";
+    case ExprKind::Sub:
+      return "(" + scalarExpr(E->getLHS()) + " - " + scalarExpr(E->getRHS()) +
+             ")";
+    case ExprKind::Mul:
+      return "(" + scalarExpr(E->getLHS()) + " * " + scalarExpr(E->getRHS()) +
+             ")";
+    case ExprKind::Div:
+      return "(" + scalarExpr(E->getLHS()) + " / " + scalarExpr(E->getRHS()) +
+             ")";
+    case ExprKind::Neg:
+      return "(-" + scalarExpr(E->getLHS()) + ")";
+    case ExprKind::Sqrt:
+      return "std::sqrt(" + scalarExpr(E->getLHS()) + ")";
+    }
+    fatalError("unknown scalar expression kind");
+  }
+
+private:
+  const Program &P;
+  const std::vector<std::string> &DimNames;
+  std::vector<std::string> VarNamesC;
+};
+
+void emitNode(const ASTNode &N, const LoopNest &Nest, StmtEmitter &SE,
+              Writer &W) {
+  const std::vector<std::string> &Dims = Nest.DimNames;
+  switch (N.Kind) {
+  case ASTKind::Loop: {
+    std::string V = Dims[N.Dim];
+    W.line("for (int64_t " + V + " = " + cBoundList(N.Lbs, Dims, true) +
+           ", " + V + "_ub = " + cBoundList(N.Ubs, Dims, false) + "; " + V +
+           " <= " + V + "_ub; ++" + V + ") {");
+    W.indent();
+    for (const ASTNodePtr &C : N.Body)
+      emitNode(*C, Nest, SE, W);
+    W.dedent();
+    W.line("}");
+    return;
+  }
+  case ASTKind::Let: {
+    W.line("{");
+    W.indent();
+    W.line("const int64_t " + Dims[N.Dim] + " = " + cBound(N.Lbs[0], Dims) +
+           ";");
+    for (const ASTNodePtr &C : N.Body)
+      emitNode(*C, Nest, SE, W);
+    W.dedent();
+    W.line("}");
+    return;
+  }
+  case ASTKind::If: {
+    std::string Cond;
+    for (const ConstraintRow &Row : N.EqConds) {
+      if (!Cond.empty())
+        Cond += " && ";
+      Cond += "(" + cRow(Row, Dims) + ") == 0";
+    }
+    for (const ConstraintRow &Row : N.IneqConds) {
+      if (!Cond.empty())
+        Cond += " && ";
+      Cond += "(" + cRow(Row, Dims) + ") >= 0";
+    }
+    W.line("if (" + Cond + ") {");
+    W.indent();
+    for (const ASTNodePtr &C : N.Body)
+      emitNode(*C, Nest, SE, W);
+    W.dedent();
+    W.line("}");
+    return;
+  }
+  case ASTKind::Instance: {
+    SE.bind(*N.S, N.VarMap);
+    W.line(SE.refExpr(N.S->LHS) + " = " + SE.scalarExpr(N.S->RHS.get()) +
+           ";");
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string shackle::emitKernel(const LoopNest &Nest,
+                                const std::string &Name) {
+  const Program &P = *Nest.Prog;
+  Writer W;
+  W.line("extern \"C\" void " + Name +
+         "(double **arrays, const int64_t *params) {");
+  W.indent();
+  for (unsigned V = 0; V < P.getNumParams(); ++V)
+    W.line("const int64_t " + P.getVarName(V) + " = params[" +
+           std::to_string(V) + "];");
+  for (unsigned A = 0; A < P.getNumArrays(); ++A)
+    W.line("double *__restrict a" + std::to_string(A) + " = arrays[" +
+           std::to_string(A) + "];");
+  W.line("(void)arrays; (void)params;");
+
+  StmtEmitter SE(P, Nest.DimNames);
+  for (const ASTNodePtr &N : Nest.Roots)
+    emitNode(*N, Nest, SE, W);
+  W.dedent();
+  W.line("}");
+  return W.str();
+}
+
+std::string shackle::emitTranslationUnit(
+    const std::vector<KernelSpec> &Kernels) {
+  Writer W;
+  W.line("// Generated by dsc-gen (Shackle: data-centric multi-level"
+         " blocking).");
+  W.line("// Do not edit: regenerate via the build system.");
+  W.line("#include <cmath>");
+  W.line("#include <cstdint>");
+  W.line("#include <cstring>");
+  W.blank();
+  W.line("namespace {");
+  W.line("inline int64_t shk_floordiv(int64_t a, int64_t b) {");
+  W.line("  int64_t q = a / b;");
+  W.line("  return (a % b != 0 && a < 0) ? q - 1 : q;");
+  W.line("}");
+  W.line("inline int64_t shk_ceildiv(int64_t a, int64_t b) {");
+  W.line("  int64_t q = a / b;");
+  W.line("  return (a % b != 0 && a > 0) ? q + 1 : q;");
+  W.line("}");
+  W.line("inline int64_t shk_max(int64_t a, int64_t b) "
+         "{ return a > b ? a : b; }");
+  W.line("inline int64_t shk_min(int64_t a, int64_t b) "
+         "{ return a < b ? a : b; }");
+  W.line("} // namespace");
+  W.blank();
+  for (const KernelSpec &K : Kernels) {
+    W.raw(emitKernel(*K.Nest, K.Name));
+    W.blank();
+  }
+
+  // Registry.
+  W.line("typedef void (*shackle_kernel_fn)(double **, const int64_t *);");
+  W.line("extern \"C\" shackle_kernel_fn shackle_gen_lookup(const char "
+         "*name) {");
+  W.indent();
+  for (const KernelSpec &K : Kernels)
+    W.line("if (std::strcmp(name, \"" + K.Name + "\") == 0) return " +
+           K.Name + ";");
+  W.line("return nullptr;");
+  W.dedent();
+  W.line("}");
+  return W.str();
+}
+
+std::string shackle::emitHeader(const std::vector<KernelSpec> &Kernels) {
+  Writer W;
+  W.line("// Generated by dsc-gen (Shackle). Do not edit.");
+  W.line("#pragma once");
+  W.line("#include <cstdint>");
+  W.blank();
+  for (const KernelSpec &K : Kernels)
+    W.line("extern \"C\" void " + K.Name +
+           "(double **arrays, const int64_t *params);");
+  W.blank();
+  W.line("typedef void (*shackle_kernel_fn)(double **, const int64_t *);");
+  W.line("extern \"C\" shackle_kernel_fn shackle_gen_lookup(const char "
+         "*name);");
+  return W.str();
+}

@@ -1,0 +1,53 @@
+//===- EmitC.h - C++ source emission for generated code ---------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a LoopNest as portable C++ so the benchmarks measure *compiled*
+/// blocked code, exactly as the paper measured xlf-compiled Fortran. Each
+/// kernel becomes
+///
+///   extern "C" void <name>(double **arrays, const int64_t *params);
+///
+/// where arrays is indexed by the program's array ids and params by its
+/// parameter ids. Array addressing honors each array's layout (row-major,
+/// column-major, or LAPACK band storage). The dsc-gen tool calls
+/// emitTranslationUnit at build time; the result is compiled into the bench
+/// binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_EMITC_EMITC_H
+#define SHACKLE_EMITC_EMITC_H
+
+#include "codegen/LoopAST.h"
+
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// One kernel to emit: a generated nest and its function name.
+struct KernelSpec {
+  std::string Name;
+  const LoopNest *Nest = nullptr;
+};
+
+/// Emits the definition of a single kernel function (no preamble).
+std::string emitKernel(const LoopNest &Nest, const std::string &Name);
+
+/// Emits a complete translation unit: includes, division helpers, all kernel
+/// definitions, and a name -> function registry
+/// (shackle_gen_lookup(const char*)).
+std::string emitTranslationUnit(const std::vector<KernelSpec> &Kernels);
+
+/// Emits the matching header: kernel declarations, the KernelFn typedef, and
+/// the registry lookup declaration.
+std::string emitHeader(const std::vector<KernelSpec> &Kernels);
+
+} // namespace shackle
+
+#endif // SHACKLE_EMITC_EMITC_H

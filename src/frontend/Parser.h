@@ -1,0 +1,75 @@
+//===- Parser.h - A do-loop language front end ------------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small textual front end for the loop-nest IR, in the visual style of
+/// the paper's Fortran listings, so the command-line tools work on
+/// user-written programs:
+///
+/// \code
+///   param N
+///   array A[N][N] colmajor
+///
+///   do J = 0, N-1
+///     S1: A[J][J] = sqrt(A[J][J])
+///     do I = J+1, N-1
+///       S2: A[I][J] = A[I][J] / A[J][J]
+///     end
+///     do L = J+1, N-1
+///       do K = J+1, L
+///         S3: A[L][K] = A[L][K] - A[L][J]*A[K][J]
+///       end
+///     end
+///   end
+/// \endcode
+///
+/// Grammar (informal):
+///   program := (param | array | stmt)*
+///   param   := "param" IDENT
+///   array   := "array" IDENT ("[" affine "]")+ layout?
+///   layout  := "rowmajor" | "colmajor" | "band" "(" IDENT ")"
+///             | "tiled" "(" NUM "," NUM ")"
+///   stmt    := loop | assign
+///   loop    := "do" IDENT "=" bound "," bound stmt* "end"
+///   bound   := affine | "min" "(" affine ("," affine)+ ")"
+///             | "max" "(" affine ("," affine)+ ")"
+///   assign  := [LABEL ":"] ref "=" scalar
+///   ref     := IDENT ("[" affine "]")+
+///   affine  := linear expression over parameters and loop variables
+///   scalar  := +, -, *, / over refs, numbers, "sqrt(...)", "-(...)"
+///
+/// Loop variables scope over their loop body; "min" is only meaningful in
+/// upper bounds and "max" in lower bounds (the parser enforces this).
+/// Comments run from '#' to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_FRONTEND_PARSER_H
+#define SHACKLE_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace shackle {
+
+/// Result of parsing: either a finalized Program or an error message with
+/// line information.
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error; ///< Empty on success.
+
+  explicit operator bool() const { return Prog != nullptr; }
+};
+
+/// Parses \p Source into a finalized Program.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace shackle
+
+#endif // SHACKLE_FRONTEND_PARSER_H

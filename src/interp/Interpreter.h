@@ -1,0 +1,87 @@
+//===- Interpreter.h - Direct execution of generated code -------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking interpreter for LoopNest code and the runtime array
+/// storage behind it. Every transformation in this project is validated by
+/// running the original and the shackled LoopNests on the same inputs and
+/// comparing array contents bit-for-bit / within floating-point tolerance.
+/// The interpreter can also emit a memory trace (one callback per array
+/// element access) that feeds the cache simulator, standing in for the
+/// paper's hardware measurements at small problem sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_INTERP_INTERPRETER_H
+#define SHACKLE_INTERP_INTERPRETER_H
+
+#include "codegen/LoopAST.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace shackle {
+
+/// Concrete storage for one run: parameter values and one buffer per array,
+/// addressed through the array's declared layout.
+class ProgramInstance {
+public:
+  ProgramInstance(const Program &P, std::vector<int64_t> ParamValues);
+
+  const Program &program() const { return *Prog; }
+  int64_t paramValue(unsigned Param) const { return ParamValues[Param]; }
+  const std::vector<int64_t> &paramValues() const { return ParamValues; }
+
+  std::vector<double> &buffer(unsigned ArrayId) { return Buffers[ArrayId]; }
+  const std::vector<double> &buffer(unsigned ArrayId) const {
+    return Buffers[ArrayId];
+  }
+
+  /// Physical element offset of a logical index vector, honoring the
+  /// array's layout (row-major, column-major, or band storage).
+  int64_t offset(unsigned ArrayId, const int64_t *Idx) const;
+
+  /// Fills every array with deterministic pseudo-random values in [lo, hi].
+  void fillRandom(uint64_t Seed, double Lo = 0.0, double Hi = 1.0);
+
+  /// Largest absolute element difference against another instance of the
+  /// same program (same parameter values).
+  double maxAbsDifference(const ProgramInstance &Other) const;
+
+private:
+  const Program *Prog;
+  std::vector<int64_t> ParamValues;
+  std::vector<std::vector<double>> Buffers;
+  std::vector<std::vector<int64_t>> Extents; ///< Evaluated logical extents.
+};
+
+/// Per-access trace callback: array, physical element offset, write flag.
+using TraceFn = std::function<void(unsigned ArrayId, int64_t Offset,
+                                   bool IsWrite)>;
+
+/// Executes \p Nest on \p Inst. If \p Trace is non-null, it is invoked for
+/// every array element access in execution order (loads before the store of
+/// each statement instance).
+void runLoopNest(const LoopNest &Nest, ProgramInstance &Inst,
+                 const TraceFn *Trace = nullptr);
+
+/// Counts the statement instances \p Nest would execute (no array work).
+uint64_t countExecutedInstances(const LoopNest &Nest,
+                                const ProgramInstance &Inst);
+
+/// Executes one statement instance: \p IterValues holds the values of the
+/// statement's enclosing loop variables, outermost first. Used by the
+/// multi-pass runtime, which schedules instances individually.
+void executeStatementInstance(ProgramInstance &Inst, const Stmt &S,
+                              const std::vector<int64_t> &IterValues,
+                              const TraceFn *Trace = nullptr);
+
+} // namespace shackle
+
+#endif // SHACKLE_INTERP_INTERPRETER_H

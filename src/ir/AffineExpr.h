@@ -1,0 +1,124 @@
+//===- AffineExpr.h - Affine expressions over program variables -*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine (linear + constant) expressions over the variables of a Program:
+/// symbolic parameters (e.g. the matrix order N) and loop index variables.
+/// Used for loop bounds and array subscripts. Dense representation: one
+/// coefficient per program variable, which stays tiny for the kernels in the
+/// paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_IR_AFFINEEXPR_H
+#define SHACKLE_IR_AFFINEEXPR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// sum(Coeffs[v] * var_v) + Constant over a Program's variable list.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// A constant expression in a space of \p NumVars variables.
+  static AffineExpr constant(unsigned NumVars, int64_t C) {
+    AffineExpr E;
+    E.Coeffs.assign(NumVars, 0);
+    E.Constant = C;
+    return E;
+  }
+
+  /// The expression  1 * var_{Var}.
+  static AffineExpr var(unsigned NumVars, unsigned Var) {
+    AffineExpr E = constant(NumVars, 0);
+    assert(Var < NumVars && "variable out of range");
+    E.Coeffs[Var] = 1;
+    return E;
+  }
+
+  unsigned getNumVars() const { return Coeffs.size(); }
+  int64_t getCoeff(unsigned Var) const { return Coeffs[Var]; }
+  void setCoeff(unsigned Var, int64_t C) { Coeffs[Var] = C; }
+  int64_t getConstant() const { return Constant; }
+  void setConstant(int64_t C) { Constant = C; }
+
+  bool isConstant() const {
+    for (int64_t C : Coeffs)
+      if (C != 0)
+        return false;
+    return true;
+  }
+
+  /// Evaluates with concrete values for every variable.
+  int64_t evaluate(const std::vector<int64_t> &Values) const {
+    assert(Values.size() >= Coeffs.size() && "missing variable values");
+    int64_t R = Constant;
+    for (unsigned I = 0; I < Coeffs.size(); ++I)
+      R += Coeffs[I] * Values[I];
+    return R;
+  }
+
+  /// Grows the space to \p NumVars variables (new coefficients are zero).
+  void extendTo(unsigned NumVars) {
+    assert(NumVars >= Coeffs.size() && "cannot shrink an affine expression");
+    Coeffs.resize(NumVars, 0);
+  }
+
+  AffineExpr operator+(const AffineExpr &O) const {
+    assert(Coeffs.size() == O.Coeffs.size() && "space mismatch");
+    AffineExpr R = *this;
+    for (unsigned I = 0; I < Coeffs.size(); ++I)
+      R.Coeffs[I] += O.Coeffs[I];
+    R.Constant += O.Constant;
+    return R;
+  }
+
+  AffineExpr operator-(const AffineExpr &O) const {
+    assert(Coeffs.size() == O.Coeffs.size() && "space mismatch");
+    AffineExpr R = *this;
+    for (unsigned I = 0; I < Coeffs.size(); ++I)
+      R.Coeffs[I] -= O.Coeffs[I];
+    R.Constant -= O.Constant;
+    return R;
+  }
+
+  AffineExpr operator+(int64_t C) const {
+    AffineExpr R = *this;
+    R.Constant += C;
+    return R;
+  }
+
+  AffineExpr operator-(int64_t C) const { return *this + (-C); }
+
+  AffineExpr operator*(int64_t C) const {
+    AffineExpr R = *this;
+    for (int64_t &V : R.Coeffs)
+      V *= C;
+    R.Constant *= C;
+    return R;
+  }
+
+  bool operator==(const AffineExpr &O) const {
+    return Coeffs == O.Coeffs && Constant == O.Constant;
+  }
+
+  /// Renders using the given variable names.
+  std::string str(const std::vector<std::string> &Names) const;
+
+private:
+  std::vector<int64_t> Coeffs;
+  int64_t Constant = 0;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_IR_AFFINEEXPR_H

@@ -1,0 +1,67 @@
+//===- Expr.cpp - Scalar expression trees -----------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+#include <cassert>
+
+using namespace shackle;
+
+ScalarExpr::Ptr ScalarExpr::number(double V) {
+  Ptr E(new ScalarExpr());
+  E->Kind = ExprKind::Number;
+  E->Number = V;
+  return E;
+}
+
+ScalarExpr::Ptr ScalarExpr::load(ArrayRef Ref) {
+  Ptr E(new ScalarExpr());
+  E->Kind = ExprKind::Load;
+  E->Ref = std::move(Ref);
+  return E;
+}
+
+ScalarExpr::Ptr ScalarExpr::binary(ExprKind K, Ptr L, Ptr R) {
+  assert((K == ExprKind::Add || K == ExprKind::Sub || K == ExprKind::Mul ||
+          K == ExprKind::Div) &&
+         "not a binary operator");
+  Ptr E(new ScalarExpr());
+  E->Kind = K;
+  E->LHS = std::move(L);
+  E->RHS = std::move(R);
+  return E;
+}
+
+ScalarExpr::Ptr ScalarExpr::unary(ExprKind K, Ptr Sub) {
+  assert((K == ExprKind::Neg || K == ExprKind::Sqrt) &&
+         "not a unary operator");
+  Ptr E(new ScalarExpr());
+  E->Kind = K;
+  E->LHS = std::move(Sub);
+  return E;
+}
+
+ScalarExpr::Ptr ScalarExpr::clone() const {
+  Ptr E(new ScalarExpr());
+  E->Kind = Kind;
+  E->Number = Number;
+  E->Ref = Ref;
+  if (LHS)
+    E->LHS = LHS->clone();
+  if (RHS)
+    E->RHS = RHS->clone();
+  return E;
+}
+
+void ScalarExpr::collectLoads(std::vector<const ArrayRef *> &Out) const {
+  if (Kind == ExprKind::Load)
+    Out.push_back(&Ref);
+  if (LHS)
+    LHS->collectLoads(Out);
+  if (RHS)
+    RHS->collectLoads(Out);
+}

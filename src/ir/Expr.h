@@ -1,0 +1,79 @@
+//===- Expr.h - Scalar expression trees for statement bodies ----*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Right-hand sides of statements in the loop-nest IR: scalar arithmetic over
+/// affine array references (the operations needed by the paper's benchmarks:
+/// +, -, *, /, unary minus, and sqrt for the Cholesky diagonal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_IR_EXPR_H
+#define SHACKLE_IR_EXPR_H
+
+#include "ir/AffineExpr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// An affine reference A[e1, ..., ek] into array \p ArrayId.
+struct ArrayRef {
+  unsigned ArrayId = 0;
+  std::vector<AffineExpr> Indices;
+
+  bool operator==(const ArrayRef &O) const {
+    return ArrayId == O.ArrayId && Indices == O.Indices;
+  }
+};
+
+enum class ExprKind { Number, Load, Add, Sub, Mul, Div, Neg, Sqrt };
+
+/// A node in a scalar expression tree.
+class ScalarExpr {
+public:
+  using Ptr = std::unique_ptr<ScalarExpr>;
+
+  static Ptr number(double V);
+  static Ptr load(ArrayRef Ref);
+  static Ptr binary(ExprKind K, Ptr L, Ptr R);
+  static Ptr add(Ptr L, Ptr R) { return binary(ExprKind::Add, std::move(L), std::move(R)); }
+  static Ptr sub(Ptr L, Ptr R) { return binary(ExprKind::Sub, std::move(L), std::move(R)); }
+  static Ptr mul(Ptr L, Ptr R) { return binary(ExprKind::Mul, std::move(L), std::move(R)); }
+  static Ptr div(Ptr L, Ptr R) { return binary(ExprKind::Div, std::move(L), std::move(R)); }
+  static Ptr neg(Ptr E) { return unary(ExprKind::Neg, std::move(E)); }
+  static Ptr sqrt(Ptr E) { return unary(ExprKind::Sqrt, std::move(E)); }
+  static Ptr unary(ExprKind K, Ptr E);
+
+  ExprKind getKind() const { return Kind; }
+  double getNumber() const { return Number; }
+  const ArrayRef &getRef() const { return Ref; }
+  ArrayRef &getRefMutable() { return Ref; }
+  const ScalarExpr *getLHS() const { return LHS.get(); }
+  const ScalarExpr *getRHS() const { return RHS.get(); }
+  ScalarExpr *getLHSMutable() { return LHS.get(); }
+  ScalarExpr *getRHSMutable() { return RHS.get(); }
+
+  Ptr clone() const;
+
+  /// Collects pointers to every Load reference in the tree (pre-order).
+  void collectLoads(std::vector<const ArrayRef *> &Out) const;
+
+private:
+  ScalarExpr() = default;
+
+  ExprKind Kind = ExprKind::Number;
+  double Number = 0;
+  ArrayRef Ref;
+  Ptr LHS, RHS;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_IR_EXPR_H

@@ -1,0 +1,217 @@
+//===- Program.h - Loop-nest IR (perfect and imperfect nests) ---*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The source-program representation that data shackles transform: a tree of
+/// do-loops with affine bounds (max-of/min-of lists allowed) containing
+/// assignment statements whose subscripts are affine in the loop variables
+/// and symbolic parameters. Both perfectly nested loops (matrix multiply)
+/// and imperfectly nested loops (Cholesky, QR, ADI) are expressible; the
+/// paper's framework is specifically motivated by the imperfect case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_IR_PROGRAM_H
+#define SHACKLE_IR_PROGRAM_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// Physical storage layouts for arrays. The paper stresses that blocking is a
+/// logical remap (Section 5.3) but optionally composes with a physical data
+/// transformation; BandLower is the LAPACK-style band storage used by the
+/// banded Cholesky experiment (Figure 15).
+enum class LayoutKind {
+  RowMajor,
+  ColMajor,
+  /// Column-major band storage of a lower-triangular band matrix: logical
+  /// element (i, j) with 0 <= i - j <= bw is stored at (i - j) + j * (bw + 1).
+  BandLower,
+  /// Physically reshaped block-major storage (paper Section 5.3: blocking is
+  /// a logical remap, but "nothing prevents us from reshaping the physical
+  /// data array"). Rank-2 only: TileRows x TileCols tiles laid out
+  /// row-major over the tile grid, each tile row-major internally; edge
+  /// tiles are padded to full size.
+  TiledRowMajor,
+};
+
+/// A declared array with symbolic extents.
+struct ArrayDecl {
+  std::string Name;
+  std::vector<AffineExpr> Extents; ///< Logical extent per dimension.
+  LayoutKind Layout = LayoutKind::RowMajor;
+  unsigned BandParam = 0; ///< Parameter id holding the bandwidth (BandLower).
+  int64_t TileRows = 0;   ///< Tile height (TiledRowMajor).
+  int64_t TileCols = 0;   ///< Tile width (TiledRowMajor).
+};
+
+enum class VarKind { Param, Loop };
+
+struct Loop;
+struct Stmt;
+
+/// A child of a loop body or of the program: either a nested loop or a
+/// statement.
+struct Node {
+  Loop *L = nullptr;
+  Stmt *S = nullptr;
+  bool isLoop() const { return L != nullptr; }
+};
+
+/// A do-loop with unit step. The iteration range is
+///   max(LowerBounds) <= var <= min(UpperBounds).
+struct Loop {
+  unsigned Var = 0;
+  std::vector<AffineExpr> LowerBounds;
+  std::vector<AffineExpr> UpperBounds;
+  std::vector<Node> Body;
+};
+
+/// An assignment statement LHS = RHS executed for each iteration of its
+/// enclosing loops.
+struct Stmt {
+  unsigned Id = 0;
+  std::string Label;
+  ArrayRef LHS;
+  ScalarExpr::Ptr RHS;
+
+  /// Enclosing loop variables, outermost first.
+  std::vector<unsigned> LoopVars;
+  /// Textual position at each nesting level (size LoopVars.size() + 1); the
+  /// interleaving (Schedule[0], i1, Schedule[1], i2, ...) is the classic
+  /// 2d+1-dimensional encoding of original program order.
+  std::vector<unsigned> Schedule;
+
+  unsigned getDepth() const { return LoopVars.size(); }
+
+  /// All array references of this statement: the store plus every load.
+  /// Index 0 is always the store.
+  std::vector<std::pair<const ArrayRef *, bool /*IsWrite*/>> refs() const;
+};
+
+/// A whole program: parameters, arrays, and a tree of loops/statements, with
+/// a builder-style construction API.
+///
+/// Typical use:
+/// \code
+///   Program P;
+///   unsigned N = P.addParam("N");
+///   unsigned A = P.addArray("A", 2); // N x N by default
+///   unsigned J = P.beginLoop("J", P.cst(1), P.v(N));
+///   P.addStmt("S1", ...);
+///   P.endLoop();
+///   P.finalize();
+/// \endcode
+class Program {
+public:
+  Program() = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  /// --- Declarations -----------------------------------------------------
+
+  /// Adds a symbolic parameter (must precede all loops), with an optional
+  /// lower bound added to the context (parameters are sizes, default >= 1).
+  unsigned addParam(const std::string &Name, int64_t MinValue = 1);
+
+  /// Adds an array whose extents are all equal to parameter \p ExtentParam,
+  /// with \p Rank dimensions.
+  unsigned addSquareArray(const std::string &Name, unsigned Rank,
+                          unsigned ExtentParam,
+                          LayoutKind Layout = LayoutKind::RowMajor);
+
+  /// Adds an array with explicit extents.
+  unsigned addArray(const std::string &Name, std::vector<AffineExpr> Extents,
+                    LayoutKind Layout = LayoutKind::RowMajor,
+                    unsigned BandParam = 0);
+
+  /// --- Affine helpers (over the current variable universe) ---------------
+
+  /// Constant expression.
+  AffineExpr cst(int64_t C) const {
+    return AffineExpr::constant(VarNames.size(), C);
+  }
+  /// Variable expression.
+  AffineExpr v(unsigned Var) const {
+    return AffineExpr::var(VarNames.size(), Var);
+  }
+
+  /// --- Structure building ------------------------------------------------
+
+  /// Opens a loop  Name = Lb .. Ub  and returns its variable id.
+  unsigned beginLoop(const std::string &Name, AffineExpr Lb, AffineExpr Ub);
+
+  /// Opens a loop with max/min bound lists.
+  unsigned beginLoopMulti(const std::string &Name, std::vector<AffineExpr> Lbs,
+                          std::vector<AffineExpr> Ubs);
+
+  /// Closes the innermost open loop.
+  void endLoop();
+
+  /// Adds the statement  LHS = RHS  at the current position.
+  Stmt &addStmt(const std::string &Label, ArrayRef LHS, ScalarExpr::Ptr RHS);
+
+  /// Must be called once after construction: extends every affine expression
+  /// to the final variable universe and freezes the program.
+  void finalize();
+
+  /// --- Introspection ------------------------------------------------------
+
+  unsigned getNumVars() const { return VarNames.size(); }
+  unsigned getNumParams() const { return NumParams; }
+  const std::vector<std::string> &getVarNames() const { return VarNames; }
+  const std::string &getVarName(unsigned Var) const { return VarNames[Var]; }
+  VarKind getVarKind(unsigned Var) const { return VarKinds[Var]; }
+  int64_t getParamMin(unsigned Param) const { return ParamMins[Param]; }
+
+  unsigned getNumArrays() const { return Arrays.size(); }
+  const ArrayDecl &getArray(unsigned Id) const { return Arrays[Id]; }
+  const std::vector<ArrayDecl> &arrays() const { return Arrays; }
+
+  /// Switches a rank-2 array to physically tiled (block-major) storage.
+  /// Must be called before finalize().
+  void setTiledLayout(unsigned ArrayId, int64_t TileRows, int64_t TileCols);
+
+  unsigned getNumStmts() const { return AllStmts.size(); }
+  const Stmt &getStmt(unsigned Id) const { return *AllStmts[Id]; }
+  Stmt &getStmtMutable(unsigned Id) { return *AllStmts[Id]; }
+
+  const std::vector<Node> &topLevel() const { return TopLevel; }
+
+  /// Returns the loop that declares \p Var (must be a loop variable).
+  const Loop &getLoopForVar(unsigned Var) const;
+
+  bool isFinalized() const { return Finalized; }
+
+  /// Pretty-prints in the paper's do-loop style.
+  std::string str() const;
+
+private:
+  std::vector<Node> &currentBody();
+
+  std::vector<std::string> VarNames;
+  std::vector<VarKind> VarKinds;
+  std::vector<int64_t> ParamMins; ///< Indexed by param id.
+  unsigned NumParams = 0;
+
+  std::vector<ArrayDecl> Arrays;
+  std::vector<std::unique_ptr<Loop>> AllLoops;
+  std::vector<std::unique_ptr<Stmt>> AllStmts;
+  std::vector<Loop *> LoopsByVar; ///< Indexed by var id; null for params.
+  std::vector<Node> TopLevel;
+  std::vector<Loop *> OpenLoops;
+  bool Finalized = false;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_IR_PROGRAM_H

@@ -1,0 +1,266 @@
+//===- Baselines.cpp - Hand-written baseline algorithms ----------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Baselines.h"
+
+#include "kernels/MicroBlas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace shackle;
+
+void shackle::naiveMatMul(double *C, const double *A, const double *B,
+                          int64_t N) {
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      double Acc = C[I * N + J];
+      for (int64_t K = 0; K < N; ++K)
+        Acc += A[I * N + K] * B[K * N + J];
+      C[I * N + J] = Acc;
+    }
+}
+
+void shackle::blockedMatMul(double *C, const double *A, const double *B,
+                            int64_t N, int64_t NB) {
+  for (int64_t I = 0; I < N; I += NB) {
+    int64_t MI = std::min(NB, N - I);
+    for (int64_t J = 0; J < N; J += NB) {
+      int64_t MJ = std::min(NB, N - J);
+      for (int64_t K = 0; K < N; K += NB) {
+        int64_t MK = std::min(NB, N - K);
+        microGemm(C + I * N + J, A + I * N + K, B + K * N + J, MI, MJ, MK, N,
+                  N, N);
+      }
+    }
+  }
+}
+
+void shackle::naiveCholeskyRight(double *A, int64_t N) {
+  for (int64_t J = 0; J < N; ++J) {
+    A[J * N + J] = std::sqrt(A[J * N + J]);
+    for (int64_t I = J + 1; I < N; ++I)
+      A[I * N + J] /= A[J * N + J];
+    for (int64_t L = J + 1; L < N; ++L)
+      for (int64_t K = J + 1; K <= L; ++K)
+        A[L * N + K] -= A[L * N + J] * A[K * N + J];
+  }
+}
+
+void shackle::blockedCholeskyLAPACK(double *A, int64_t N, int64_t NB) {
+  for (int64_t J = 0; J < N; J += NB) {
+    int64_t Nb = std::min(NB, N - J);
+    microCholeskyLower(A + J * N + J, Nb, N);
+    int64_t M = N - J - Nb;
+    if (M <= 0)
+      continue;
+    microTrsmRightLowerT(A + (J + Nb) * N + J, A + J * N + J, M, Nb, N, N);
+    microSyrkLower(A + (J + Nb) * N + (J + Nb), A + (J + Nb) * N + J, M, Nb,
+                   N, N);
+  }
+}
+
+void shackle::naiveQRHouseholder(double *A, double *Rdiag, int64_t N) {
+  for (int64_t K = 0; K < N; ++K) {
+    double Sig = 0;
+    for (int64_t I = K; I < N; ++I)
+      Sig += A[I * N + K] * A[I * N + K];
+    double Alpha = std::sqrt(Sig);
+    double Beta = Sig + Alpha * A[K * N + K];
+    Rdiag[K] = -Alpha;
+    A[K * N + K] += Alpha;
+    for (int64_t J = K + 1; J < N; ++J) {
+      double S = 0;
+      for (int64_t I = K; I < N; ++I)
+        S += A[I * N + K] * A[I * N + J];
+      double Scale = S / Beta;
+      for (int64_t I = K; I < N; ++I)
+        A[I * N + J] -= A[I * N + K] * Scale;
+    }
+  }
+}
+
+void shackle::blockedQRWY(double *A, double *Rdiag, int64_t N, int64_t NB) {
+  // Compact WY: within a panel the reflectors are formed and applied
+  // pointwise; the trailing matrix is updated as A2 -= V * T^T * (V^T * A2),
+  // where H_0 H_1 ... H_{nb-1} = I - V T V^T and tau_i = 1 / beta_i.
+  std::vector<double> T, Taus, Wrk;
+  for (int64_t P = 0; P < N; P += NB) {
+    int64_t Nb = std::min(NB, N - P);
+    T.assign(Nb * Nb, 0.0);
+    Taus.assign(Nb, 0.0);
+
+    // Factor the panel pointwise (columns P .. P+Nb-1).
+    for (int64_t Kl = 0; Kl < Nb; ++Kl) {
+      int64_t K = P + Kl;
+      double Sig = 0;
+      for (int64_t I = K; I < N; ++I)
+        Sig += A[I * N + K] * A[I * N + K];
+      double Alpha = std::sqrt(Sig);
+      double Beta = Sig + Alpha * A[K * N + K];
+      Rdiag[K] = -Alpha;
+      A[K * N + K] += Alpha;
+      Taus[Kl] = 1.0 / Beta;
+      // Apply H_k to the remaining panel columns.
+      for (int64_t J = K + 1; J < P + Nb; ++J) {
+        double S = 0;
+        for (int64_t I = K; I < N; ++I)
+          S += A[I * N + K] * A[I * N + J];
+        double Scale = S * Taus[Kl];
+        for (int64_t I = K; I < N; ++I)
+          A[I * N + J] -= A[I * N + K] * Scale;
+      }
+      // Extend T: T[0..k-1, k] = -tau_k * T_{k-1} * (V^T v_k);
+      // T[k,k] = tau_k. V column j is A[P+j .. N-1, P+j] (zero above its
+      // own row). The raw dot products must be staged separately: the
+      // triangular mat-vec below reads all of them.
+      std::vector<double> Dots(Kl);
+      for (int64_t Jl = 0; Jl < Kl; ++Jl) {
+        double Dot = 0;
+        for (int64_t I = K; I < N; ++I) // v_k is zero above row K.
+          Dot += A[I * N + (P + Jl)] * A[I * N + K];
+        Dots[Jl] = Dot;
+      }
+      for (int64_t Il = 0; Il < Kl; ++Il) {
+        double S = 0;
+        for (int64_t Jl = Il; Jl < Kl; ++Jl)
+          S += T[Il * Nb + Jl] * Dots[Jl];
+        T[Il * Nb + Kl] = -Taus[Kl] * S;
+      }
+      T[Kl * Nb + Kl] = Taus[Kl];
+    }
+
+    // Trailing update: A2 (rows P..N-1, cols P+Nb..N-1) -= V T^T V^T A2.
+    int64_t Nc = N - P - Nb;
+    if (Nc <= 0)
+      continue;
+    Wrk.assign(Nb * Nc, 0.0);
+    // W = V^T * A2  (Nb x Nc). V[i, j] = A[P+i, P+j] for i >= j else 0.
+    for (int64_t Jl = 0; Jl < Nb; ++Jl) {
+      double *__restrict Wj = Wrk.data() + Jl * Nc;
+      for (int64_t I = P + Jl; I < N; ++I) {
+        double V = A[I * N + (P + Jl)];
+        const double *__restrict Ai = A + I * N + (P + Nb);
+        for (int64_t C = 0; C < Nc; ++C)
+          Wj[C] += V * Ai[C];
+      }
+    }
+    // W2 = T^T * W (T upper triangular, so T^T lower): in place, bottom-up.
+    for (int64_t Il = Nb - 1; Il >= 0; --Il) {
+      double *__restrict Wi = Wrk.data() + Il * Nc;
+      for (int64_t C = 0; C < Nc; ++C)
+        Wi[C] *= T[Il * Nb + Il];
+      for (int64_t Jl = 0; Jl < Il; ++Jl) {
+        double Tji = T[Jl * Nb + Il];
+        const double *__restrict Wj = Wrk.data() + Jl * Nc;
+        for (int64_t C = 0; C < Nc; ++C)
+          Wi[C] += Tji * Wj[C];
+      }
+    }
+    // A2 -= V * W2.
+    for (int64_t I = P; I < N; ++I) {
+      double *__restrict Ai = A + I * N + (P + Nb);
+      int64_t JMax = std::min<int64_t>(I - P, Nb - 1);
+      for (int64_t Jl = 0; Jl <= JMax; ++Jl) {
+        double V = A[I * N + (P + Jl)];
+        const double *__restrict Wj = Wrk.data() + Jl * Nc;
+        for (int64_t C = 0; C < Nc; ++C)
+          Ai[C] -= V * Wj[C];
+      }
+    }
+  }
+}
+
+// The ADI kernels use column-major (Fortran) storage: element (i, k) lives
+// at i + k * N. That matches the paper's setting, where the input code's
+// k-inner loops stride by N and the fused + interchanged code is
+// unit-stride.
+
+void shackle::adiOriginal(double *B, double *X, const double *A, int64_t N) {
+  for (int64_t I = 1; I < N; ++I) {
+    for (int64_t K = 0; K < N; ++K)
+      X[I + K * N] -= X[(I - 1) + K * N] * A[I + K * N] / B[(I - 1) + K * N];
+    for (int64_t K = 0; K < N; ++K)
+      B[I + K * N] -= A[I + K * N] * A[I + K * N] / B[(I - 1) + K * N];
+  }
+}
+
+void shackle::adiFusedInterchanged(double *B, double *X, const double *A,
+                                   int64_t N) {
+  for (int64_t K = 0; K < N; ++K) {
+    for (int64_t I = 1; I < N; ++I) {
+      X[I + K * N] -= X[(I - 1) + K * N] * A[I + K * N] / B[(I - 1) + K * N];
+      B[I + K * N] -= A[I + K * N] * A[I + K * N] / B[(I - 1) + K * N];
+    }
+  }
+}
+
+void shackle::gaussNaive(double *A, int64_t N) {
+  for (int64_t K = 0; K < N; ++K) {
+    for (int64_t I = K + 1; I < N; ++I)
+      A[I * N + K] /= A[K * N + K];
+    for (int64_t I = K + 1; I < N; ++I)
+      for (int64_t J = K + 1; J < N; ++J)
+        A[I * N + J] -= A[I * N + K] * A[K * N + J];
+  }
+}
+
+namespace {
+
+inline int64_t bandOff(int64_t I, int64_t J, int64_t BW) {
+  return (I - J) + J * (BW + 1);
+}
+
+} // namespace
+
+void shackle::bandCholeskyNaive(double *Ab, int64_t N, int64_t BW) {
+  for (int64_t J = 0; J < N; ++J) {
+    double D = std::sqrt(Ab[bandOff(J, J, BW)]);
+    Ab[bandOff(J, J, BW)] = D;
+    int64_t Last = std::min(N - 1, J + BW);
+    for (int64_t I = J + 1; I <= Last; ++I)
+      Ab[bandOff(I, J, BW)] /= D;
+    for (int64_t L = J + 1; L <= Last; ++L)
+      for (int64_t K = J + 1; K <= L; ++K)
+        Ab[bandOff(L, K, BW)] -=
+            Ab[bandOff(L, J, BW)] * Ab[bandOff(K, J, BW)];
+  }
+}
+
+void shackle::bandCholeskyBlocked(double *Ab, int64_t N, int64_t BW,
+                                  int64_t NB) {
+  // DPBTRF shape: stage the active window (panel columns plus the rows that
+  // can touch them, all within the band) into a dense zero-filled scratch,
+  // run the dense blocked step, and copy the in-band entries back.
+  std::vector<double> S;
+  for (int64_t J = 0; J < N; J += NB) {
+    int64_t Nb = std::min(NB, N - J);
+    int64_t M = std::min(N - J, BW + Nb); // Rows J .. J+M-1 are active.
+    S.assign(M * M, 0.0);
+    auto InBand = [&](int64_t I, int64_t K) {
+      return K <= I && I - K <= BW;
+    };
+    for (int64_t I = 0; I < M; ++I)
+      for (int64_t K = 0; K <= I && K < M; ++K)
+        if (InBand(J + I, J + K))
+          S[I * M + K] = Ab[bandOff(J + I, J + K, BW)];
+
+    // Dense step on the window: factor Nb panel, TRSM, SYRK.
+    microCholeskyLower(S.data(), Nb, M);
+    if (M > Nb) {
+      microTrsmRightLowerT(S.data() + Nb * M, S.data(), M - Nb, Nb, M, M);
+      microSyrkLower(S.data() + Nb * M + Nb, S.data() + Nb * M, M - Nb, Nb,
+                     M, M);
+    }
+
+    for (int64_t I = 0; I < M; ++I)
+      for (int64_t K = 0; K <= I && K < M; ++K)
+        if (InBand(J + I, J + K))
+          Ab[bandOff(J + I, J + K, BW)] = S[I * M + K];
+  }
+}

@@ -1,0 +1,69 @@
+//===- Baselines.h - Hand-written baseline algorithms -----------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison lines of the paper's Section 7 graphs, written by hand:
+/// the naive "input codes" as plain C++ (what xlf -O3 saw), and LAPACK-style
+/// hand-blocked algorithms built on the micro BLAS (standing in for "LAPACK
+/// with native BLAS"). Dense matrices are row-major with leading dimension
+/// N; the banded routines use LAPACK-style band storage, element (i, j)
+/// at (i - j) + j * (bw + 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_KERNELS_BASELINES_H
+#define SHACKLE_KERNELS_BASELINES_H
+
+#include <cstdint>
+
+namespace shackle {
+
+/// C += A * B, straightforward I-J-K loop (paper Figure 1(i)).
+void naiveMatMul(double *C, const double *A, const double *B, int64_t N);
+
+/// Hand-blocked C += A * B with NB x NB tiles over all three dimensions.
+void blockedMatMul(double *C, const double *A, const double *B, int64_t N,
+                   int64_t NB);
+
+/// Right-looking pointwise Cholesky (paper Figure 1(ii)); writes the lower
+/// triangle, strict upper is untouched.
+void naiveCholeskyRight(double *A, int64_t N);
+
+/// LAPACK-style right-looking blocked Cholesky (POTRF shape: factor panel,
+/// TRSM, SYRK) with panel width NB.
+void blockedCholeskyLAPACK(double *A, int64_t N, int64_t NB);
+
+/// Pointwise Householder QR matching the IR benchmark's conventions: the
+/// reflector v (with v = x + |x| e1) overwrites A at and below the diagonal,
+/// and Rdiag[k] receives -|x| (the R diagonal).
+void naiveQRHouseholder(double *A, double *Rdiag, int64_t N);
+
+/// Panel-blocked Householder QR with compact-WY trailing updates (the
+/// "LAPACK" line of Figure 12). Same reflector convention as
+/// naiveQRHouseholder, so outputs agree to rounding.
+void blockedQRWY(double *A, double *Rdiag, int64_t N, int64_t NB);
+
+/// The ADI kernel exactly as in paper Figure 14(i).
+void adiOriginal(double *B, double *X, const double *A, int64_t N);
+
+/// The fused + interchanged form of Figure 14(ii) (what the ADI shackle
+/// produces).
+void adiFusedInterchanged(double *B, double *X, const double *A, int64_t N);
+
+/// Gaussian elimination without pivoting (the GMTRY kernel's core).
+void gaussNaive(double *A, int64_t N);
+
+/// Pointwise banded Cholesky on band storage.
+void bandCholeskyNaive(double *Ab, int64_t N, int64_t BW);
+
+/// DPBTRF-style blocked banded Cholesky: panels of width NB are factored
+/// through dense zero-filled scratch blocks so the updates run as BLAS-3.
+void bandCholeskyBlocked(double *Ab, int64_t N, int64_t BW, int64_t NB);
+
+} // namespace shackle
+
+#endif // SHACKLE_KERNELS_BASELINES_H

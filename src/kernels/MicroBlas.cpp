@@ -1,0 +1,87 @@
+//===- MicroBlas.cpp - Hand-tuned micro BLAS kernels -------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/MicroBlas.h"
+
+#include <cmath>
+
+using namespace shackle;
+
+void shackle::microGemm(double *C, const double *A, const double *B,
+                        int64_t M, int64_t N, int64_t K, int64_t Ldc,
+                        int64_t Lda, int64_t Ldb) {
+  for (int64_t I = 0; I < M; ++I) {
+    double *__restrict Ci = C + I * Ldc;
+    for (int64_t P = 0; P < K; ++P) {
+      double Aip = A[I * Lda + P];
+      const double *__restrict Bp = B + P * Ldb;
+      for (int64_t J = 0; J < N; ++J)
+        Ci[J] += Aip * Bp[J];
+    }
+  }
+}
+
+void shackle::microGemmSub(double *C, const double *A, const double *B,
+                           int64_t M, int64_t N, int64_t K, int64_t Ldc,
+                           int64_t Lda, int64_t Ldb) {
+  for (int64_t I = 0; I < M; ++I) {
+    double *__restrict Ci = C + I * Ldc;
+    for (int64_t P = 0; P < K; ++P) {
+      double Aip = A[I * Lda + P];
+      const double *__restrict Bp = B + P * Ldb;
+      for (int64_t J = 0; J < N; ++J)
+        Ci[J] -= Aip * Bp[J];
+    }
+  }
+}
+
+void shackle::microSyrkLower(double *C, const double *A, int64_t N,
+                             int64_t K, int64_t Ldc, int64_t Lda) {
+  for (int64_t I = 0; I < N; ++I) {
+    double *__restrict Ci = C + I * Ldc;
+    for (int64_t P = 0; P < K; ++P) {
+      double Aip = A[I * Lda + P];
+      const double *__restrict Ap = A + P; // A[J * Lda + P] walks column P.
+      for (int64_t J = 0; J <= I; ++J)
+        Ci[J] -= Aip * Ap[J * Lda];
+    }
+  }
+}
+
+void shackle::microTrsmRightLowerT(double *B, const double *L, int64_t M,
+                                   int64_t N, int64_t Ldb, int64_t Ldl) {
+  // Solve X * L^T = B: for each row b of B, forward-substitute
+  //   x_j = (b_j - sum_{k<j} x_k * L[j][k]) / L[j][j].
+  for (int64_t I = 0; I < M; ++I) {
+    double *__restrict Bi = B + I * Ldb;
+    for (int64_t J = 0; J < N; ++J) {
+      double S = Bi[J];
+      const double *__restrict Lj = L + J * Ldl;
+      for (int64_t P = 0; P < J; ++P)
+        S -= Bi[P] * Lj[P];
+      Bi[J] = S / Lj[J];
+    }
+  }
+}
+
+void shackle::microCholeskyLower(double *A, int64_t N, int64_t Lda) {
+  for (int64_t J = 0; J < N; ++J) {
+    double *__restrict Aj = A + J * Lda;
+    double D = Aj[J];
+    for (int64_t P = 0; P < J; ++P)
+      D -= Aj[P] * Aj[P];
+    D = std::sqrt(D);
+    Aj[J] = D;
+    for (int64_t I = J + 1; I < N; ++I) {
+      double *__restrict Ai = A + I * Lda;
+      double S = Ai[J];
+      for (int64_t P = 0; P < J; ++P)
+        S -= Ai[P] * Aj[P];
+      Ai[J] = S / D;
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===- MicroBlas.h - Hand-tuned micro BLAS kernels --------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small dense kernels playing the role of the machine-tuned BLAS-3 the
+/// paper's comparison lines use (ESSL DGEMM on the SP-2). Everything is
+/// row-major with explicit leading dimensions. These are deliberately
+/// straightforward, cache-friendly loops (i-k-j orders, restrict pointers)
+/// rather than assembly: the experiments compare *shapes*, and the same
+/// kernels serve both the "Matrix Multiply replaced by DGEMM" lines and the
+/// "LAPACK" baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_KERNELS_MICROBLAS_H
+#define SHACKLE_KERNELS_MICROBLAS_H
+
+#include <cstdint>
+
+namespace shackle {
+
+/// C[0..M)[0..N) += A[0..M)[0..K) * B[0..K)[0..N); row-major, leading
+/// dimensions ldc/lda/ldb.
+void microGemm(double *C, const double *A, const double *B, int64_t M,
+               int64_t N, int64_t K, int64_t Ldc, int64_t Lda, int64_t Ldb);
+
+/// C -= A * B (same shapes as microGemm).
+void microGemmSub(double *C, const double *A, const double *B, int64_t M,
+                  int64_t N, int64_t K, int64_t Ldc, int64_t Lda,
+                  int64_t Ldb);
+
+/// C[0..N)[0..N) -= A[0..N)[0..K) * A^T (lower triangle only): the SYRK
+/// update used by blocked Cholesky.
+void microSyrkLower(double *C, const double *A, int64_t N, int64_t K,
+                    int64_t Ldc, int64_t Lda);
+
+/// Solves X * L^T = B in place for X (B is M x N, L is N x N lower
+/// triangular with nonzero diagonal): the TRSM used by blocked Cholesky
+/// panels (right-looking, row-major).
+void microTrsmRightLowerT(double *B, const double *L, int64_t M, int64_t N,
+                          int64_t Ldb, int64_t Ldl);
+
+/// Unblocked lower Cholesky of the leading N x N block (row-major, ld Lda).
+/// The strict upper triangle is left untouched.
+void microCholeskyLower(double *A, int64_t N, int64_t Lda);
+
+} // namespace shackle
+
+#endif // SHACKLE_KERNELS_MICROBLAS_H

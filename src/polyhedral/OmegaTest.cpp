@@ -1,0 +1,274 @@
+//===- OmegaTest.cpp - Exact integer feasibility --------------------------===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "polyhedral/OmegaTest.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+
+using namespace shackle;
+
+namespace {
+
+/// Recursion ceiling. Real problems in this project stay far below it; the
+/// guard exists to turn a logic error into a loud failure instead of a hang.
+constexpr int MaxDepth = 256;
+
+bool isEmptyRec(Polyhedron P, int Depth);
+
+/// Substitutes variable \p Var using the unit-coefficient row \p Eq
+/// (Eq[Var] == +-1) into \p P and drops the equality.
+void substituteUnit(Polyhedron &P, unsigned EqIdx, unsigned Var) {
+  ConstraintRow Def = P.getEquality(EqIdx);
+  int64_t A = Def[Var];
+  assert((A == 1 || A == -1) && "expected a unit coefficient");
+  P.removeEquality(EqIdx);
+  ConstraintRow Subst(P.getNumVars() + 1, 0);
+  for (unsigned J = 0; J <= P.getNumVars(); ++J)
+    if (J != Var)
+      Subst[J] = -A * Def[J];
+  P.substitute(Var, Subst);
+}
+
+/// Eliminates all equalities from \p P exactly (Pugh Section 2.3.1). Returns
+/// false if the equalities prove the polyhedron integer-empty outright.
+bool eliminateEqualities(Polyhedron &P) {
+  while (P.getNumEqualities() > 0) {
+    if (!P.normalize())
+      return false;
+    if (P.getNumEqualities() == 0)
+      break;
+
+    // Find the equality and variable with the smallest nonzero |coefficient|.
+    unsigned BestEq = 0, BestVar = 0;
+    int64_t BestAbs = std::numeric_limits<int64_t>::max();
+    for (unsigned I = 0; I < P.getNumEqualities(); ++I) {
+      const ConstraintRow &Row = P.getEquality(I);
+      for (unsigned V = 0; V < P.getNumVars(); ++V) {
+        int64_t A = std::abs(Row[V]);
+        if (A != 0 && A < BestAbs) {
+          BestAbs = A;
+          BestEq = I;
+          BestVar = V;
+        }
+      }
+    }
+    if (BestAbs == std::numeric_limits<int64_t>::max()) {
+      // All equalities are constant rows; normalize() validated them.
+      break;
+    }
+
+    if (BestAbs == 1) {
+      substituteUnit(P, BestEq, BestVar);
+      continue;
+    }
+
+    // Non-unit minimal coefficient: apply the hat-mod transformation. For the
+    // equality sum(a_i x_i) + c == 0 with |a_k| minimal, let m = |a_k| + 1 and
+    // introduce sigma with
+    //   sum(symMod(a_i, m) x_i) + symMod(c, m) == m * sigma.
+    // The coefficient of x_k in this new equality is +-1, so x_k can be
+    // substituted away; all coefficients shrink by roughly a factor of m.
+    ConstraintRow Eq = P.getEquality(BestEq);
+    int64_t M = BestAbs + 1;
+    unsigned Sigma = P.appendVar("sigma" + std::to_string(P.getNumVars()));
+    Eq.insert(Eq.end() - 1, 0); // Account for the new variable column.
+
+    ConstraintRow NewEq(P.getNumVars() + 1, 0);
+    for (unsigned V = 0; V < P.getNumVars(); ++V)
+      if (V != Sigma)
+        NewEq[V] = symMod(Eq[V], M);
+    NewEq[Sigma] = -M;
+    NewEq[P.getNumVars()] = symMod(Eq.back(), M);
+    assert((NewEq[BestVar] == 1 || NewEq[BestVar] == -1) &&
+           "hat-mod must produce a unit coefficient on the chosen variable");
+
+    P.addEquality(std::move(NewEq));
+    substituteUnit(P, P.getNumEqualities() - 1, BestVar);
+  }
+  return !P.isObviouslyEmpty();
+}
+
+struct BoundSplit {
+  std::vector<ConstraintRow> Lowers; // coeff on Var > 0
+  std::vector<ConstraintRow> Uppers; // coeff on Var < 0
+  std::vector<ConstraintRow> Rest;   // coeff on Var == 0
+};
+
+BoundSplit splitBounds(const Polyhedron &P, unsigned Var) {
+  BoundSplit S;
+  for (const ConstraintRow &Row : P.inequalities()) {
+    if (Row[Var] > 0)
+      S.Lowers.push_back(Row);
+    else if (Row[Var] < 0)
+      S.Uppers.push_back(Row);
+    else
+      S.Rest.push_back(Row);
+  }
+  return S;
+}
+
+/// Picks the variable whose elimination is cheapest, preferring variables
+/// whose elimination is exact (some unit coefficient in every lower/upper
+/// pair). Returns the variable and whether elimination is exact.
+std::pair<unsigned, bool> pickVariable(const Polyhedron &P) {
+  unsigned BestVar = 0;
+  bool BestExact = false;
+  long BestCost = std::numeric_limits<long>::max();
+
+  for (unsigned V = 0; V < P.getNumVars(); ++V) {
+    if (!P.involvesVar(V))
+      continue;
+    long NumLo = 0, NumUp = 0;
+    bool AllLoUnit = true, AllUpUnit = true;
+    for (const ConstraintRow &Row : P.inequalities()) {
+      if (Row[V] > 0) {
+        ++NumLo;
+        if (Row[V] != 1)
+          AllLoUnit = false;
+      } else if (Row[V] < 0) {
+        ++NumUp;
+        if (Row[V] != -1)
+          AllUpUnit = false;
+      }
+    }
+    bool Exact = AllLoUnit || AllUpUnit;
+    long Cost = NumLo * NumUp - NumLo - NumUp;
+    // Prefer exact eliminations; among them, the cheapest.
+    if ((Exact && !BestExact) ||
+        (Exact == BestExact && Cost < BestCost)) {
+      BestVar = V;
+      BestExact = Exact;
+      BestCost = Cost;
+    }
+  }
+  return {BestVar, BestExact};
+}
+
+/// Returns true if no variable appears in any constraint.
+bool isVariableFree(const Polyhedron &P) {
+  for (unsigned V = 0; V < P.getNumVars(); ++V)
+    if (P.involvesVar(V))
+      return false;
+  return true;
+}
+
+bool isEmptyRec(Polyhedron P, int Depth) {
+  assert(Depth < MaxDepth && "Omega test recursion too deep");
+
+  if (!P.normalize())
+    return true;
+  P.removeDuplicateConstraints();
+  if (!eliminateEqualities(P))
+    return true;
+  if (!P.normalize())
+    return true;
+
+  if (isVariableFree(P))
+    return P.isObviouslyEmpty();
+
+  auto [Var, Exact] = pickVariable(P);
+  BoundSplit S = splitBounds(P, Var);
+
+  // Unbounded on one side: the variable can always be chosen, eliminate it
+  // exactly by dropping its constraints.
+  if (S.Lowers.empty() || S.Uppers.empty()) {
+    Polyhedron Q(P.getVarNames());
+    for (ConstraintRow &Row : S.Rest)
+      Q.addInequality(std::move(Row));
+    return isEmptyRec(std::move(Q), Depth + 1);
+  }
+
+  // Real shadow (and dark shadow when inexact).
+  Polyhedron Real(P.getVarNames());
+  Polyhedron Dark(P.getVarNames());
+  for (const ConstraintRow &Row : S.Rest) {
+    Real.addInequality(Row);
+    Dark.addInequality(Row);
+  }
+  for (const ConstraintRow &L : S.Lowers) {
+    for (const ConstraintRow &U : S.Uppers) {
+      int64_t A = L[Var];
+      int64_t B = -U[Var];
+      ConstraintRow Combined(P.getNumVars() + 1, 0);
+      for (unsigned J = 0; J <= P.getNumVars(); ++J)
+        Combined[J] = checkedAdd(checkedMul(A, U[J]), checkedMul(B, L[J]));
+      Combined[Var] = 0;
+      Real.addInequality(Combined);
+      ConstraintRow DarkRow = Combined;
+      DarkRow.back() = checkedAdd(DarkRow.back(), -(A - 1) * (B - 1));
+      Dark.addInequality(std::move(DarkRow));
+    }
+  }
+
+  if (Exact)
+    return isEmptyRec(std::move(Real), Depth + 1);
+
+  if (isEmptyRec(Real, Depth + 1))
+    return true;
+  if (!isEmptyRec(std::move(Dark), Depth + 1))
+    return false;
+
+  // Inexact and the shadows disagree: splinter (Pugh Section 2.3.3). An
+  // integer solution, if any, must have A * x within a bounded distance of
+  // some lower bound: A * x = -l(rest) + I for 0 <= I <= (A*Bmax - A -
+  // Bmax) / Bmax, where Bmax is the largest upper-bound coefficient.
+  int64_t BMax = 0;
+  for (const ConstraintRow &U : S.Uppers)
+    BMax = std::max(BMax, -U[Var]);
+  for (const ConstraintRow &L : S.Lowers) {
+    int64_t A = L[Var];
+    int64_t MaxI = floorDiv(checkedMul(A, BMax) - A - BMax, BMax);
+    for (int64_t I = 0; I <= MaxI; ++I) {
+      Polyhedron Q = P;
+      ConstraintRow Eq = L; // A * x + l(rest) == I
+      Eq.back() = checkedAdd(Eq.back(), -I);
+      Q.addEquality(std::move(Eq));
+      if (!isEmptyRec(std::move(Q), Depth + 1))
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool shackle::isIntegerEmpty(const Polyhedron &P) {
+  return isEmptyRec(P, /*Depth=*/0);
+}
+
+bool shackle::isSubsetOf(const Polyhedron &A, const Polyhedron &B) {
+  assert(A.getNumVars() == B.getNumVars() && "subset requires a common space");
+  for (const ConstraintRow &Row : B.equalities()) {
+    // A subset of {e == 0} iff A /\ {e >= 1} and A /\ {e <= -1} are empty.
+    Polyhedron Pos = A;
+    ConstraintRow GE = Row;
+    GE.back() -= 1;
+    Pos.addInequality(std::move(GE));
+    if (!isIntegerEmpty(Pos))
+      return false;
+    Polyhedron Neg = A;
+    ConstraintRow LE = negateInequality(Row);
+    Neg.addInequality(std::move(LE));
+    if (!isIntegerEmpty(Neg))
+      return false;
+  }
+  for (const ConstraintRow &Row : B.inequalities()) {
+    Polyhedron Q = A;
+    Q.addInequality(negateInequality(Row));
+    if (!isIntegerEmpty(Q))
+      return false;
+  }
+  return true;
+}
+
+bool shackle::isDisjoint(const Polyhedron &A, const Polyhedron &B) {
+  return isIntegerEmpty(intersect(A, B));
+}

@@ -1,0 +1,41 @@
+//===- OmegaTest.h - Exact integer feasibility (Pugh's Omega test) -*- C++ -*-//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper checks shackle legality (Theorem 1) by asking whether a
+/// conjunction of affine constraints has an integer solution, using the Omega
+/// calculator. This file is our from-scratch implementation of that decision
+/// procedure: William Pugh's Omega test (CACM 35(8), 1992) —
+///
+///   1. equality elimination with the symmetric ("hat") modulo trick,
+///   2. Fourier-Motzkin elimination with exactness tracking,
+///   3. the dark-shadow sufficient test, and
+///   4. splintering for the rare inexact eliminations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_POLYHEDRAL_OMEGATEST_H
+#define SHACKLE_POLYHEDRAL_OMEGATEST_H
+
+#include "polyhedral/Polyhedron.h"
+
+namespace shackle {
+
+/// Returns true iff \p P contains no integer point. Exact (sound and
+/// complete) for any conjunction of affine constraints over int64
+/// coefficients.
+bool isIntegerEmpty(const Polyhedron &P);
+
+/// Returns true iff every integer point of \p A lies in \p B (same space).
+bool isSubsetOf(const Polyhedron &A, const Polyhedron &B);
+
+/// Returns true iff A and B share no integer point (same space).
+bool isDisjoint(const Polyhedron &A, const Polyhedron &B);
+
+} // namespace shackle
+
+#endif // SHACKLE_POLYHEDRAL_OMEGATEST_H

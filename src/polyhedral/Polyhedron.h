@@ -1,0 +1,167 @@
+//===- Polyhedron.h - Integer polyhedra over int64 coefficients -*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An integer polyhedron: a conjunction of affine equalities and inequalities
+/// over a fixed list of integer variables. This is the workhorse of the
+/// reproduction: dependence problems, shackle legality problems (Theorem 1 of
+/// the paper), and the code-generation scanning sets are all Polyhedra.
+///
+/// Representation: every constraint is a row of NumVars coefficients plus a
+/// trailing constant. An equality row e means e . (x, 1) == 0; an inequality
+/// row e means e . (x, 1) >= 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_POLYHEDRAL_POLYHEDRON_H
+#define SHACKLE_POLYHEDRAL_POLYHEDRON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// A single affine constraint row: Coeffs[0..NumVars-1] then the constant.
+using ConstraintRow = std::vector<int64_t>;
+
+/// A conjunction of affine equality and inequality constraints over integer
+/// variables.
+///
+/// Variables are identified by index; names are carried only for printing and
+/// for code generation. The class provides exact rational Fourier-Motzkin
+/// elimination (used for projections during code generation) while the exact
+/// *integer* emptiness test lives in OmegaTest.h.
+class Polyhedron {
+public:
+  Polyhedron() = default;
+
+  /// Creates a polyhedron over \p NumVars anonymous variables.
+  explicit Polyhedron(unsigned NumVars);
+
+  /// Creates a polyhedron with named variables (one per name).
+  explicit Polyhedron(std::vector<std::string> Names);
+
+  unsigned getNumVars() const { return NumVars; }
+  const std::vector<std::string> &getVarNames() const { return VarNames; }
+  const std::string &getVarName(unsigned Var) const { return VarNames[Var]; }
+  void setVarName(unsigned Var, std::string Name);
+
+  /// Appends a fresh variable (coefficient 0 in all existing constraints) and
+  /// returns its index.
+  unsigned appendVar(const std::string &Name);
+
+  unsigned getNumEqualities() const { return Equalities.size(); }
+  unsigned getNumInequalities() const { return Inequalities.size(); }
+  const ConstraintRow &getEquality(unsigned I) const { return Equalities[I]; }
+  const ConstraintRow &getInequality(unsigned I) const {
+    return Inequalities[I];
+  }
+  const std::vector<ConstraintRow> &equalities() const { return Equalities; }
+  const std::vector<ConstraintRow> &inequalities() const {
+    return Inequalities;
+  }
+
+  /// Adds the equality row . (x, 1) == 0. The row must have NumVars + 1
+  /// entries.
+  void addEquality(ConstraintRow Row);
+
+  /// Adds the inequality row . (x, 1) >= 0.
+  void addInequality(ConstraintRow Row);
+
+  /// Convenience: adds the constraint  sum coeff_i * x_i + C  (>= or ==) 0
+  /// from a sparse list of (var, coeff) terms.
+  void addEqualityTerms(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                        int64_t C);
+  void
+  addInequalityTerms(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                     int64_t C);
+
+  /// Adds lower and upper bounds  Lo <= x_Var <= Hi.
+  void addBounds(unsigned Var, int64_t Lo, int64_t Hi);
+
+  /// Removes the inequality at index \p I.
+  void removeInequality(unsigned I);
+
+  /// Removes the equality at index \p I.
+  void removeEquality(unsigned I);
+
+  /// Removes all constraints (and clears any sticky emptiness marker).
+  void clearConstraints();
+
+  /// True if a prior normalization discharged an unsatisfiable constraint.
+  bool isKnownEmpty() const { return KnownEmpty; }
+
+  /// Marks the polyhedron as integer empty.
+  void markKnownEmpty() { KnownEmpty = true; }
+
+  /// True if some constraint is syntactically unsatisfiable (e.g. 0 >= 1 or
+  /// an equality whose coefficient gcd does not divide its constant), or if a
+  /// prior normalize() discovered and discharged such a constraint. This is
+  /// a cheap check; the full integer test is isIntegerEmpty() in OmegaTest.h.
+  bool isObviouslyEmpty() const;
+
+  /// Divides every constraint by the gcd of its coefficients, tightening
+  /// inequality constants toward feasibility (exact for integer points), and
+  /// drops trivially true constraints. Returns false if a constraint became
+  /// syntactically unsatisfiable (the polyhedron is integer empty).
+  bool normalize();
+
+  /// Removes syntactically duplicated constraints (after normalize()).
+  void removeDuplicateConstraints();
+
+  /// Eliminates variable \p Var by exact rational Fourier-Motzkin, leaving a
+  /// polyhedron over the same variable list where \p Var is unconstrained
+  /// (all its coefficients zero). This computes the *real shadow*; it is an
+  /// exact integer projection whenever every elimination pair has a unit
+  /// coefficient on one side.
+  void fourierMotzkinEliminate(unsigned Var);
+
+  /// Returns the projection of this polyhedron onto the first \p NumKeep
+  /// variables (eliminating the rest by Fourier-Motzkin), shrinking the
+  /// variable list.
+  Polyhedron project(unsigned NumKeep) const;
+
+  /// Returns true if any constraint mentions \p Var.
+  bool involvesVar(unsigned Var) const;
+
+  /// Substitutes x_Var := (Def . (x, 1)) / Denom into every constraint.
+  /// Denom must be +1 or -1 times... (strictly: the substitution must keep
+  /// coefficients integral, so Denom must be 1; callers scale beforehand).
+  void substitute(unsigned Var, const ConstraintRow &Def);
+
+  /// Evaluates whether the integer point \p Point (size NumVars) satisfies
+  /// all constraints.
+  bool containsPoint(const std::vector<int64_t> &Point) const;
+
+  /// Renders a human-readable form, one constraint per line.
+  std::string str() const;
+
+  /// Renders a single constraint using variable names.
+  std::string constraintStr(const ConstraintRow &Row, bool IsEq) const;
+
+private:
+  unsigned NumVars = 0;
+  std::vector<std::string> VarNames;
+  std::vector<ConstraintRow> Equalities;
+  std::vector<ConstraintRow> Inequalities;
+  /// Sticky marker set when normalization discharges an unsatisfiable
+  /// constraint; the polyhedron is integer empty regardless of the remaining
+  /// rows.
+  bool KnownEmpty = false;
+};
+
+/// Intersection of two polyhedra over the same variable list.
+Polyhedron intersect(const Polyhedron &A, const Polyhedron &B);
+
+/// Negation of an inequality row: not(e >= 0)  ==  -e - 1 >= 0.
+ConstraintRow negateInequality(const ConstraintRow &Row);
+
+} // namespace shackle
+
+#endif // SHACKLE_POLYHEDRAL_POLYHEDRON_H

@@ -1,0 +1,76 @@
+//===- Sample.cpp - Integer point sampling ------------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "polyhedral/Sample.h"
+
+#include "polyhedral/OmegaTest.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace shackle;
+
+namespace {
+
+/// Adds the constraint x_Var <= V (or >= with Sign = -1).
+Polyhedron withBound(const Polyhedron &P, unsigned Var, int64_t V,
+                     bool Upper) {
+  Polyhedron Q = P;
+  ConstraintRow Row(P.getNumVars() + 1, 0);
+  if (Upper) {
+    Row[Var] = -1;
+    Row.back() = V;
+  } else {
+    Row[Var] = 1;
+    Row.back() = -V;
+  }
+  Q.addInequality(std::move(Row));
+  return Q;
+}
+
+} // namespace
+
+std::optional<std::vector<int64_t>>
+shackle::sampleIntegerPoint(const Polyhedron &P, int64_t Lo, int64_t Hi) {
+  Polyhedron Q = P;
+  if (!Q.normalize())
+    return std::nullopt;
+
+  // Clamp every variable to the box up front; if that leaves no integer
+  // point there is nothing to find within the box.
+  for (unsigned V = 0; V < Q.getNumVars(); ++V)
+    Q.addBounds(V, Lo, Hi);
+  if (isIntegerEmpty(Q))
+    return std::nullopt;
+
+  // Extract the lexicographically smallest point: for each variable in
+  // order, bisect for the least value that keeps the system non-empty,
+  // then pin the variable there. No backtracking is needed because the
+  // system is re-verified non-empty at every step.
+  std::vector<int64_t> Point(Q.getNumVars(), 0);
+  for (unsigned Var = 0; Var < Q.getNumVars(); ++Var) {
+    int64_t L = Lo, H = Hi;
+    while (L < H) {
+      int64_t Mid = L + floorDiv(H - L, 2);
+      if (!isIntegerEmpty(withBound(Q, Var, Mid, /*Upper=*/true)))
+        H = Mid;
+      else
+        L = Mid + 1;
+    }
+    Point[Var] = L;
+    // Pin x_Var := L by substitution.
+    ConstraintRow Def(Q.getNumVars() + 1, 0);
+    Def.back() = L;
+    Q.substitute(Var, Def);
+    if (Q.isObviouslyEmpty())
+      return std::nullopt; // Defensive; cannot happen.
+  }
+
+  if (!P.containsPoint(Point))
+    return std::nullopt; // Defensive; cannot happen.
+  return Point;
+}

@@ -1,0 +1,37 @@
+//===- Sample.h - Integer point sampling --------------------------*- C++ -*-=//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Witness extraction: find a concrete integer point of a polyhedron. Used
+/// to turn "this shackle is illegal" into "here is the dependent instance
+/// pair it would run backwards" — the problem size is one of the variables,
+/// so the witness also exhibits the smallest-ish N at which the violation
+/// occurs within the search box.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_POLYHEDRAL_SAMPLE_H
+#define SHACKLE_POLYHEDRAL_SAMPLE_H
+
+#include "polyhedral/Polyhedron.h"
+
+#include <optional>
+#include <vector>
+
+namespace shackle {
+
+/// Finds the lexicographically smallest integer point of \p P with every
+/// coordinate in [Lo, Hi] (the box keeps unbounded directions finite).
+/// Complete within the box: returns a point iff one exists there. Each
+/// coordinate costs O(log(Hi - Lo)) exact emptiness tests.
+std::optional<std::vector<int64_t>>
+sampleIntegerPoint(const Polyhedron &P, int64_t Lo = -(1 << 20),
+                   int64_t Hi = 1 << 20);
+
+} // namespace shackle
+
+#endif // SHACKLE_POLYHEDRAL_SAMPLE_H

@@ -1,0 +1,84 @@
+//===- Simplify.cpp - Constraint simplification ----------------------------===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "polyhedral/Simplify.h"
+
+#include "polyhedral/OmegaTest.h"
+
+#include <cassert>
+
+using namespace shackle;
+
+void shackle::removeRedundantInequalities(Polyhedron &P) {
+  P.normalize();
+  P.removeDuplicateConstraints();
+  for (unsigned I = 0; I < P.getNumInequalities();) {
+    Polyhedron Q = P;
+    ConstraintRow Negated = negateInequality(P.getInequality(I));
+    Q.removeInequality(I);
+    Q.addInequality(std::move(Negated));
+    if (isIntegerEmpty(Q)) {
+      P.removeInequality(I);
+      continue;
+    }
+    ++I;
+  }
+}
+
+Polyhedron shackle::gist(const Polyhedron &P, const Polyhedron &Context) {
+  assert(P.getNumVars() == Context.getNumVars() &&
+         "gist requires a common space");
+
+  // If P /\ Context has no integer point, every constraint is vacuously
+  // implied; return an explicitly empty set so the result still satisfies
+  // gist(P, C) /\ C == P /\ C.
+  if (isIntegerEmpty(intersect(P, Context))) {
+    Polyhedron Empty(P.getVarNames());
+    ConstraintRow False(P.getNumVars() + 1, 0);
+    False.back() = -1; // -1 >= 0.
+    Empty.addInequality(std::move(False));
+    Empty.markKnownEmpty();
+    return Empty;
+  }
+
+  Polyhedron Result = P;
+  Result.normalize();
+  Result.removeDuplicateConstraints();
+
+  // Equalities implied by the context can be dropped as well; test both
+  // directions.
+  for (unsigned I = 0; I < Result.getNumEqualities();) {
+    Polyhedron Rest = Result;
+    Rest.removeEquality(I);
+    Polyhedron Whole = intersect(Rest, Context);
+    const ConstraintRow &Eq = Result.getEquality(I);
+    Polyhedron Pos = Whole;
+    ConstraintRow GE = Eq;
+    GE.back() -= 1;
+    Pos.addInequality(std::move(GE));
+    Polyhedron Neg = Whole;
+    Neg.addInequality(negateInequality(Eq));
+    if (isIntegerEmpty(Pos) && isIntegerEmpty(Neg)) {
+      Result.removeEquality(I);
+      continue;
+    }
+    ++I;
+  }
+
+  for (unsigned I = 0; I < Result.getNumInequalities();) {
+    Polyhedron Rest = Result;
+    Rest.removeInequality(I);
+    Polyhedron Q = intersect(Rest, Context);
+    Q.addInequality(negateInequality(Result.getInequality(I)));
+    if (isIntegerEmpty(Q)) {
+      Result.removeInequality(I);
+      continue;
+    }
+    ++I;
+  }
+  return Result;
+}

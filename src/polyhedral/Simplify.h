@@ -1,0 +1,35 @@
+//===- Simplify.h - Constraint simplification --------------------*- C++ -*-=//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Redundancy elimination and "gist" simplification. The paper's pipeline
+/// produces naive guarded code (its Figure 5) and then relies on a polyhedral
+/// tool "merely to simplify programs" (Section 4.2); these routines are that
+/// simplifier. A constraint is redundant over the integers iff adding its
+/// negation yields an integer-empty set, which the Omega test decides exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_POLYHEDRAL_SIMPLIFY_H
+#define SHACKLE_POLYHEDRAL_SIMPLIFY_H
+
+#include "polyhedral/Polyhedron.h"
+
+namespace shackle {
+
+/// Removes inequalities of \p P implied (over the integers) by the remaining
+/// constraints. Deterministic: constraints are considered in order.
+void removeRedundantInequalities(Polyhedron &P);
+
+/// Returns \p P simplified under the assumption that \p Context holds: every
+/// constraint of P that is implied by (rest of P) /\ Context is dropped.
+/// The result, intersected with Context, equals P intersected with Context.
+Polyhedron gist(const Polyhedron &P, const Polyhedron &Context);
+
+} // namespace shackle
+
+#endif // SHACKLE_POLYHEDRAL_SIMPLIFY_H

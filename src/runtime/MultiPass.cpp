@@ -1,0 +1,163 @@
+//===- MultiPass.cpp - Multi-sweep block traversal ------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MultiPass.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+using namespace shackle;
+
+namespace {
+
+struct Instance {
+  unsigned StmtId;
+  std::vector<int64_t> Iter;
+  std::vector<int64_t> Block; ///< Traversal-order block coordinates.
+};
+
+/// Enumerates all statement instances in original program order.
+std::vector<Instance> enumerateInstances(const Program &P,
+                                         const ProgramInstance &Inst) {
+  std::vector<Instance> Out;
+  std::vector<int64_t> VarValues(P.getNumVars(), 0);
+  for (unsigned V = 0; V < P.getNumParams(); ++V)
+    VarValues[V] = Inst.paramValue(V);
+  std::function<void(const std::vector<Node> &)> Walk =
+      [&](const std::vector<Node> &Body) {
+        for (const Node &N : Body) {
+          if (N.isLoop()) {
+            const Loop &L = *N.L;
+            int64_t Lo = L.LowerBounds[0].evaluate(VarValues);
+            for (unsigned I = 1; I < L.LowerBounds.size(); ++I)
+              Lo = std::max(Lo, L.LowerBounds[I].evaluate(VarValues));
+            int64_t Hi = L.UpperBounds[0].evaluate(VarValues);
+            for (unsigned I = 1; I < L.UpperBounds.size(); ++I)
+              Hi = std::min(Hi, L.UpperBounds[I].evaluate(VarValues));
+            for (int64_t V = Lo; V <= Hi; ++V) {
+              VarValues[L.Var] = V;
+              Walk(L.Body);
+            }
+          } else {
+            Instance R;
+            R.StmtId = N.S->Id;
+            for (unsigned Var : N.S->LoopVars)
+              R.Iter.push_back(VarValues[Var]);
+            Out.push_back(std::move(R));
+          }
+        }
+      };
+  Walk(P.topLevel());
+  return Out;
+}
+
+} // namespace
+
+MultiPassResult shackle::runMultiPassShackled(const Program &P,
+                                              const DataShackle &Sh,
+                                              ProgramInstance &Inst,
+                                              unsigned MaxPasses) {
+  assert(Sh.ShackledRefs.size() == P.getNumStmts() &&
+         "shackle must cover every statement");
+  MultiPassResult Result;
+
+  std::vector<Instance> Insts = enumerateInstances(P, Inst);
+  Result.Instances = Insts.size();
+
+  // Block coordinates of each instance's shackled reference.
+  std::vector<int64_t> VarValues(P.getNumVars(), 0);
+  for (unsigned V = 0; V < P.getNumParams(); ++V)
+    VarValues[V] = Inst.paramValue(V);
+  for (Instance &I : Insts) {
+    const Stmt &S = P.getStmt(I.StmtId);
+    for (unsigned K = 0; K < S.LoopVars.size(); ++K)
+      VarValues[S.LoopVars[K]] = I.Iter[K];
+    const ArrayRef &Ref = Sh.ShackledRefs[I.StmtId];
+    std::vector<int64_t> Idx;
+    for (const AffineExpr &E : Ref.Indices)
+      Idx.push_back(E.evaluate(VarValues));
+    for (const CuttingPlaneSet &PS : Sh.Blocking.Planes) {
+      int64_t E = 0;
+      for (unsigned D = 0; D < PS.Normal.size(); ++D)
+        E += PS.Normal[D] * Idx[D];
+      int64_t Z = floorDiv(E, PS.BlockSize);
+      I.Block.push_back(PS.Reversed ? -Z : Z);
+    }
+  }
+
+  // Dependence bookkeeping: per array element, the program-order list of
+  // accesses. An instance is ready when, on each element it touches, every
+  // earlier conflicting access (one side a write) has executed.
+  struct Access {
+    uint32_t Inst;
+    bool IsWrite;
+  };
+  std::map<std::pair<unsigned, int64_t>, std::vector<Access>> Elements;
+  for (uint32_t Idx = 0; Idx < Insts.size(); ++Idx) {
+    const Stmt &S = P.getStmt(Insts[Idx].StmtId);
+    for (unsigned K = 0; K < S.LoopVars.size(); ++K)
+      VarValues[S.LoopVars[K]] = Insts[Idx].Iter[K];
+    for (const auto &[Ref, IsWrite] : S.refs()) {
+      int64_t Off[8];
+      for (unsigned D = 0; D < Ref->Indices.size(); ++D)
+        Off[D] = Ref->Indices[D].evaluate(VarValues);
+      int64_t Linear = Inst.offset(Ref->ArrayId, Off);
+      Elements[{Ref->ArrayId, Linear}].push_back(Access{Idx, IsWrite});
+    }
+  }
+
+  std::vector<bool> Done(Insts.size(), false);
+  auto IsReady = [&](uint32_t Idx) {
+    const Stmt &S = P.getStmt(Insts[Idx].StmtId);
+    for (unsigned K = 0; K < S.LoopVars.size(); ++K)
+      VarValues[S.LoopVars[K]] = Insts[Idx].Iter[K];
+    for (const auto &[Ref, IsWrite] : S.refs()) {
+      int64_t Off[8];
+      for (unsigned D = 0; D < Ref->Indices.size(); ++D)
+        Off[D] = Ref->Indices[D].evaluate(VarValues);
+      int64_t Linear = Inst.offset(Ref->ArrayId, Off);
+      for (const Access &A : Elements[{Ref->ArrayId, Linear}]) {
+        if (A.Inst == Idx)
+          break; // Only earlier accesses matter.
+        if ((A.IsWrite || IsWrite) && !Done[A.Inst])
+          return false;
+      }
+    }
+    return true;
+  };
+
+  // Group instances by block, blocks in traversal (lexicographic) order;
+  // within a block, program order.
+  std::map<std::vector<int64_t>, std::vector<uint32_t>> Blocks;
+  for (uint32_t Idx = 0; Idx < Insts.size(); ++Idx)
+    Blocks[Insts[Idx].Block].push_back(Idx);
+
+  uint64_t Remaining = Insts.size();
+  while (Remaining > 0 && Result.Passes < MaxPasses) {
+    ++Result.Passes;
+    bool Progress = false;
+    for (auto &[Coords, Members] : Blocks) {
+      for (uint32_t Idx : Members) {
+        if (Done[Idx] || !IsReady(Idx))
+          continue;
+        const Stmt &S = P.getStmt(Insts[Idx].StmtId);
+        executeStatementInstance(Inst, S, Insts[Idx].Iter);
+        Done[Idx] = true;
+        --Remaining;
+        Progress = true;
+      }
+    }
+    if (!Progress)
+      break; // Deadlock would indicate corrupt dependence data.
+  }
+  Result.Completed = Remaining == 0;
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- MultiPass.h - Multi-sweep block traversal ------------------*- C++ -*-=//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 8 extension for relaxation codes, where a single
+/// sweep over the blocked array cannot be legal because "an array element
+/// is eventually affected by every other element":
+///
+///   "rather than perform all shackled statement instances when we touch a
+///    block, we can perform only those instances for which dependences have
+///    been satisfied. The array is traversed repeatedly till all instances
+///    are performed."
+///
+/// This runtime realizes exactly that: instances are executed when their
+/// dependence predecessors (earlier program-order accesses to a common
+/// element, at least one a write) have completed, and blocks are swept in
+/// traversal order until nothing is pending. For a shackle that is legal
+/// outright, the first sweep executes everything (a property the tests
+/// pin); for stencil/relaxation kernels the number of sweeps measures how
+/// far the shackle is from single-pass legality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_RUNTIME_MULTIPASS_H
+#define SHACKLE_RUNTIME_MULTIPASS_H
+
+#include "core/DataShackle.h"
+#include "interp/Interpreter.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+
+namespace shackle {
+
+struct MultiPassResult {
+  /// Number of full sweeps over the blocks that executed at least one
+  /// instance.
+  unsigned Passes = 0;
+  /// Total statement instances executed.
+  uint64_t Instances = 0;
+  /// False if MaxPasses was exhausted with work pending (cannot happen for
+  /// well-formed programs: each sweep always retires at least the oldest
+  /// pending instance).
+  bool Completed = false;
+};
+
+/// Executes \p P on \p Inst under the multi-pass block traversal induced by
+/// shackle \p Sh. Intended for modest problem sizes (the dependence
+/// bookkeeping enumerates instances explicitly).
+MultiPassResult runMultiPassShackled(const Program &P, const DataShackle &Sh,
+                                     ProgramInstance &Inst,
+                                     unsigned MaxPasses = 4096);
+
+} // namespace shackle
+
+#endif // SHACKLE_RUNTIME_MULTIPASS_H

@@ -1,0 +1,33 @@
+//===- ErrorHandling.h - Fatal internal errors -------------------*- C++ -*-=//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reporting for broken internal invariants that must abort even in release
+/// builds (the moral equivalent of llvm_unreachable / report_fatal_error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_ERRORHANDLING_H
+#define SHACKLE_SUPPORT_ERRORHANDLING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shackle {
+
+/// Prints \p Msg to stderr and aborts. Use for invariant violations that
+/// would otherwise silently produce wrong code.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fputs("shackle fatal error: ", stderr);
+  std::fputs(Msg, stderr);
+  std::fputs("\n", stderr);
+  std::abort();
+}
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_ERRORHANDLING_H

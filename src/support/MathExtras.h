@@ -1,0 +1,105 @@
+//===- MathExtras.h - Exact integer arithmetic helpers ---------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact 64-bit integer arithmetic used throughout the polyhedral machinery.
+/// All polyhedral computations in Shackle are performed over int64_t; the
+/// helpers here implement the mathematically correct (floor/ceil) division
+/// semantics that C++'s truncating division does not provide, plus the
+/// symmetric modulo used by the Omega test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_MATHEXTRAS_H
+#define SHACKLE_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+
+namespace shackle {
+
+/// Greatest common divisor of the absolute values; gcd(0, 0) == 0.
+inline int64_t gcd64(int64_t A, int64_t B) {
+  return std::gcd(A < 0 ? -A : A, B < 0 ? -B : B);
+}
+
+/// Least common multiple of the absolute values; asserts on overflow only in
+/// debug builds (inputs in this project are tiny block sizes and +-1 coeffs).
+inline int64_t lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd64(A, B);
+  return (A / G) * B < 0 ? -((A / G) * B) : (A / G) * B;
+}
+
+/// Floor division: largest Q with Q * Divisor <= Dividend. Divisor must be
+/// positive.
+inline int64_t floorDiv(int64_t Dividend, int64_t Divisor) {
+  assert(Divisor > 0 && "floorDiv requires a positive divisor");
+  int64_t Q = Dividend / Divisor;
+  if (Dividend % Divisor != 0 && Dividend < 0)
+    --Q;
+  return Q;
+}
+
+/// Ceil division: smallest Q with Q * Divisor >= Dividend. Divisor must be
+/// positive.
+inline int64_t ceilDiv(int64_t Dividend, int64_t Divisor) {
+  assert(Divisor > 0 && "ceilDiv requires a positive divisor");
+  int64_t Q = Dividend / Divisor;
+  if (Dividend % Divisor != 0 && Dividend > 0)
+    ++Q;
+  return Q;
+}
+
+/// Mathematical modulo: result in [0, Divisor). Divisor must be positive.
+inline int64_t floorMod(int64_t Dividend, int64_t Divisor) {
+  return Dividend - floorDiv(Dividend, Divisor) * Divisor;
+}
+
+/// Pugh's symmetric "hat" modulo used by the Omega test's equality
+/// elimination: result in [-floor(Divisor/2), ceil(Divisor/2)).
+///
+/// Defined as  a hatmod b = a - b * floor(a/b + 1/2).
+inline int64_t symMod(int64_t Dividend, int64_t Divisor) {
+  assert(Divisor > 0 && "symMod requires a positive divisor");
+  int64_t R = floorMod(Dividend, Divisor);
+  if (2 * R >= Divisor)
+    R -= Divisor;
+  return R;
+}
+
+/// Multiply with a debug-build overflow check. The polyhedral library keeps
+/// coefficients small, so overflow indicates a logic error, not bad input.
+inline int64_t checkedMul(int64_t A, int64_t B) {
+#ifndef NDEBUG
+  int64_t R;
+  bool Overflow = __builtin_mul_overflow(A, B, &R);
+  assert(!Overflow && "int64 overflow in polyhedral arithmetic");
+  return R;
+#else
+  return A * B;
+#endif
+}
+
+/// Add with a debug-build overflow check.
+inline int64_t checkedAdd(int64_t A, int64_t B) {
+#ifndef NDEBUG
+  int64_t R;
+  bool Overflow = __builtin_add_overflow(A, B, &R);
+  assert(!Overflow && "int64 overflow in polyhedral arithmetic");
+  return R;
+#else
+  return A + B;
+#endif
+}
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,56 @@
+//===- Writer.h - Indented text emission ------------------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny indentation-aware string builder used by the pretty printers and
+/// the C++ emitter. Kept deliberately minimal (no iostream in library code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_WRITER_H
+#define SHACKLE_SUPPORT_WRITER_H
+
+#include <string>
+
+namespace shackle {
+
+/// Accumulates lines of text with a current indentation level.
+class Writer {
+public:
+  explicit Writer(unsigned IndentWidth = 2) : IndentWidth(IndentWidth) {}
+
+  /// Appends one full line at the current indentation.
+  void line(const std::string &Text) {
+    Buffer.append(Level * IndentWidth, ' ');
+    Buffer += Text;
+    Buffer += '\n';
+  }
+
+  /// Appends a blank line.
+  void blank() { Buffer += '\n'; }
+
+  /// Appends raw text with no indentation or newline handling.
+  void raw(const std::string &Text) { Buffer += Text; }
+
+  void indent() { ++Level; }
+
+  void dedent() {
+    if (Level > 0)
+      --Level;
+  }
+
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string Buffer;
+  unsigned IndentWidth;
+  unsigned Level = 0;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_WRITER_H

@@ -1,0 +1,129 @@
+//===- autotune_test.cpp - Automatic shackle search ----------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/AutoShackle.h"
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+AutoShackleOptions smallOptions(std::vector<int64_t> EvalParams) {
+  AutoShackleOptions Opts;
+  Opts.BlockSizes = {4, 8};
+  Opts.EvalParams = std::move(EvalParams);
+  // Tiny caches so even a 24x24 problem shows locality differences.
+  Opts.Caches = {CacheConfig{"L1", 2 * 1024, 64, 2},
+                 CacheConfig{"L2", 8 * 1024, 64, 4}};
+  return Opts;
+}
+
+TEST(AutoShackle, CholeskySearchFindsLegalWinner) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  AutoShackleResult R = searchShackles(P, 0, smallOptions({24}));
+  ASSERT_NE(R.best(), nullptr);
+  EXPECT_TRUE(R.best()->Legal);
+  EXPECT_TRUE(R.best()->Evaluated);
+  // The known census: with 2 block sizes and 2 traversal orders, the six
+  // reference combos yield 3 legal * 4 = 12 legal single candidates.
+  unsigned LegalSingles = 0, IllegalSingles = 0;
+  for (const ShackleCandidate &C : R.Candidates) {
+    if (C.Chain.Factors.size() != 1)
+      continue;
+    (C.Legal ? LegalSingles : IllegalSingles)++;
+  }
+  EXPECT_EQ(LegalSingles, 12u);
+  EXPECT_EQ(IllegalSingles, 12u);
+  // The evaluated candidates are sorted by cost.
+  double Last = -1;
+  for (const ShackleCandidate &C : R.Candidates) {
+    if (!C.Evaluated)
+      break;
+    EXPECT_GE(C.Cost, Last);
+    Last = C.Cost;
+  }
+}
+
+TEST(AutoShackle, WinnerBeatsOriginalCodeOnMisses) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  AutoShackleOptions Opts = smallOptions({24});
+  AutoShackleResult R = searchShackles(P, 0, Opts);
+  ASSERT_NE(R.best(), nullptr);
+
+  // Original code under the same cost model.
+  LoopNest Orig = generateOriginalCode(P);
+  ProgramInstance Inst(P, {24});
+  CacheHierarchy H(Opts.Caches);
+  TraceFn Trace = [&H](unsigned ArrayId, int64_t Off, bool) {
+    H.access((static_cast<uint64_t>(ArrayId + 1) << 33) +
+             static_cast<uint64_t>(Off) * sizeof(double));
+  };
+  runLoopNest(Orig, Inst, &Trace);
+  double OrigCost = static_cast<double>(H.level(0).misses()) +
+                    8.0 * static_cast<double>(H.level(1).misses());
+  EXPECT_LT(R.best()->Cost, OrigCost);
+}
+
+TEST(AutoShackle, MatMulSearchIncludesProducts) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  AutoShackleOptions Opts = smallOptions({24});
+  Opts.TryBothTraversalOrders = false;
+  AutoShackleResult R = searchShackles(P, 0, Opts); // Block C.
+  ASSERT_NE(R.best(), nullptr);
+  bool SawProduct = false;
+  for (const ShackleCandidate &C : R.Candidates)
+    SawProduct |= C.Chain.Factors.size() == 2;
+  EXPECT_TRUE(SawProduct);
+}
+
+TEST(AutoShackle, SearchedWinnerPreservesSemantics) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  AutoShackleResult R = searchShackles(P, 0, smallOptions({24}));
+  ASSERT_NE(R.best(), nullptr);
+
+  int64_t N = 31;
+  ProgramInstance Ref(P, {N}), Test(P, {N});
+  Ref.fillRandom(8, 0.5, 1.5);
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t Idx[2] = {I, I};
+    Ref.buffer(0)[Ref.offset(0, Idx)] += 3.0 * static_cast<double>(N);
+  }
+  Test.buffer(0) = Ref.buffer(0);
+  runLoopNest(generateOriginalCode(P), Ref);
+  runLoopNest(generateShackledCode(P, R.best()->Chain), Test);
+  EXPECT_EQ(Ref.maxAbsDifference(Test), 0.0);
+}
+
+TEST(AutoShackle, BlockSizeSweepIsSortedAndLegalOnly) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  AutoShackleOptions Opts = smallOptions({24});
+  auto Sweep = sweepBlockSizes(P, mmmShackleCxA(P, 8), {2, 4, 8, 16}, Opts);
+  ASSERT_EQ(Sweep.size(), 4u);
+  for (unsigned I = 1; I < Sweep.size(); ++I)
+    EXPECT_GE(Sweep[I].second, Sweep[I - 1].second);
+}
+
+TEST(AutoShackle, QRSearchSkipsWhenStatementsLackReferences) {
+  // QR's S1 (sig[K] = 0) has no reference to A, and the search does not
+  // invent dummy references: empty result, no crash.
+  BenchSpec Spec = makeQRHouseholder();
+  AutoShackleResult R = searchShackles(*Spec.Prog, 0, smallOptions({16}));
+  EXPECT_EQ(R.best(), nullptr);
+  EXPECT_TRUE(R.Candidates.empty());
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- cachesim_test.cpp - Cache hierarchy simulator ---------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+TEST(CacheLevel, SequentialSweepMissesOncePerLine) {
+  CacheLevel L(CacheConfig{"L1", 1024, 64, 2});
+  for (uint64_t A = 0; A < 4096; A += 8)
+    L.access(A);
+  EXPECT_EQ(L.misses(), 4096u / 64u);
+  EXPECT_EQ(L.hits(), 4096u / 8u - 4096u / 64u);
+}
+
+TEST(CacheLevel, RepeatedAccessHitsAfterFirstMiss) {
+  CacheLevel L(CacheConfig{"L1", 1024, 64, 2});
+  for (int I = 0; I < 100; ++I)
+    L.access(0x1000);
+  EXPECT_EQ(L.misses(), 1u);
+  EXPECT_EQ(L.hits(), 99u);
+}
+
+TEST(CacheLevel, LruEvictsTheLeastRecentWay) {
+  // 2-way, 64B lines, 1024B total -> 8 sets. Three lines mapping to set 0:
+  // addresses 0, 8*64*1 = 512... sets = (addr/64) % 8, so 0, 512, 1024 all
+  // land in set 0.
+  CacheLevel L(CacheConfig{"L1", 1024, 64, 2});
+  EXPECT_FALSE(L.access(0));    // Miss, way 0.
+  EXPECT_FALSE(L.access(512));  // Miss, way 1.
+  EXPECT_TRUE(L.access(0));     // Hit, refreshes line 0.
+  EXPECT_FALSE(L.access(1024)); // Miss, evicts 512 (LRU).
+  EXPECT_TRUE(L.access(0));     // Still resident.
+  EXPECT_FALSE(L.access(512));  // Was evicted.
+}
+
+TEST(CacheLevel, FullAssociativityUsesAllWays) {
+  // 4-way, one set (4 * 64 = 256 bytes).
+  CacheLevel L(CacheConfig{"L1", 256, 64, 4});
+  for (uint64_t A = 0; A < 4 * 64; A += 64)
+    L.access(A);
+  for (uint64_t A = 0; A < 4 * 64; A += 64)
+    EXPECT_TRUE(L.access(A)) << A;
+}
+
+TEST(CacheHierarchy, MissesPropagateToNextLevel) {
+  CacheHierarchy H({
+      CacheConfig{"L1", 256, 64, 2},
+      CacheConfig{"L2", 4096, 64, 4},
+  });
+  // Stream 128 distinct lines: all miss L1, all miss L2 once; re-stream:
+  // too big for L1 (4 lines) but fits L2 (64 lines)? 128 lines > 64 lines,
+  // so use 32 lines instead.
+  for (int Round = 0; Round < 2; ++Round)
+    for (uint64_t A = 0; A < 32 * 64; A += 64)
+      H.access(A);
+  EXPECT_EQ(H.accesses(), 64u);
+  EXPECT_EQ(H.level(0).misses(), 64u); // 4-line L1 thrashes every time.
+  EXPECT_EQ(H.level(1).misses(), 32u); // Second round hits in L2.
+}
+
+TEST(CacheHierarchy, ReportMentionsEveryLevel) {
+  CacheHierarchy H = CacheHierarchy::classic();
+  H.access(0);
+  std::string R = H.report();
+  EXPECT_NE(R.find("L1"), std::string::npos);
+  EXPECT_NE(R.find("L2"), std::string::npos);
+  EXPECT_NE(R.find("missrate"), std::string::npos);
+}
+
+TEST(CacheHierarchy, ResetClearsCountersButNotContents) {
+  CacheHierarchy H = CacheHierarchy::classic();
+  H.access(0x40);
+  H.resetCounters();
+  EXPECT_EQ(H.accesses(), 0u);
+  H.access(0x40); // Still cached from before the reset.
+  EXPECT_EQ(H.level(0).hits(), 1u);
+}
+
+/// End-to-end: blocking must reduce simulated misses on a cache-sized
+/// problem — the qualitative content of the paper's graphs.
+TEST(CacheIntegration, BlockedMatMulHasFarFewerMisses) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  const int64_t N = 48; // 3 * 48^2 * 8B = 55 KB; L1 below is 8 KB.
+  auto CountL1Misses = [&](const LoopNest &Nest) {
+    ProgramInstance Inst(P, {N});
+    Inst.fillRandom(1, 0.5, 1.5);
+    CacheHierarchy H({CacheConfig{"L1", 8 * 1024, 64, 4}});
+    TraceFn Trace = [&H](unsigned ArrayId, int64_t Off, bool) {
+      H.access((static_cast<uint64_t>(ArrayId + 1) << 30) +
+               static_cast<uint64_t>(Off) * 8);
+    };
+    runLoopNest(Nest, Inst, &Trace);
+    return H.level(0).misses();
+  };
+  uint64_t Orig = CountL1Misses(generateOriginalCode(P));
+  uint64_t Blocked =
+      CountL1Misses(generateShackledCode(P, mmmShackleCxA(P, 8)));
+  EXPECT_LT(Blocked * 4, Orig)
+      << "blocked misses " << Blocked << " vs original " << Orig;
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- cli_test.cpp - The shackle command-line driver --------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests of the `shackle` binary (path injected by CMake),
+// including the DSL front-end path through a temp file.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef SHACKLE_CLI_PATH
+#error "SHACKLE_CLI_PATH must be defined by the build"
+#endif
+
+/// Runs the CLI with \p Args; returns (exit code, stdout).
+std::pair<int, std::string> runCli(const std::string &Args) {
+  std::string Cmd = std::string(SHACKLE_CLI_PATH) + " " + Args + " 2>&1";
+  std::FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Out.append(Buf, Got);
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Out};
+}
+
+TEST(Cli, ListShowsBenchmarks) {
+  auto [Rc, Out] = runCli("list");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("cholesky-right"), std::string::npos);
+  EXPECT_NE(Out.find("matmul"), std::string::npos);
+}
+
+TEST(Cli, CodegenPrintsBlockedLoops) {
+  auto [Rc, Out] = runCli("codegen matmul cxa --block=25");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("do b1 = 0 .. floor((N - 1)/25)"), std::string::npos)
+      << Out;
+}
+
+TEST(Cli, LegalityExitCodesDistinguishVerdicts) {
+  EXPECT_EQ(runCli("legality cholesky-right stores").first, 0);
+  EXPECT_EQ(runCli("legality matmul c").first, 0);
+}
+
+TEST(Cli, CensusReportsSixVerdictsWithWitnesses) {
+  auto [Rc, Out] = runCli("census");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("LEGAL"), std::string::npos);
+  EXPECT_NE(Out.find("illegal"), std::string::npos);
+  EXPECT_NE(Out.find("must precede"), std::string::npos);
+}
+
+TEST(Cli, DepsPrintsDirectionVectors) {
+  auto [Rc, Out] = runCli("deps matmul");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("(=,=,<)"), std::string::npos) << Out;
+}
+
+TEST(Cli, UnknownBenchmarkFailsWithMessage) {
+  auto [Rc, Out] = runCli("print nosuchthing");
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("unknown benchmark"), std::string::npos);
+}
+
+class CliFile : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = ::testing::TempDir() + "cli_test_prog.dsl";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    const char *Src = "param N\n"
+                      "array A[N][N] colmajor\n"
+                      "do J = 0, N-1\n"
+                      "  S1: A[J][J] = sqrt(A[J][J])\n"
+                      "  do I = J+1, N-1\n"
+                      "    S2: A[I][J] = A[I][J] / A[J][J]\n"
+                      "  end\n"
+                      "  do L = J+1, N-1\n"
+                      "    do K = J+1, L\n"
+                      "      S3: A[L][K] = A[L][K] - A[L][J]*A[K][J]\n"
+                      "    end\n"
+                      "  end\n"
+                      "end\n";
+    std::fputs(Src, F);
+    std::fclose(F);
+  }
+
+  std::string Path;
+};
+
+TEST_F(CliFile, PrintRoundTrips) {
+  auto [Rc, Out] = runCli("file " + Path + " print");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("do J = 0 .. N - 1"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, LegalityAndCodegenOnParsedProgram) {
+  auto [Rc, Out] =
+      runCli("file " + Path + " legality --array=A --block=8,8");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("legal"), std::string::npos);
+
+  auto [Rc2, Out2] =
+      runCli("file " + Path + " codegen --array=A --block=8,8");
+  EXPECT_EQ(Rc2, 0);
+  EXPECT_NE(Out2.find("do b1"), std::string::npos) << Out2;
+}
+
+TEST_F(CliFile, ReversedWalkIsRejectedWithCounterexample) {
+  auto [Rc, Out] =
+      runCli("file " + Path + " legality --array=A --block=4,4 --reversed");
+  EXPECT_EQ(Rc, 2);
+  EXPECT_NE(Out.find("illegal"), std::string::npos);
+  EXPECT_NE(Out.find("must precede"), std::string::npos);
+}
+
+TEST_F(CliFile, ParseErrorsAreReportedWithLine) {
+  std::string Bad = ::testing::TempDir() + "cli_test_bad.dsl";
+  std::FILE *F = std::fopen(Bad.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs("param N\narray A[N]\ndo i = 0, N-1\nA[i] = 1\n", F);
+  std::fclose(F);
+  auto [Rc, Out] = runCli("file " + Bad + " print");
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("line"), std::string::npos) << Out;
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- codegen_test.cpp - Polyhedra scanning code generation ------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Scanner.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+/// Instance-count helper: the generated code must execute exactly the same
+/// number of statement instances as the original.
+uint64_t instances(const LoopNest &Nest, const Program &P,
+                   std::vector<int64_t> Params) {
+  ProgramInstance Inst(P, Params);
+  return countExecutedInstances(Nest, Inst);
+}
+
+TEST(Scanner, MatMulFigure6Shape) {
+  BenchSpec Spec = makeMatMul();
+  LoopNest Nest = generateShackledCode(*Spec.Prog, mmmShackleC(*Spec.Prog, 25));
+  std::string S = Nest.str();
+  // Block loops then point loops with intersected bounds, exactly Figure 6.
+  EXPECT_NE(S.find("do b1 = 0 .. floor((N - 1)/25)"), std::string::npos) << S;
+  EXPECT_NE(S.find("do t1 = 25*b1 .. min(25*b1 + 24, N - 1)"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("do t3 = 0 .. N - 1"), std::string::npos) << S;
+  EXPECT_EQ(Nest.loopDepth(), 5u);
+  EXPECT_EQ(Nest.countInstances(), 1u);
+}
+
+TEST(Scanner, ProductShacklePinsRedundantBlockDim) {
+  // C x A constrains the A row blocks to equal the C row blocks; the
+  // scanner must discover b3 == b1 and bind it instead of looping.
+  BenchSpec Spec = makeMatMul();
+  LoopNest Nest =
+      generateShackledCode(*Spec.Prog, mmmShackleCxA(*Spec.Prog, 25));
+  std::string S = Nest.str();
+  EXPECT_NE(S.find("b3 = b1"), std::string::npos) << S;
+  EXPECT_EQ(S.find("do b3"), std::string::npos) << S;
+}
+
+TEST(Scanner, ADIFusionMatchesFigure14) {
+  BenchSpec Spec = makeADI();
+  LoopNest Nest = generateShackledCode(*Spec.Prog, adiShackle(*Spec.Prog));
+  std::string S = Nest.str();
+  // Two loops (k outer via b1, i via b2), both statements in the inner body,
+  // no guards.
+  EXPECT_EQ(Nest.loopDepth(), 2u);
+  EXPECT_EQ(Nest.countInstances(), 2u);
+  EXPECT_EQ(S.find("if ("), std::string::npos) << S;
+}
+
+TEST(Scanner, PruneUnusedLetsRemovesPaddingDims) {
+  // Cholesky's S1 is nested one deep but the scan space pads to depth 3;
+  // the padding t2/t3 = 0 bindings must be pruned.
+  BenchSpec Spec = makeCholeskyRight();
+  LoopNest Nest = generateShackledCode(*Spec.Prog,
+                                       choleskyShackleStores(*Spec.Prog, 64));
+  std::string S = Nest.str();
+  EXPECT_EQ(S.find("t2 = 0\n"), std::string::npos) << S;
+  EXPECT_EQ(S.find("t3 = 0\n"), std::string::npos) << S;
+}
+
+/// Property: the generated blocked code executes exactly as many instances
+/// as the original, over a grid of problem and block sizes (this catches
+/// both lost and duplicated iterations at block boundaries).
+class InstanceCount
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(InstanceCount, MatMulBlockedCountsMatch) {
+  auto [N, B] = GetParam();
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  LoopNest Orig = generateOriginalCode(P);
+  LoopNest Blocked = generateShackledCode(P, mmmShackleCxA(P, B));
+  EXPECT_EQ(instances(Orig, P, {N}), instances(Blocked, P, {N}));
+  EXPECT_EQ(instances(Orig, P, {N}),
+            static_cast<uint64_t>(N) * N * N);
+}
+
+TEST_P(InstanceCount, CholeskyBlockedCountsMatch) {
+  auto [N, B] = GetParam();
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  LoopNest Orig = generateOriginalCode(P);
+  LoopNest Blocked = generateShackledCode(P, choleskyShackleStores(P, B));
+  EXPECT_EQ(instances(Orig, P, {N}), instances(Blocked, P, {N}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InstanceCount,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 3, 7, 8, 9, 16, 23,
+                                                  31),
+                       ::testing::Values<int64_t>(1, 2, 4, 8)));
+
+TEST(Scanner, NaiveCodeCountsMatchToo) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  LoopNest Orig = generateOriginalCode(P);
+  LoopNest Naive = generateNaiveShackledCode(P, choleskyShackleStores(P, 5));
+  for (int64_t N : {1, 4, 9, 17})
+    EXPECT_EQ(instances(Orig, P, {N}), instances(Naive, P, {N})) << N;
+}
+
+TEST(Scanner, OriginalLoweringPreservesStructure) {
+  BenchSpec Spec = makeCholeskyRight();
+  LoopNest Orig = generateOriginalCode(*Spec.Prog);
+  EXPECT_EQ(Orig.loopDepth(), 3u);
+  EXPECT_EQ(Orig.countInstances(), 3u);
+  // Dims are exactly the program variables.
+  EXPECT_EQ(Orig.NumDims, Spec.Prog->getNumVars());
+}
+
+TEST(BoundExprPrinting, FoldsConstantDivisions) {
+  BoundExpr B;
+  B.Expr = AffineExpr::constant(1, 7);
+  B.Divisor = 2;
+  B.IsCeil = false;
+  EXPECT_EQ(B.str({"x"}), "3");
+  B.IsCeil = true;
+  EXPECT_EQ(B.str({"x"}), "4");
+  B.Expr = AffineExpr::constant(1, -7);
+  B.IsCeil = false;
+  EXPECT_EQ(B.str({"x"}), "-4");
+  B.IsCeil = true;
+  EXPECT_EQ(B.str({"x"}), "-3");
+}
+
+TEST(LoopNestPrinting, GuardsRenderAsConjunction) {
+  BenchSpec Spec = makeMatMul();
+  LoopNest Naive = generateNaiveShackledCode(*Spec.Prog,
+                                             mmmShackleC(*Spec.Prog, 25));
+  std::string S = Naive.str();
+  EXPECT_NE(S.find(" && "), std::string::npos);
+  EXPECT_NE(S.find(">= 0"), std::string::npos);
+}
+
+} // namespace

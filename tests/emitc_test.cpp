@@ -1,0 +1,103 @@
+//===- emitc_test.cpp - C++ emission ------------------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Structural checks on the emitted C++ (the numeric behaviour of compiled
+// kernels is covered by genkernels_test.cpp, which compares them against
+// the interpreter).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShackleDriver.h"
+#include "emitc/EmitC.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+TEST(EmitC, KernelSignatureAndParams) {
+  BenchSpec Spec = makeMatMul();
+  LoopNest Orig = generateOriginalCode(*Spec.Prog);
+  std::string S = emitKernel(Orig, "my_kernel");
+  EXPECT_NE(S.find("extern \"C\" void my_kernel(double **arrays, "
+                   "const int64_t *params)"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("const int64_t N = params[0];"), std::string::npos);
+  EXPECT_NE(S.find("__restrict"), std::string::npos);
+}
+
+TEST(EmitC, ColMajorAddressing) {
+  // MMM arrays are column-major: offset of C[I,J] is I + J*N, which the
+  // emitter writes innermost-dimension-major.
+  BenchSpec Spec = makeMatMul();
+  LoopNest Orig = generateOriginalCode(*Spec.Prog);
+  std::string S = emitKernel(Orig, "k");
+  EXPECT_NE(S.find("a0[((J))*(N) + (I)]"), std::string::npos) << S;
+}
+
+TEST(EmitC, BandStorageAddressing) {
+  BenchSpec Spec = makeCholeskyBanded();
+  LoopNest Orig = generateOriginalCode(*Spec.Prog);
+  std::string S = emitKernel(Orig, "k");
+  EXPECT_NE(S.find("(bw + 1)"), std::string::npos) << S;
+}
+
+TEST(EmitC, BlockedCodeUsesDivisionHelpersAndLets) {
+  BenchSpec Spec = makeMatMul();
+  LoopNest Nest = generateShackledCode(*Spec.Prog,
+                                       mmmShackleCxA(*Spec.Prog, 25));
+  std::string S = emitKernel(Nest, "k");
+  EXPECT_NE(S.find("shk_floordiv("), std::string::npos) << S;
+  EXPECT_NE(S.find("const int64_t b3 = b1;"), std::string::npos) << S;
+}
+
+TEST(EmitC, SqrtAndDivisionOperators) {
+  BenchSpec Spec = makeCholeskyRight();
+  LoopNest Orig = generateOriginalCode(*Spec.Prog);
+  std::string S = emitKernel(Orig, "k");
+  EXPECT_NE(S.find("std::sqrt("), std::string::npos);
+  EXPECT_NE(S.find(" / "), std::string::npos);
+}
+
+TEST(EmitC, TranslationUnitHasRegistryAndHelpers) {
+  BenchSpec Spec = makeMatMul();
+  LoopNest Orig = generateOriginalCode(*Spec.Prog);
+  std::vector<KernelSpec> Kernels = {{"k1", &Orig}, {"k2", &Orig}};
+  std::string TU = emitTranslationUnit(Kernels);
+  EXPECT_NE(TU.find("shk_ceildiv"), std::string::npos);
+  EXPECT_NE(TU.find("shackle_gen_lookup"), std::string::npos);
+  EXPECT_NE(TU.find("\"k1\""), std::string::npos);
+  EXPECT_NE(TU.find("\"k2\""), std::string::npos);
+
+  std::string H = emitHeader(Kernels);
+  EXPECT_NE(H.find("void k1(double **arrays"), std::string::npos);
+  EXPECT_NE(H.find("shackle_kernel_fn"), std::string::npos);
+}
+
+TEST(EmitC, EmissionIsDeterministic) {
+  BenchSpec Spec = makeCholeskyRight();
+  LoopNest A = generateShackledCode(*Spec.Prog,
+                                    choleskyShackleStores(*Spec.Prog, 16));
+  BenchSpec Spec2 = makeCholeskyRight();
+  LoopNest B = generateShackledCode(*Spec2.Prog,
+                                    choleskyShackleStores(*Spec2.Prog, 16));
+  EXPECT_EQ(emitKernel(A, "k"), emitKernel(B, "k"));
+}
+
+TEST(EmitC, GuardsEmitAsIfs) {
+  BenchSpec Spec = makeMatMul();
+  LoopNest Naive = generateNaiveShackledCode(*Spec.Prog,
+                                             mmmShackleC(*Spec.Prog, 25));
+  std::string S = emitKernel(Naive, "k");
+  EXPECT_NE(S.find("if ("), std::string::npos);
+  EXPECT_NE(S.find(">= 0"), std::string::npos);
+}
+
+} // namespace

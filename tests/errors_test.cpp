@@ -1,0 +1,63 @@
+//===- errors_test.cpp - Misuse diagnostics -------------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The library aborts loudly (fatalError) on API misuse instead of silently
+// producing wrong code; death tests pin the diagnostics. Plus
+// describeChain rendering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DataShackle.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+TEST(ErrorsDeathTest, OnStoresRequiresStoresToTheBlockedArray) {
+  // MMM's statement stores to C (array 0); blocking A (array 1) through
+  // stores is a misuse.
+  BenchSpec Spec = makeMatMul();
+  EXPECT_DEATH(DataShackle::onStores(
+                   *Spec.Prog, DataBlocking::rectangular(1, {8, 8})),
+               "does not store to the blocked array");
+}
+
+TEST(ErrorsDeathTest, OnRefsRejectsWrongArray) {
+  BenchSpec Spec = makeMatMul();
+  // Reference 2 of S1 is A[I,K]; pairing it with a blocking of B is wrong.
+  EXPECT_DEATH(DataShackle::onRefs(*Spec.Prog,
+                                   DataBlocking::rectangular(2, {8, 8}),
+                                   {2}),
+               "does not target the blocked array");
+}
+
+TEST(DescribeChain, RendersBlockingAndRefs) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  std::string D = describeChain(P, choleskyShackleStores(P, 64));
+  EXPECT_NE(D.find("block A 64x64"), std::string::npos) << D;
+  EXPECT_NE(D.find("(cols,rows)"), std::string::npos) << D;
+  EXPECT_NE(D.find("S1=A[J,J]"), std::string::npos) << D;
+  EXPECT_NE(D.find("S3=A[L,K]"), std::string::npos) << D;
+}
+
+TEST(DescribeChain, MarksProductsAndReversal) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = mmmShackleCxA(P, 16);
+  Chain.Factors[1].Blocking.Planes[0].Reversed = true;
+  std::string D = describeChain(P, Chain);
+  EXPECT_NE(D.find(" x "), std::string::npos) << D;
+  EXPECT_NE(D.find("16r"), std::string::npos) << D;
+  EXPECT_NE(D.find("block C"), std::string::npos) << D;
+  EXPECT_NE(D.find("block A"), std::string::npos) << D;
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- ir_test.cpp - Loop-nest IR, schedules, layouts -------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Program.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr X = AffineExpr::var(3, 0);
+  AffineExpr Y = AffineExpr::var(3, 1);
+  AffineExpr E = X * 2 + Y - 5;
+  EXPECT_EQ(E.getCoeff(0), 2);
+  EXPECT_EQ(E.getCoeff(1), 1);
+  EXPECT_EQ(E.getCoeff(2), 0);
+  EXPECT_EQ(E.getConstant(), -5);
+  EXPECT_EQ(E.evaluate({3, 4, 99}), 5);
+  EXPECT_FALSE(E.isConstant());
+  EXPECT_TRUE(AffineExpr::constant(3, 7).isConstant());
+  EXPECT_EQ((E - E).evaluate({1, 2, 3}), 0);
+}
+
+TEST(AffineExpr, Printing) {
+  std::vector<std::string> Names = {"i", "j"};
+  AffineExpr E = AffineExpr::var(2, 0) * 25 - AffineExpr::var(2, 1) + 3;
+  EXPECT_EQ(E.str(Names), "25*i - j + 3");
+  EXPECT_EQ(AffineExpr::constant(2, -4).str(Names), "-4");
+}
+
+TEST(Program, SchedulesEncodeImperfectNesting) {
+  // Right-looking Cholesky: S1 at (0, J, 0); S2 at (0, J, 1, I, 0);
+  // S3 at (0, J, 2, L, 0, K, 0).
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ASSERT_EQ(P.getNumStmts(), 3u);
+  const Stmt &S1 = P.getStmt(0), &S2 = P.getStmt(1), &S3 = P.getStmt(2);
+  EXPECT_EQ(S1.getDepth(), 1u);
+  EXPECT_EQ(S2.getDepth(), 2u);
+  EXPECT_EQ(S3.getDepth(), 3u);
+  EXPECT_EQ(S1.Schedule, (std::vector<unsigned>{0, 0}));
+  EXPECT_EQ(S2.Schedule, (std::vector<unsigned>{0, 1, 0}));
+  EXPECT_EQ(S3.Schedule, (std::vector<unsigned>{0, 2, 0, 0}));
+  // All three share the outer J loop variable.
+  EXPECT_EQ(S1.LoopVars[0], S2.LoopVars[0]);
+  EXPECT_EQ(S1.LoopVars[0], S3.LoopVars[0]);
+}
+
+TEST(Program, RefsEnumerateStoreThenLoads) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Stmt &S3 = Spec.Prog->getStmt(2);
+  auto Refs = S3.refs();
+  ASSERT_EQ(Refs.size(), 4u); // store A[L,K]; loads A[L,K], A[L,J], A[K,J].
+  EXPECT_TRUE(Refs[0].second);
+  for (unsigned I = 1; I < 4; ++I)
+    EXPECT_FALSE(Refs[I].second);
+  EXPECT_EQ(*Refs[0].first, *Refs[1].first); // Store equals first load.
+}
+
+TEST(Program, PrettyPrintMatchesPaperShape) {
+  BenchSpec Spec = makeMatMul();
+  EXPECT_EQ(Spec.Prog->str(),
+            "do I = 0 .. N - 1\n"
+            "  do J = 0 .. N - 1\n"
+            "    do K = 0 .. N - 1\n"
+            "      S1: C[I,J] = (C[I,J] + (A[I,K] * B[K,J]))\n");
+}
+
+TEST(Program, MultiBoundLoopsPrintMinMax) {
+  BenchSpec Spec = makeCholeskyBanded();
+  std::string S = Spec.Prog->str();
+  EXPECT_NE(S.find("min(N - 1, bw + J)"), std::string::npos) << S;
+}
+
+TEST(ProgramInstance, ColMajorOffsets) {
+  BenchSpec Spec = makeMatMul(); // Matrices are column-major (Fortran).
+  ProgramInstance Inst(*Spec.Prog, {5});
+  int64_t Idx[2] = {3, 2};
+  EXPECT_EQ(Inst.offset(0, Idx), 3 + 2 * 5);
+  int64_t Idx2[2] = {0, 4};
+  EXPECT_EQ(Inst.offset(0, Idx2), 20);
+}
+
+TEST(ProgramInstance, BandLowerOffsets) {
+  BenchSpec Spec = makeCholeskyBanded();
+  ProgramInstance Inst(*Spec.Prog, {10, 3}); // N=10, bw=3.
+  EXPECT_EQ(Inst.buffer(0).size(), 40u);     // (bw+1)*N.
+  int64_t Diag[2] = {4, 4};
+  EXPECT_EQ(Inst.offset(0, Diag), 4 * 4); // (i-j) + j*(bw+1) = 0 + 16.
+  int64_t Sub[2] = {6, 4};
+  EXPECT_EQ(Inst.offset(0, Sub), 2 + 16);
+}
+
+TEST(ProgramInstance, FillRandomIsDeterministicAndBounded) {
+  BenchSpec Spec = makeMatMul();
+  ProgramInstance A(*Spec.Prog, {8}), B(*Spec.Prog, {8});
+  A.fillRandom(99, 0.25, 0.75);
+  B.fillRandom(99, 0.25, 0.75);
+  EXPECT_EQ(A.maxAbsDifference(B), 0.0);
+  for (double V : A.buffer(1)) {
+    EXPECT_GE(V, 0.25);
+    EXPECT_LE(V, 0.75);
+  }
+}
+
+TEST(ScalarExpr, CloneIsDeep) {
+  ArrayRef R;
+  R.ArrayId = 0;
+  R.Indices = {AffineExpr::var(2, 0)};
+  ScalarExpr::Ptr E = ScalarExpr::mul(ScalarExpr::load(R),
+                                      ScalarExpr::number(2.0));
+  ScalarExpr::Ptr C = E->clone();
+  EXPECT_EQ(C->getKind(), ExprKind::Mul);
+  EXPECT_NE(C->getLHS(), E->getLHS());
+  EXPECT_EQ(C->getLHS()->getRef(), E->getLHS()->getRef());
+}
+
+TEST(BenchSpecs, FlopCountsArePositiveAndCubicish) {
+  for (auto Make : {makeMatMul, makeCholeskyRight, makeCholeskyLeft,
+                    makeQRHouseholder, makeGmtry}) {
+    BenchSpec Spec = Make();
+    double F100 = Spec.Flops({100});
+    double F200 = Spec.Flops({200});
+    EXPECT_GT(F100, 0.0);
+    EXPECT_NEAR(F200 / F100, 8.0, 0.01) << Spec.Name;
+  }
+  BenchSpec ADI = makeADI();
+  EXPECT_NEAR(ADI.Flops({200}) / ADI.Flops({100}), 4.0, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,286 @@
+//===- kernels_test.cpp - Micro BLAS and baseline algorithms ------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Baselines.h"
+#include "kernels/MicroBlas.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+using namespace shackle;
+
+namespace {
+
+void fill(std::vector<double> &V, uint64_t Seed, double Lo = 0.5,
+          double Hi = 1.5) {
+  uint64_t X = Seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (double &E : V) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    E = Lo + (Hi - Lo) * (static_cast<double>(X >> 11) * 0x1.0p-53);
+  }
+}
+
+/// Makes a random SPD matrix (row-major): diagonally dominant.
+std::vector<double> spd(int64_t N, uint64_t Seed) {
+  std::vector<double> A(N * N);
+  fill(A, Seed);
+  // Symmetrize and boost.
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J < I; ++J)
+      A[J * N + I] = A[I * N + J];
+  for (int64_t I = 0; I < N; ++I)
+    A[I * N + I] += 3.0 * static_cast<double>(N);
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Micro BLAS
+//===----------------------------------------------------------------------===//
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(GemmShapes, MatchesNaiveTripleLoop) {
+  auto [M, N, K] = GetParam();
+  std::vector<double> A(M * K), B(K * N), C(M * N), Ref;
+  fill(A, 1);
+  fill(B, 2);
+  fill(C, 3);
+  Ref = C;
+  microGemm(C.data(), A.data(), B.data(), M, N, K, N, K, N);
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      double Acc = Ref[I * N + J];
+      for (int64_t P = 0; P < K; ++P)
+        Acc += A[I * K + P] * B[P * N + J];
+      EXPECT_NEAR(C[I * N + J], Acc, 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(8, 8, 8), std::make_tuple(13, 1, 6),
+                      std::make_tuple(1, 9, 4), std::make_tuple(16, 12, 20)));
+
+TEST(MicroBlas, GemmSubIsGemmWithNegatedProduct) {
+  const int64_t N = 9;
+  std::vector<double> A(N * N), B(N * N), C1(N * N), C2(N * N);
+  fill(A, 4);
+  fill(B, 5);
+  fill(C1, 6);
+  C2 = C1;
+  microGemmSub(C1.data(), A.data(), B.data(), N, N, N, N, N, N);
+  std::vector<double> NegA(N * N);
+  for (int64_t I = 0; I < N * N; ++I)
+    NegA[I] = -A[I];
+  microGemm(C2.data(), NegA.data(), B.data(), N, N, N, N, N, N);
+  for (int64_t I = 0; I < N * N; ++I)
+    EXPECT_NEAR(C1[I], C2[I], 1e-12);
+}
+
+TEST(MicroBlas, SyrkLowerMatchesGemmOnLowerTriangle) {
+  const int64_t N = 10, K = 6;
+  std::vector<double> A(N * K), C1(N * N), C2(N * N);
+  fill(A, 7);
+  fill(C1, 8);
+  C2 = C1;
+  microSyrkLower(C1.data(), A.data(), N, K, N, K);
+  // Reference: C2 -= A * A^T, then compare lower triangles.
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J <= I; ++J) {
+      double Acc = 0;
+      for (int64_t P = 0; P < K; ++P)
+        Acc += A[I * K + P] * A[J * K + P];
+      C2[I * N + J] -= Acc;
+    }
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J <= I; ++J)
+      EXPECT_NEAR(C1[I * N + J], C2[I * N + J], 1e-12);
+  // Strict upper triangle untouched.
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = I + 1; J < N; ++J)
+      EXPECT_EQ(C1[I * N + J], C2[I * N + J]);
+}
+
+TEST(MicroBlas, TrsmSolvesXLTransposeEqualsB) {
+  const int64_t M = 7, N = 5;
+  std::vector<double> L(N * N, 0.0), B(M * N), X;
+  fill(B, 9);
+  // Well-conditioned lower triangular L.
+  for (int64_t I = 0; I < N; ++I) {
+    for (int64_t J = 0; J < I; ++J)
+      L[I * N + J] = 0.25 / static_cast<double>(I + J + 1);
+    L[I * N + I] = 2.0 + static_cast<double>(I);
+  }
+  X = B;
+  microTrsmRightLowerT(X.data(), L.data(), M, N, N, N);
+  // Check X * L^T == B.
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      double Acc = 0;
+      for (int64_t P = 0; P <= J; ++P)
+        Acc += X[I * N + P] * L[J * N + P];
+      EXPECT_NEAR(Acc, B[I * N + J], 1e-10);
+    }
+}
+
+TEST(MicroBlas, CholeskyLowerReconstructs) {
+  const int64_t N = 12;
+  std::vector<double> A = spd(N, 10), L = A;
+  microCholeskyLower(L.data(), N, N);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J <= I; ++J) {
+      double Acc = 0;
+      for (int64_t P = 0; P <= std::min(I, J); ++P)
+        Acc += L[I * N + P] * L[J * N + P];
+      EXPECT_NEAR(Acc, A[I * N + J], 1e-9);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Baselines
+//===----------------------------------------------------------------------===//
+
+class BlockedVariants : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BlockedVariants, BlockedMatMulMatchesNaive) {
+  int64_t N = GetParam();
+  std::vector<double> A(N * N), B(N * N), C1(N * N), C2(N * N);
+  fill(A, 11);
+  fill(B, 12);
+  fill(C1, 13);
+  C2 = C1;
+  naiveMatMul(C1.data(), A.data(), B.data(), N);
+  blockedMatMul(C2.data(), A.data(), B.data(), N, 5);
+  for (int64_t I = 0; I < N * N; ++I)
+    EXPECT_NEAR(C1[I], C2[I], 1e-10);
+}
+
+TEST_P(BlockedVariants, BlockedCholeskyMatchesNaive) {
+  int64_t N = GetParam();
+  std::vector<double> A1 = spd(N, 14), A2 = A1;
+  naiveCholeskyRight(A1.data(), N);
+  blockedCholeskyLAPACK(A2.data(), N, 5);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J <= I; ++J)
+      EXPECT_NEAR(A1[I * N + J], A2[I * N + J], 1e-9) << I << "," << J;
+}
+
+TEST_P(BlockedVariants, BlockedQRMatchesNaive) {
+  int64_t N = GetParam();
+  std::vector<double> A1(N * N), A2, R1(N), R2(N);
+  fill(A1, 15);
+  A2 = A1;
+  naiveQRHouseholder(A1.data(), R1.data(), N);
+  blockedQRWY(A2.data(), R2.data(), N, 5);
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_NEAR(R1[I], R2[I], 1e-8) << "rdiag " << I;
+  for (int64_t I = 0; I < N * N; ++I)
+    EXPECT_NEAR(A1[I], A2[I], 1e-8) << "A " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockedVariants,
+                         ::testing::Values<int64_t>(1, 2, 4, 5, 9, 16, 23));
+
+TEST(Baselines, QRReconstructsInput) {
+  // Q^T A = R with our conventions: applying the stored reflectors to the
+  // original columns must reproduce the triangle (spot-check via solve-free
+  // identity: columns of the factored A above the diagonal are R's).
+  const int64_t N = 10;
+  std::vector<double> A(N * N), F, Rd(N);
+  fill(A, 16);
+  F = A;
+  naiveQRHouseholder(F.data(), Rd.data(), N);
+  // Re-apply the K reflectors to the original matrix; the result must match
+  // the factored strict upper triangle and Rdiag.
+  std::vector<double> W = A;
+  for (int64_t K = 0; K < N; ++K) {
+    // v lives in F[K..N-1, K]; beta = v'v / 2. A zero v (x was already
+    // -alpha * e1, typical for the last 1x1 column) means H is the
+    // identity.
+    double VtV = 0;
+    for (int64_t I = K; I < N; ++I)
+      VtV += F[I * N + K] * F[I * N + K];
+    if (VtV == 0.0)
+      continue;
+    double Beta = VtV / 2.0;
+    for (int64_t J = K; J < N; ++J) {
+      double S = 0;
+      for (int64_t I = K; I < N; ++I)
+        S += F[I * N + K] * W[I * N + J];
+      double Scale = S / Beta;
+      for (int64_t I = K; I < N; ++I)
+        W[I * N + J] -= F[I * N + K] * Scale;
+    }
+  }
+  for (int64_t K = 0; K < N; ++K) {
+    EXPECT_NEAR(W[K * N + K], Rd[K], 1e-8);
+    for (int64_t J = K + 1; J < N; ++J)
+      EXPECT_NEAR(W[K * N + J], F[K * N + J], 1e-8);
+    for (int64_t I = K + 1; I < N; ++I)
+      EXPECT_NEAR(W[I * N + K], 0.0, 1e-8); // Annihilated below diagonal.
+  }
+}
+
+TEST(Baselines, AdiFusedMatchesOriginal) {
+  const int64_t N = 17;
+  std::vector<double> B1(N * N), X1(N * N), A(N * N), B2, X2;
+  fill(B1, 17, 1.0, 2.0);
+  fill(X1, 18);
+  fill(A, 19);
+  B2 = B1;
+  X2 = X1;
+  adiOriginal(B1.data(), X1.data(), A.data(), N);
+  adiFusedInterchanged(B2.data(), X2.data(), A.data(), N);
+  for (int64_t I = 0; I < N * N; ++I) {
+    EXPECT_EQ(B1[I], B2[I]);
+    EXPECT_EQ(X1[I], X2[I]);
+  }
+}
+
+class BandSizes
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(BandSizes, BandCholeskyMatchesDenseCholesky) {
+  auto [N, BW] = GetParam();
+  // Build a banded SPD matrix densely, factor it densely and in band
+  // storage, and compare inside the band.
+  std::vector<double> Dense(N * N, 0.0);
+  std::vector<double> Band((BW + 1) * N);
+  fill(Band, 20);
+  for (int64_t J = 0; J < N; ++J)
+    Band[J * (BW + 1)] += 3.0 * static_cast<double>(BW + 1);
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = J; I <= std::min(N - 1, J + BW); ++I) {
+      Dense[I * N + J] = Band[(I - J) + J * (BW + 1)];
+      Dense[J * N + I] = Dense[I * N + J];
+    }
+  std::vector<double> BandBlocked = Band;
+  naiveCholeskyRight(Dense.data(), N);
+  bandCholeskyNaive(Band.data(), N, BW);
+  bandCholeskyBlocked(BandBlocked.data(), N, BW, 4);
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = J; I <= std::min(N - 1, J + BW); ++I) {
+      EXPECT_NEAR(Band[(I - J) + J * (BW + 1)], Dense[I * N + J], 1e-9);
+      EXPECT_NEAR(BandBlocked[(I - J) + J * (BW + 1)], Dense[I * N + J],
+                  1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BandSizes,
+    ::testing::Combine(::testing::Values<int64_t>(6, 13, 20),
+                       ::testing::Values<int64_t>(1, 2, 5)));
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- layout_test.cpp - Physical layouts and traversal reversal --------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5.3: "the physical array itself is not necessarily reshaped ...
+// of course, nothing prevents us from reshaping" — tests for the tiled
+// block-major storage, plus the Section 8 triangular-solve remark where
+// only the Reversed block walk is legal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace shackle;
+
+namespace {
+
+TEST(TiledLayout, OffsetsArePermutationOfRange) {
+  BenchSpec Spec = makeMatMulTiled(4);
+  ProgramInstance Inst(*Spec.Prog, {10}); // Ragged: 10 = 2*4 + 2.
+  // Grid is 3x3 tiles of 16 slots = 144 physical slots.
+  EXPECT_EQ(Inst.buffer(0).size(), 144u);
+  std::set<int64_t> Seen;
+  for (int64_t I = 0; I < 10; ++I)
+    for (int64_t J = 0; J < 10; ++J) {
+      int64_t Idx[2] = {I, J};
+      int64_t Off = Inst.offset(0, Idx);
+      EXPECT_GE(Off, 0);
+      EXPECT_LT(Off, 144);
+      EXPECT_TRUE(Seen.insert(Off).second) << "collision at " << I << ","
+                                           << J;
+    }
+}
+
+TEST(TiledLayout, TileInteriorIsContiguous) {
+  BenchSpec Spec = makeMatMulTiled(4);
+  ProgramInstance Inst(*Spec.Prog, {16});
+  // Within one tile, row-major contiguity.
+  int64_t A[2] = {5, 6}, B[2] = {5, 7}, C[2] = {6, 4};
+  EXPECT_EQ(Inst.offset(0, B) - Inst.offset(0, A), 1);
+  // Next tile row within the tile: stride = TileCols.
+  int64_t D[2] = {5, 4};
+  EXPECT_EQ(Inst.offset(0, C) - Inst.offset(0, D), 4);
+}
+
+TEST(TiledLayout, ShackledCodeStillExact) {
+  BenchSpec Tiled = makeMatMulTiled(8);
+  const Program &P = *Tiled.Prog;
+  ShackleChain Chain = mmmShackleCxA(P, 8);
+  ASSERT_TRUE(checkLegality(P, Chain).Legal);
+
+  // Compare against the plain-layout program numerically: same math, so
+  // the logical results agree element-wise across layouts.
+  BenchSpec Plain = makeMatMul();
+  ProgramInstance TInst(P, {13}), PInst(*Plain.Prog, {13});
+  // Fill logically identically.
+  uint64_t X = 99;
+  auto Next = [&X]() {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  };
+  for (unsigned Arr = 0; Arr < 3; ++Arr)
+    for (int64_t I = 0; I < 13; ++I)
+      for (int64_t J = 0; J < 13; ++J) {
+        double V = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+        int64_t Idx[2] = {I, J};
+        TInst.buffer(Arr)[TInst.offset(Arr, Idx)] = V;
+        PInst.buffer(Arr)[PInst.offset(Arr, Idx)] = V;
+      }
+  runLoopNest(generateShackledCode(P, Chain), TInst);
+  runLoopNest(generateOriginalCode(*Plain.Prog), PInst);
+  for (int64_t I = 0; I < 13; ++I)
+    for (int64_t J = 0; J < 13; ++J) {
+      int64_t Idx[2] = {I, J};
+      EXPECT_EQ(TInst.buffer(0)[TInst.offset(0, Idx)],
+                PInst.buffer(0)[PInst.offset(0, Idx)])
+          << I << "," << J;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Triangular solves and reversal
+//===----------------------------------------------------------------------===//
+
+TEST(TriangularSolve, LowerForwardWalkLegalUpperNeedsReversal) {
+  BenchSpec Lower = makeTriangularSolve(/*Lower=*/true);
+  EXPECT_TRUE(
+      checkLegality(*Lower.Prog, triSolveShackle(*Lower.Prog, 4, false))
+          .Legal);
+
+  BenchSpec Upper = makeTriangularSolve(/*Lower=*/false);
+  // Top-to-bottom block walk: illegal (the paper's back-solve example)...
+  EXPECT_FALSE(
+      checkLegality(*Upper.Prog, triSolveShackle(*Upper.Prog, 4, false))
+          .Legal);
+  // ...bottom-to-top: legal ("similar to loop reversal").
+  EXPECT_TRUE(
+      checkLegality(*Upper.Prog, triSolveShackle(*Upper.Prog, 4, true))
+          .Legal);
+}
+
+class TriSolveEquivalence : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TriSolveEquivalence, ReversedUpperSolveMatchesOriginal) {
+  int64_t N = GetParam();
+  BenchSpec Spec = makeTriangularSolve(/*Lower=*/false);
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = triSolveShackle(P, 4, /*Reversed=*/true);
+  ASSERT_TRUE(checkLegality(P, Chain).Legal);
+
+  ProgramInstance Ref(P, {N}), Test(P, {N});
+  Ref.fillRandom(77, 0.5, 1.5);
+  // Boost the diagonal so divisions are well conditioned.
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t Idx[2] = {I, I};
+    Ref.buffer(1)[Ref.offset(1, Idx)] += 4.0;
+  }
+  for (unsigned A = 0; A < P.getNumArrays(); ++A)
+    Test.buffer(A) = Ref.buffer(A);
+  runLoopNest(generateOriginalCode(P), Ref);
+  runLoopNest(generateShackledCode(P, Chain), Test);
+  EXPECT_EQ(Ref.maxAbsDifference(Test), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TriSolveEquivalence,
+                         ::testing::Values<int64_t>(1, 3, 4, 5, 9, 17));
+
+TEST(TriangularSolve, SolvesTheSystem) {
+  // Forward solve really solves L y = b: check L y == b_original.
+  BenchSpec Spec = makeTriangularSolve(/*Lower=*/true);
+  const Program &P = *Spec.Prog;
+  int64_t N = 12;
+  ProgramInstance Inst(P, {N});
+  Inst.fillRandom(5, 0.5, 1.5);
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t Idx[2] = {I, I};
+    Inst.buffer(1)[Inst.offset(1, Idx)] += 4.0;
+  }
+  std::vector<double> B0 = Inst.buffer(0);
+  runLoopNest(generateOriginalCode(P), Inst);
+  for (int64_t I = 0; I < N; ++I) {
+    double Acc = 0;
+    for (int64_t J = 0; J <= I; ++J) {
+      int64_t Idx[2] = {I, J};
+      Acc += Inst.buffer(1)[Inst.offset(1, Idx)] * Inst.buffer(0)[J];
+    }
+    EXPECT_NEAR(Acc, B0[I], 1e-10);
+  }
+}
+
+} // namespace

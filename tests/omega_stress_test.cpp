@@ -1,0 +1,146 @@
+//===- omega_stress_test.cpp - Harder integer feasibility cases ----------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Stress cases beyond polyhedral_test.cpp's 3-variable sweeps: four
+// variables, larger coefficients (forcing inexact eliminations, dark
+// shadows and splintering), and equality chains like those produced by
+// multi-level block links.
+//
+//===----------------------------------------------------------------------===//
+
+#include "polyhedral/OmegaTest.h"
+#include "polyhedral/Polyhedron.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+using namespace shackle;
+
+namespace {
+
+struct Rng {
+  uint64_t X;
+  explicit Rng(uint64_t Seed) : X(Seed * 0x9e3779b97f4a7c15ULL + 1) {}
+  uint64_t next() {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    return X;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+};
+
+bool bruteNonEmpty(const Polyhedron &P, int64_t Box) {
+  std::vector<int64_t> Cur(P.getNumVars());
+  std::function<bool(unsigned)> Rec = [&](unsigned D) {
+    if (D == P.getNumVars())
+      return P.containsPoint(Cur);
+    for (int64_t V = -Box; V <= Box; ++V) {
+      Cur[D] = V;
+      if (Rec(D + 1))
+        return true;
+    }
+    return false;
+  };
+  return Rec(0);
+}
+
+class FourVarOmega : public ::testing::TestWithParam<int> {};
+
+TEST_P(FourVarOmega, MatchesBruteForceWithLargeCoefficients) {
+  Rng R(GetParam() * 104729);
+  const int64_t Box = 3;
+  Polyhedron P(4);
+  for (unsigned V = 0; V < 4; ++V)
+    P.addBounds(V, -Box, Box);
+  // Large coefficients make eliminations inexact (dark shadow/splinter).
+  for (unsigned I = 0; I < 4; ++I) {
+    ConstraintRow Row(5, 0);
+    for (unsigned V = 0; V < 4; ++V)
+      Row[V] = R.range(-7, 7);
+    Row[4] = R.range(-15, 15);
+    if (R.range(0, 4) == 0)
+      P.addEquality(std::move(Row));
+    else
+      P.addInequality(std::move(Row));
+  }
+  EXPECT_EQ(isIntegerEmpty(P), !bruteNonEmpty(P, Box)) << P.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourVarOmega, ::testing::Range(1, 100));
+
+TEST(OmegaStress, MultiLevelBlockLinkChains) {
+  // The shape legality produces for two-level products: element index e,
+  // coarse block z1, fine block z2 with 64*z1 <= e <= 64*z1+63 and
+  // 8*z2 <= e <= 8*z2+7, plus e in [0, N-1] for a concrete N. The fine
+  // blocks must nest: z2 in [8*z1, 8*z1+7].
+  Polyhedron P(3); // e, z1, z2.
+  P.addBounds(0, 0, 999);
+  P.addInequalityTerms({{0, 1}, {1, -64}}, 0);
+  P.addInequalityTerms({{0, -1}, {1, 64}}, 63);
+  P.addInequalityTerms({{0, 1}, {2, -8}}, 0);
+  P.addInequalityTerms({{0, -1}, {2, 8}}, 7);
+  // Nesting violated: z2 <= 8*z1 - 1 must be infeasible.
+  Polyhedron Bad = P;
+  Bad.addInequalityTerms({{2, -1}, {1, 8}}, -1);
+  EXPECT_TRUE(isIntegerEmpty(Bad));
+  // And the consistent side is feasible.
+  Polyhedron Good = P;
+  Good.addInequalityTerms({{2, 1}, {1, -8}}, 0);
+  EXPECT_FALSE(isIntegerEmpty(Good));
+}
+
+TEST(OmegaStress, PughSplinterExample) {
+  // A classic inexact-projection family: 0 <= y, 3y <= x <= 3y + 1,
+  // with x restricted so that only specific residues survive.
+  // x == 3y or 3y+1; adding x == 2 (mod nothing) via 2 <= x <= 2 forces
+  // y = 0 ... x=2 > 3*0+1: empty.
+  Polyhedron P(2);
+  P.addInequalityTerms({{1, 1}}, 0);
+  P.addInequalityTerms({{0, 1}, {1, -3}}, 0);
+  P.addInequalityTerms({{0, -1}, {1, 3}}, 1);
+  P.addBounds(0, 2, 2);
+  EXPECT_TRUE(isIntegerEmpty(P));
+  Polyhedron Q(2);
+  Q.addInequalityTerms({{1, 1}}, 0);
+  Q.addInequalityTerms({{0, 1}, {1, -3}}, 0);
+  Q.addInequalityTerms({{0, -1}, {1, 3}}, 1);
+  Q.addBounds(0, 3, 3);
+  EXPECT_FALSE(isIntegerEmpty(Q)); // x=3, y=1.
+}
+
+TEST(OmegaStress, WideCoefficientEqualitySystems) {
+  // 127x + 52y == 1 has solutions (Bezout); bounded boxes decide.
+  Polyhedron P(2);
+  P.addEqualityTerms({{0, 127}, {1, 52}}, -1);
+  P.addBounds(0, -1000, 1000);
+  P.addBounds(1, -1000, 1000);
+  EXPECT_FALSE(isIntegerEmpty(P)); // e.g. x = -9, y = 22.
+  Polyhedron Q(2);
+  Q.addEqualityTerms({{0, 127}, {1, 52}}, -1);
+  Q.addBounds(0, 0, 5);
+  Q.addBounds(1, 0, 5);
+  EXPECT_TRUE(isIntegerEmpty(Q));
+}
+
+TEST(OmegaStress, DeepEqualityChain) {
+  // x0 = 2 x1, x1 = 3 x2, x2 = 5 x3, x0 == 60 => x3 == 2.
+  Polyhedron P(4);
+  P.addEqualityTerms({{0, 1}, {1, -2}}, 0);
+  P.addEqualityTerms({{1, 1}, {2, -3}}, 0);
+  P.addEqualityTerms({{2, 1}, {3, -5}}, 0);
+  P.addEqualityTerms({{0, 1}}, -60);
+  EXPECT_FALSE(isIntegerEmpty(P));
+  P.addInequalityTerms({{3, 1}}, -3); // x3 >= 3: contradiction.
+  EXPECT_TRUE(isIntegerEmpty(P));
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+//===- support_test.cpp - Exact integer arithmetic helpers --------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+#include "support/Writer.h"
+
+#include <gtest/gtest.h>
+
+using namespace shackle;
+
+namespace {
+
+TEST(MathExtras, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+  EXPECT_EQ(lcm64(0, 5), 0);
+}
+
+/// Parameterized over a grid of dividends: the defining properties of
+/// floor/ceil division and the modulo variants.
+class DivisionProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DivisionProperty, Definitions) {
+  int64_t A = GetParam();
+  for (int64_t B : {1, 2, 3, 5, 7, 25, 64}) {
+    int64_t F = floorDiv(A, B);
+    int64_t C = ceilDiv(A, B);
+    // floorDiv: largest q with q*b <= a.
+    EXPECT_LE(F * B, A);
+    EXPECT_GT((F + 1) * B, A);
+    // ceilDiv: smallest q with q*b >= a.
+    EXPECT_GE(C * B, A);
+    EXPECT_LT((C - 1) * B, A);
+    // floorMod in [0, B).
+    int64_t M = floorMod(A, B);
+    EXPECT_GE(M, 0);
+    EXPECT_LT(M, B);
+    EXPECT_EQ(F * B + M, A);
+    // symMod in [-floor(B/2), ceil(B/2)) and congruent mod B.
+    int64_t S = symMod(A, B);
+    EXPECT_GE(2 * S, -B);
+    EXPECT_LT(2 * S, B);
+    EXPECT_EQ(floorMod(A - S, B), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DivisionProperty,
+                         ::testing::Range<int64_t>(-130, 131, 7));
+
+TEST(MathExtras, HatModExamples) {
+  // a hatmod b == a - b*floor(a/b + 1/2): result in [-b/2, b/2).
+  EXPECT_EQ(symMod(12, 8), -4); // 12 mod 8 = 4; 2*4 >= 8 wraps to -4.
+  EXPECT_EQ(symMod(3, 8), 3);
+  EXPECT_EQ(symMod(-3, 8), -3);
+  EXPECT_EQ(symMod(5, 8), -3);
+  EXPECT_EQ(symMod(8, 8), 0);
+  EXPECT_EQ(symMod(7, 2), -1);
+}
+
+TEST(Writer, IndentationAndLines) {
+  Writer W;
+  W.line("a");
+  W.indent();
+  W.line("b");
+  W.dedent();
+  W.dedent(); // Saturates at zero.
+  W.line("c");
+  EXPECT_EQ(W.str(), "a\n  b\nc\n");
+}
+
+} // namespace

@@ -1,0 +1,476 @@
+//===- main.cpp - shackle: the command-line driver -----------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// A user-facing driver over the whole library:
+//
+//   shackle list
+//   shackle print   <benchmark>
+//   shackle legality <benchmark> <config> [--block=N]
+//   shackle codegen <benchmark> <config> [--block=N] [--naive]
+//   shackle emit    <benchmark> <config> [--block=N] [--name=f]
+//   shackle census
+//   shackle auto    <benchmark> [--eval=N]
+//   shackle simulate <benchmark> <config> [--block=N] --params=N[,bw]
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/AutoShackle.h"
+#include "cachesim/CacheSim.h"
+#include "core/Dependence.h"
+#include "core/Legality.h"
+#include "core/ShackleDriver.h"
+#include "emitc/EmitC.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "programs/Benchmarks.h"
+#include "runtime/MultiPass.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace shackle;
+
+namespace {
+
+struct BenchEntry {
+  std::function<BenchSpec()> Make;
+  /// Config name -> chain factory (program, block size).
+  std::map<std::string,
+           std::function<ShackleChain(const Program &, int64_t)>>
+      Configs;
+  int64_t DefaultBlock = 64;
+};
+
+const std::map<std::string, BenchEntry> &registry() {
+  static const std::map<std::string, BenchEntry> Registry = {
+      {"matmul",
+       {makeMatMul,
+        {{"c", mmmShackleC},
+         {"cxa", mmmShackleCxA},
+         {"two-level",
+          [](const Program &P, int64_t B) {
+            return mmmShackleTwoLevel(P, B, B >= 8 ? B / 8 : 1);
+          }}},
+        64}},
+      {"cholesky-right",
+       {makeCholeskyRight,
+        {{"stores", choleskyShackleStores},
+         {"reads", choleskyShackleReads},
+         {"product-wr",
+          [](const Program &P, int64_t B) {
+            return choleskyShackleProduct(P, B, true);
+          }},
+         {"product-rw",
+          [](const Program &P, int64_t B) {
+            return choleskyShackleProduct(P, B, false);
+          }}},
+        64}},
+      {"cholesky-left",
+       {makeCholeskyLeft, {{"stores", choleskyShackleStores}}, 64}},
+      {"qr", {makeQRHouseholder, {{"cols", qrColumnShackle}}, 32}},
+      {"adi",
+       {makeADI,
+        {{"fused", [](const Program &P, int64_t) { return adiShackle(P); }}},
+        1}},
+      {"gmtry", {makeGmtry, {{"stores", gmtryShackleStores}}, 64}},
+      {"banded",
+       {makeCholeskyBanded, {{"stores", choleskyShackleStores}}, 32}},
+      {"seidel", {makeSeidel1D, {{"blocks", seidelShackle}}, 8}},
+      {"seidel2d",
+       {makeSeidel2D,
+        {{"blocks",
+          [](const Program &P, int64_t B) {
+            ShackleChain Chain;
+            Chain.Factors.push_back(DataShackle::onStores(
+                P, DataBlocking::rectangular(0, {B, B})));
+            return Chain;
+          }}},
+        8}},
+      {"trisolve-upper",
+       {[] { return makeTriangularSolve(false); },
+        {{"blocks",
+          [](const Program &P, int64_t B) {
+            return triSolveShackle(P, B, /*Reversed=*/false);
+          }},
+         {"blocks-reversed",
+          [](const Program &P, int64_t B) {
+            return triSolveShackle(P, B, /*Reversed=*/true);
+          }}},
+        8}},
+  };
+  return Registry;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  shackle list\n"
+      "  shackle print    <benchmark>\n"
+      "  shackle legality <benchmark> <config> [--block=N]\n"
+      "  shackle codegen  <benchmark> <config> [--block=N] [--naive]\n"
+      "  shackle emit     <benchmark> <config> [--block=N] [--name=f]\n"
+      "  shackle census\n"
+      "  shackle deps     <benchmark>   (direction vectors)\n"
+      "  shackle auto     <benchmark> [--eval=N]\n"
+      "  shackle simulate <benchmark> <config> [--block=N] "
+      "--params=N[,bw]\n"
+      "  shackle file <path> print\n"
+      "  shackle file <path> {legality|codegen|emit} --array=NAME\n"
+      "      [--block=B1[,B2...]] [--order=colblocks] [--reversed] "
+      "[--naive]\n"
+      "      (shackles every statement through its store into NAME)\n"
+      "  shackle file <path> auto --array=NAME [--eval=N]\n");
+  return 1;
+}
+
+int64_t flagValue(int Argc, char **Argv, const char *Name, int64_t Default) {
+  std::string Prefix = std::string("--") + Name + "=";
+  for (int I = 0; I < Argc; ++I)
+    if (std::strncmp(Argv[I], Prefix.c_str(), Prefix.size()) == 0)
+      return std::atoll(Argv[I] + Prefix.size());
+  return Default;
+}
+
+bool hasFlag(int Argc, char **Argv, const char *Name) {
+  std::string Flag = std::string("--") + Name;
+  for (int I = 0; I < Argc; ++I)
+    if (Flag == Argv[I])
+      return true;
+  return false;
+}
+
+std::vector<int64_t> paramList(int Argc, char **Argv, const char *Name) {
+  std::string Prefix = std::string("--") + Name + "=";
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], Prefix.c_str(), Prefix.size()) != 0)
+      continue;
+    std::vector<int64_t> Out;
+    const char *S = Argv[I] + Prefix.size();
+    while (*S) {
+      Out.push_back(std::atoll(S));
+      const char *Comma = std::strchr(S, ',');
+      if (!Comma)
+        break;
+      S = Comma + 1;
+    }
+    return Out;
+  }
+  return {};
+}
+
+int cmdList() {
+  for (const auto &[Name, Entry] : registry()) {
+    std::printf("%-16s configs:", Name.c_str());
+    for (const auto &[CName, Fn] : Entry.Configs) {
+      (void)Fn;
+      std::printf(" %s", CName.c_str());
+    }
+    std::printf("  (default block %lld)\n",
+                static_cast<long long>(Entry.DefaultBlock));
+  }
+  return 0;
+}
+
+int cmdCensus() {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  const char *S2Names[] = {"A[I,J]", "A[J,J]"};
+  const char *S3Names[] = {"A[L,K]", "A[L,J]", "A[K,J]"};
+  std::printf("Right-looking Cholesky single-shackle census "
+              "(64x64 blocks, column-block-major walk):\n");
+  for (unsigned R2 = 1; R2 <= 2; ++R2)
+    for (unsigned R3 = 1; R3 <= 3; ++R3) {
+      std::vector<unsigned> RefIdx = {0, R2, R3};
+      ShackleChain Chain;
+      Chain.Factors.push_back(DataShackle::onRefs(
+          P, DataBlocking::rectangular(0, {64, 64}, {1, 0}), RefIdx));
+      LegalityResult R = checkLegality(P, Chain);
+      std::printf("  S1=A[J,J] S2=%s S3=%s -> %s\n", S2Names[R2 - 1],
+                  S3Names[R3 - 1], R.Legal ? "LEGAL" : "illegal");
+      if (!R.Legal && !R.Violations.empty())
+        std::printf("      %s\n", R.Violations[0].witnessStr(P).c_str());
+    }
+  return 0;
+}
+
+} // namespace
+
+namespace {
+
+int cmdFile(int Argc, char **Argv) {
+  // shackle file <path> <action> [flags].
+  if (Argc < 4)
+    return usage();
+  std::FILE *F = std::fopen(Argv[2], "rb");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s\n", Argv[2]);
+    return 1;
+  }
+  std::string Source;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Source.append(Buf, Got);
+  std::fclose(F);
+
+  ParseResult R = parseProgram(Source);
+  if (!R) {
+    std::fprintf(stderr, "%s: %s\n", Argv[2], R.Error.c_str());
+    return 1;
+  }
+  const Program &P = *R.Prog;
+  std::string Action = Argv[3];
+  if (Action == "print") {
+    std::printf("%s", P.str().c_str());
+    return 0;
+  }
+  if (Action == "deps") {
+    for (const DependenceSummary &S : summarizeDependences(P))
+      std::printf("%s\n", S.str(P).c_str());
+    return 0;
+  }
+
+  // Resolve the blocked array.
+  int ArrayId = -1;
+  for (int I = 0; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--array=", 8) == 0)
+      for (unsigned A = 0; A < P.getNumArrays(); ++A)
+        if (P.getArray(A).Name == Argv[I] + 8)
+          ArrayId = static_cast<int>(A);
+  if (ArrayId < 0) {
+    std::fprintf(stderr, "--array=NAME (declared in the program) required\n");
+    return 1;
+  }
+
+  if (Action == "auto") {
+    AutoShackleOptions Opts;
+    Opts.EvalParams.assign(P.getNumParams(),
+                           flagValue(Argc, Argv, "eval", 96));
+    AutoShackleResult AR = searchShackles(P, ArrayId, Opts);
+    for (const ShackleCandidate &C : AR.Candidates)
+      if (C.Evaluated)
+        std::printf("%-70s cost=%.0f\n", C.Description.c_str(), C.Cost);
+      else
+        std::printf("%-70s %s\n", C.Description.c_str(),
+                    C.Legal ? "legal (not evaluated)" : "illegal");
+    return 0;
+  }
+
+  // Build the stores shackle with the requested blocking.
+  unsigned Rank = P.getArray(ArrayId).Extents.size();
+  std::vector<int64_t> Blocks = paramList(Argc, Argv, "block");
+  if (Blocks.empty())
+    Blocks.assign(Rank, 64);
+  while (Blocks.size() < Rank)
+    Blocks.push_back(Blocks.back());
+  std::vector<unsigned> Order(Rank);
+  for (unsigned D = 0; D < Rank; ++D)
+    Order[D] = D;
+  if (hasFlag(Argc, Argv, "order=colblocks") && Rank == 2)
+    Order = {1, 0};
+  DataBlocking Blocking =
+      DataBlocking::rectangular(ArrayId, Blocks, Order);
+  if (hasFlag(Argc, Argv, "reversed"))
+    Blocking.Planes[0].Reversed = true;
+  ShackleChain Chain;
+  Chain.Factors.push_back(DataShackle::onStores(P, std::move(Blocking)));
+
+  if (Action == "legality") {
+    LegalityResult LR = checkLegality(P, Chain, /*FirstViolationOnly=*/false);
+    std::printf("%s\n", LR.summary(P).c_str());
+    for (const LegalityViolation &V : LR.Violations)
+      std::printf("  %s\n", V.witnessStr(P).c_str());
+    return LR.Legal ? 0 : 2;
+  }
+  if (Action == "codegen") {
+    LoopNest Nest = hasFlag(Argc, Argv, "naive")
+                        ? generateNaiveShackledCode(P, Chain)
+                        : generateShackledCode(P, Chain);
+    std::printf("%s", Nest.str().c_str());
+    return 0;
+  }
+  if (Action == "emit") {
+    LoopNest Nest = generateShackledCode(P, Chain);
+    std::printf("%s", emitKernel(Nest, "kernel").c_str());
+    return 0;
+  }
+  if (Action == "simulate") {
+    std::vector<int64_t> Params = paramList(Argc, Argv, "params");
+    if (Params.size() != P.getNumParams()) {
+      std::fprintf(stderr, "--params must supply %u value(s)\n",
+                   P.getNumParams());
+      return 1;
+    }
+    auto Simulate = [&](const char *Label, const LoopNest &Nest) {
+      ProgramInstance Inst(P, Params);
+      Inst.fillRandom(1, 0.5, 1.5);
+      CacheHierarchy H({CacheConfig{"L1", 32 * 1024, 64, 4},
+                        CacheConfig{"L2", 256 * 1024, 64, 8}});
+      TraceFn Trace = [&H](unsigned ArrayId, int64_t Off, bool) {
+        H.access((static_cast<uint64_t>(ArrayId + 1) << 33) +
+                 static_cast<uint64_t>(Off) * sizeof(double));
+      };
+      runLoopNest(Nest, Inst, &Trace);
+      std::printf("-- %s --\n%s", Label, H.report().c_str());
+    };
+    Simulate("original", generateOriginalCode(P));
+    Simulate("shackled", generateShackledCode(P, Chain));
+    return 0;
+  }
+  if (Action == "multipass") {
+    std::vector<int64_t> Params = paramList(Argc, Argv, "params");
+    if (Params.size() != P.getNumParams()) {
+      std::fprintf(stderr, "--params must supply %u value(s)\n",
+                   P.getNumParams());
+      return 1;
+    }
+    ProgramInstance Ref(P, Params), Test(P, Params);
+    Ref.fillRandom(1, 0.5, 1.5);
+    for (unsigned A = 0; A < P.getNumArrays(); ++A)
+      Test.buffer(A) = Ref.buffer(A);
+    runLoopNest(generateOriginalCode(P), Ref);
+    MultiPassResult M =
+        runMultiPassShackled(P, Chain.Factors[0], Test);
+    std::printf("%u passes, %llu instances, completed=%s, max diff vs "
+                "original = %g\n",
+                M.Passes, static_cast<unsigned long long>(M.Instances),
+                M.Completed ? "yes" : "no", Ref.maxAbsDifference(Test));
+    return M.Completed ? 0 : 2;
+  }
+  return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "list")
+    return cmdList();
+  if (Cmd == "census")
+    return cmdCensus();
+  if (Cmd == "file")
+    return cmdFile(Argc, Argv);
+  if (Argc < 3)
+    return usage();
+
+  auto It = registry().find(Argv[2]);
+  if (It == registry().end()) {
+    std::fprintf(stderr, "unknown benchmark '%s'; try 'shackle list'\n",
+                 Argv[2]);
+    return 1;
+  }
+  const BenchEntry &Entry = It->second;
+  BenchSpec Spec = Entry.Make();
+  const Program &P = *Spec.Prog;
+
+  if (Cmd == "print") {
+    std::printf("%s", P.str().c_str());
+    return 0;
+  }
+
+  if (Cmd == "deps") {
+    for (const DependenceSummary &S : summarizeDependences(P))
+      std::printf("%s\n", S.str(P).c_str());
+    return 0;
+  }
+
+  if (Cmd == "auto") {
+    AutoShackleOptions Opts;
+    Opts.EvalParams = {flagValue(Argc, Argv, "eval", 96)};
+    if (P.getNumParams() > 1)
+      Opts.EvalParams.push_back(
+          std::min<int64_t>(Opts.EvalParams[0] - 1, 16));
+    AutoShackleResult R = searchShackles(P, Spec.MainArray, Opts);
+    if (R.Candidates.empty()) {
+      std::printf("no candidates (a statement lacks a reference to the "
+                  "main array; dummy references are not auto-generated)\n");
+      return 0;
+    }
+    for (const ShackleCandidate &C : R.Candidates) {
+      if (C.Evaluated)
+        std::printf("%-70s L1=%llu L2=%llu cost=%.0f\n",
+                    C.Description.c_str(),
+                    static_cast<unsigned long long>(C.Misses[0]),
+                    static_cast<unsigned long long>(C.Misses[1]), C.Cost);
+      else
+        std::printf("%-70s %s\n", C.Description.c_str(),
+                    C.Legal ? "legal (not evaluated)" : "illegal");
+    }
+    return 0;
+  }
+
+  if (Argc < 4)
+    return usage();
+  auto CIt = Entry.Configs.find(Argv[3]);
+  if (CIt == Entry.Configs.end()) {
+    std::fprintf(stderr, "unknown config '%s' for benchmark '%s'\n", Argv[3],
+                 Argv[2]);
+    return 1;
+  }
+  int64_t Block = flagValue(Argc, Argv, "block", Entry.DefaultBlock);
+  ShackleChain Chain = CIt->second(P, Block);
+
+  if (Cmd == "legality") {
+    LegalityResult R = checkLegality(P, Chain, /*FirstViolationOnly=*/false);
+    std::printf("%s\n", R.summary(P).c_str());
+    for (const LegalityViolation &V : R.Violations)
+      std::printf("  %s\n", V.witnessStr(P).c_str());
+    return R.Legal ? 0 : 2;
+  }
+
+  if (Cmd == "codegen") {
+    LoopNest Nest = hasFlag(Argc, Argv, "naive")
+                        ? generateNaiveShackledCode(P, Chain)
+                        : generateShackledCode(P, Chain);
+    std::printf("%s", Nest.str().c_str());
+    return 0;
+  }
+
+  if (Cmd == "emit") {
+    LoopNest Nest = generateShackledCode(P, Chain);
+    std::string Name = "kernel";
+    for (int I = 0; I < Argc; ++I)
+      if (std::strncmp(Argv[I], "--name=", 7) == 0)
+        Name = Argv[I] + 7;
+    std::printf("%s", emitKernel(Nest, Name).c_str());
+    return 0;
+  }
+
+  if (Cmd == "simulate") {
+    std::vector<int64_t> Params = paramList(Argc, Argv, "params");
+    if (Params.size() != P.getNumParams()) {
+      std::fprintf(stderr, "--params must supply %u value(s)\n",
+                   P.getNumParams());
+      return 1;
+    }
+    auto Simulate = [&](const char *Label, const LoopNest &Nest) {
+      ProgramInstance Inst(P, Params);
+      Inst.fillRandom(1, 0.5, 1.5);
+      CacheHierarchy H({CacheConfig{"L1", 32 * 1024, 64, 4},
+                        CacheConfig{"L2", 256 * 1024, 64, 8}});
+      TraceFn Trace = [&H](unsigned ArrayId, int64_t Off, bool) {
+        H.access((static_cast<uint64_t>(ArrayId + 1) << 33) +
+                 static_cast<uint64_t>(Off) * sizeof(double));
+      };
+      runLoopNest(Nest, Inst, &Trace);
+      std::printf("-- %s --\n%s", Label, H.report().c_str());
+    };
+    Simulate("original", generateOriginalCode(P));
+    Simulate("shackled", generateShackledCode(P, Chain));
+    return 0;
+  }
+
+  return usage();
+}
