@@ -46,7 +46,12 @@ std::string refStr(const Program &P, const ArrayRef &R) {
 void evaluate(const Program &P, ShackleCandidate &Cand,
               const AutoShackleOptions &Opts,
               const std::vector<CacheConfig> &Caches) {
-  LoopNest Nest = generateShackledCode(P, Cand.Chain);
+  // Candidates reaching this point are proven legal, so if the scanner fails
+  // the naive (Figure 5) code runs the same blocked order — and therefore
+  // produces the same access trace — just without simplified loop bounds.
+  Expected<LoopNest> Checked = generateShackledCodeChecked(P, Cand.Chain);
+  LoopNest Nest = Checked.ok() ? std::move(Checked.get())
+                               : generateNaiveShackledCode(P, Cand.Chain);
   ProgramInstance Inst(P, Opts.EvalParams);
   CacheHierarchy H(Caches);
   TraceFn Trace = [&H](unsigned ArrayId, int64_t Off, bool) {

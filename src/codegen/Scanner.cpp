@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 
 using namespace shackle;
 
@@ -108,8 +109,10 @@ std::vector<Piece> separate(const std::vector<Polyhedron> &Projections,
 }
 
 /// Orders disjoint pieces by their position along dimension \p Dim
-/// (selection sort with a semantic "must precede" test).
-void sortPieces(std::vector<Piece> &Pieces, unsigned Dim) {
+/// (selection sort with a semantic "must precede" test). Returns false when
+/// no total order exists (context-dependent ordering, or an Unknown solver
+/// verdict kept too many "comes after" candidates alive).
+[[nodiscard]] bool sortPieces(std::vector<Piece> &Pieces, unsigned Dim) {
   for (unsigned I = 0; I + 1 < Pieces.size(); ++I) {
     bool Found = false;
     for (unsigned J = I; J < Pieces.size(); ++J) {
@@ -129,9 +132,9 @@ void sortPieces(std::vector<Piece> &Pieces, unsigned Dim) {
       }
     }
     if (!Found)
-      fatalError("pieces are not totally ordered along a scan dimension; "
-                 "context-dependent ordering is not supported");
+      return false;
   }
+  return true;
 }
 
 class ScannerImpl {
@@ -141,7 +144,7 @@ public:
       : Space(Space), Items(std::move(Items)), Prog(Prog),
         InitialContext(InitialContext) {}
 
-  LoopNest run() {
+  Expected<LoopNest> run() {
     LoopNest Nest;
     Nest.Prog = &Prog;
     Nest.NumDims = Space.numDims();
@@ -151,6 +154,8 @@ public:
     for (unsigned I = 0; I < Items.size(); ++I)
       All[I] = I;
     Nest.Roots = generate(All, Space.NumParams, InitialContext);
+    if (Failed)
+      return Status::error(DiagCode::ScanFailed, FailMsg);
     return Nest;
   }
 
@@ -166,16 +171,28 @@ private:
                                        unsigned Dim,
                                        const Polyhedron &Context);
 
+  /// Records the first failure and unwinds with an empty node list; the
+  /// sticky flag short-circuits the remaining recursion.
+  std::vector<ASTNodePtr> fail(std::string Msg) {
+    if (!Failed) {
+      Failed = true;
+      FailMsg = std::move(Msg);
+    }
+    return {};
+  }
+
   const ScanSpace &Space;
   std::vector<ScanItem> Items;
   const Program &Prog;
   const Polyhedron &InitialContext;
+  bool Failed = false;
+  std::string FailMsg;
 };
 
 std::vector<ASTNodePtr>
 ScannerImpl::generate(const std::vector<unsigned> &Active, unsigned Dim,
                       const Polyhedron &Context) {
-  if (Active.empty())
+  if (Active.empty() || Failed)
     return {};
   if (Dim == Space.numDims())
     return generateLeaf(Active, Context);
@@ -210,8 +227,10 @@ ScannerImpl::generateLeaf(const std::vector<unsigned> &Active,
   return Out;
 }
 
-/// Extracts the constant value a schedule dimension takes in \p Domain.
-static int64_t schedulePosition(const Polyhedron &Domain, unsigned Dim) {
+/// Extracts the constant value a schedule dimension takes in \p Domain, or
+/// nullopt if no constraint pins it.
+static std::optional<int64_t> schedulePosition(const Polyhedron &Domain,
+                                               unsigned Dim) {
   for (const ConstraintRow &Row : Domain.equalities()) {
     if (Row[Dim] != 1 && Row[Dim] != -1)
       continue;
@@ -222,15 +241,20 @@ static int64_t schedulePosition(const Polyhedron &Domain, unsigned Dim) {
     if (Pure)
       return Row[Dim] == 1 ? -Row.back() : Row.back();
   }
-  fatalError("schedule dimension is not pinned to a constant");
+  return std::nullopt;
 }
 
 std::vector<ASTNodePtr>
 ScannerImpl::generateSchedule(const std::vector<unsigned> &Active,
                               unsigned Dim, const Polyhedron &Context) {
   std::map<int64_t, std::vector<unsigned>> Groups;
-  for (unsigned I : Active)
-    Groups[schedulePosition(Items[I].Domain, Dim)].push_back(I);
+  for (unsigned I : Active) {
+    std::optional<int64_t> Pos = schedulePosition(Items[I].Domain, Dim);
+    if (!Pos)
+      return fail("schedule dimension " + Space.DimNames[Dim] +
+                  " is not pinned to a constant");
+    Groups[*Pos].push_back(I);
+  }
 
   std::vector<ASTNodePtr> Out;
   for (auto &[Pos, Group] : Groups) {
@@ -259,7 +283,10 @@ ScannerImpl::generateLoop(const std::vector<unsigned> &Active, unsigned Dim,
   }
 
   std::vector<Piece> Pieces = separate(Projections, Active);
-  sortPieces(Pieces, Dim);
+  if (!sortPieces(Pieces, Dim))
+    return fail("pieces are not totally ordered along scan dimension " +
+                Space.DimNames[Dim] +
+                "; context-dependent ordering is not supported");
 
   std::vector<ASTNodePtr> Out;
   for (Piece &Pc : Pieces) {
@@ -402,7 +429,8 @@ ScannerImpl::generateLoop(const std::vector<unsigned> &Active, unsigned Dim,
       }
     }
     if (Loop->Lbs.empty() || Loop->Ubs.empty())
-      fatalError("scanning dimension is unbounded");
+      return fail("scanning dimension " + Space.DimNames[Dim] +
+                  " is unbounded");
 
     // Recurse with domains restricted to this piece.
     Polyhedron Inner = intersect(Context, Pc.Dom);
@@ -490,10 +518,9 @@ void shackle::pruneUnusedLets(LoopNest &Nest) {
   pruneLetsIn(Nest.Roots, Nest.NumDims);
 }
 
-LoopNest shackle::scanPolyhedra(const ScanSpace &Space,
-                                std::vector<ScanItem> Items,
-                                const Program &Prog,
-                                const Polyhedron &InitialContext) {
+Expected<LoopNest> shackle::scanPolyhedraChecked(
+    const ScanSpace &Space, std::vector<ScanItem> Items, const Program &Prog,
+    const Polyhedron &InitialContext) {
   assert(Space.DimNames.size() == Space.IsSchedule.size() &&
          "scan space metadata mismatch");
   for (const ScanItem &Item : Items) {
@@ -503,4 +530,15 @@ LoopNest shackle::scanPolyhedra(const ScanSpace &Space,
   }
   ScannerImpl Impl(Space, std::move(Items), Prog, InitialContext);
   return Impl.run();
+}
+
+LoopNest shackle::scanPolyhedra(const ScanSpace &Space,
+                                std::vector<ScanItem> Items,
+                                const Program &Prog,
+                                const Polyhedron &InitialContext) {
+  Expected<LoopNest> Nest =
+      scanPolyhedraChecked(Space, std::move(Items), Prog, InitialContext);
+  if (!Nest.ok())
+    fatalError(Nest.diagnostic().Message.c_str());
+  return std::move(Nest.get());
 }

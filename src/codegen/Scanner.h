@@ -30,6 +30,7 @@
 #include "codegen/LoopAST.h"
 #include "ir/Program.h"
 #include "polyhedral/Polyhedron.h"
+#include "support/Diagnostics.h"
 
 #include <vector>
 
@@ -56,10 +57,24 @@ struct ScanItem {
 
 /// Generates the loop nest scanning \p Items in lexicographic order of the
 /// scan space. \p InitialContext holds what is known about the parameters
-/// (e.g. N >= 1), over the same space.
+/// (e.g. N >= 1), over the same space. Aborts (fatalError) if the scan
+/// cannot be completed; callers with a fallback should use
+/// scanPolyhedraChecked instead.
 LoopNest scanPolyhedra(const ScanSpace &Space, std::vector<ScanItem> Items,
                        const Program &Prog,
                        const Polyhedron &InitialContext);
+
+/// Recoverable variant of scanPolyhedra: returns a ScanFailed diagnostic
+/// instead of aborting when pieces cannot be totally ordered, a schedule
+/// dimension is not pinned to a constant, or a scanning dimension is
+/// unbounded. All three can arise from solver budget exhaustion inside the
+/// underlying set operations (an Unknown emptiness verdict conservatively
+/// keeps pieces and ordering candidates alive), so a ScanFailed error is the
+/// signal to fall back to naive (Figure 5) code generation.
+Expected<LoopNest> scanPolyhedraChecked(const ScanSpace &Space,
+                                        std::vector<ScanItem> Items,
+                                        const Program &Prog,
+                                        const Polyhedron &InitialContext);
 
 /// Removes Let bindings whose dimension is never read below them (these come
 /// from the zero-padding of statements nested less deeply than the scanning

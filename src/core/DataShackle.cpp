@@ -14,30 +14,67 @@
 using namespace shackle;
 
 DataShackle DataShackle::onStores(const Program &P, DataBlocking Blocking) {
-  DataShackle S;
-  S.Blocking = std::move(Blocking);
-  for (unsigned Id = 0; Id < P.getNumStmts(); ++Id) {
-    const Stmt &St = P.getStmt(Id);
-    if (St.LHS.ArrayId != S.Blocking.ArrayId)
-      fatalError("onStores: a statement does not store to the blocked array; "
-                 "use onRefs with an explicit (or dummy) reference");
-    S.ShackledRefs.push_back(St.LHS);
-  }
-  return S;
+  Expected<DataShackle> S = tryOnStores(P, std::move(Blocking));
+  if (!S.ok())
+    fatalError(S.diagnostic().Message.c_str());
+  return std::move(S.get());
 }
 
 DataShackle DataShackle::onRefs(const Program &P, DataBlocking Blocking,
                                 const std::vector<unsigned> &RefIndex) {
   assert(RefIndex.size() == P.getNumStmts() &&
          "need one reference choice per statement");
+  Expected<DataShackle> S = tryOnRefs(P, std::move(Blocking), RefIndex);
+  if (!S.ok())
+    fatalError(S.diagnostic().Message.c_str());
+  return std::move(S.get());
+}
+
+Expected<DataShackle> DataShackle::tryOnStores(const Program &P,
+                                               DataBlocking Blocking) {
   DataShackle S;
   S.Blocking = std::move(Blocking);
   for (unsigned Id = 0; Id < P.getNumStmts(); ++Id) {
-    auto Refs = P.getStmt(Id).refs();
-    assert(RefIndex[Id] < Refs.size() && "reference index out of range");
+    const Stmt &St = P.getStmt(Id);
+    if (St.LHS.ArrayId != S.Blocking.ArrayId)
+      return Status::error(
+          DiagCode::ShackleMismatch,
+          "onStores: statement " + St.Label +
+              " does not store to the blocked array " +
+              P.getArray(S.Blocking.ArrayId).Name +
+              "; use onRefs with an explicit (or dummy) reference");
+    S.ShackledRefs.push_back(St.LHS);
+  }
+  return S;
+}
+
+Expected<DataShackle> DataShackle::tryOnRefs(
+    const Program &P, DataBlocking Blocking,
+    const std::vector<unsigned> &RefIndex) {
+  DataShackle S;
+  S.Blocking = std::move(Blocking);
+  if (RefIndex.size() != P.getNumStmts())
+    return Status::error(DiagCode::ShackleMismatch,
+                         "onRefs: need one reference choice per statement (" +
+                             std::to_string(RefIndex.size()) + " given, " +
+                             std::to_string(P.getNumStmts()) + " needed)");
+  for (unsigned Id = 0; Id < P.getNumStmts(); ++Id) {
+    const Stmt &St = P.getStmt(Id);
+    auto Refs = St.refs();
+    if (RefIndex[Id] >= Refs.size())
+      return Status::error(DiagCode::ShackleMismatch,
+                           "onRefs: reference index " +
+                               std::to_string(RefIndex[Id]) +
+                               " out of range for statement " + St.Label +
+                               " (" + std::to_string(Refs.size()) +
+                               " references)");
     const ArrayRef &R = *Refs[RefIndex[Id]].first;
     if (R.ArrayId != S.Blocking.ArrayId)
-      fatalError("onRefs: chosen reference does not target the blocked array");
+      return Status::error(
+          DiagCode::ShackleMismatch,
+          "onRefs: chosen reference of statement " + St.Label +
+              " does not target the blocked array " +
+              P.getArray(S.Blocking.ArrayId).Name);
     S.ShackledRefs.push_back(R);
   }
   return S;

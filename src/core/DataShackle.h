@@ -30,6 +30,7 @@
 #include "core/DataBlocking.h"
 #include "ir/Program.h"
 #include "polyhedral/Polyhedron.h"
+#include "support/Diagnostics.h"
 
 #include <string>
 #include <vector>
@@ -48,13 +49,28 @@ struct DataShackle {
   /// Builds a shackle that ties every statement through its left-hand-side
   /// (store) reference. All statements must write to \p Blocking's array;
   /// this is the paper's choice for matrix multiplication and Cholesky.
+  /// Aborts (fatalError) on a mismatch; user-facing callers should prefer
+  /// tryOnStores.
   static DataShackle onStores(const Program &P, DataBlocking Blocking);
 
   /// Builds a shackle from an explicit per-statement reference choice:
   /// \p RefIndex[s] selects entry i of statement s's refs() list (0 = store,
-  /// 1.. = loads in pre-order).
+  /// 1.. = loads in pre-order). Aborts on a mismatch; user-facing callers
+  /// should prefer tryOnRefs.
   static DataShackle onRefs(const Program &P, DataBlocking Blocking,
                             const std::vector<unsigned> &RefIndex);
+
+  /// Recoverable variant of onStores: returns a ShackleMismatch diagnostic
+  /// naming the offending statement instead of aborting. This is the entry
+  /// point for shackles built from end-user input (the CLI's --array flag).
+  static Expected<DataShackle> tryOnStores(const Program &P,
+                                           DataBlocking Blocking);
+
+  /// Recoverable variant of onRefs; also rejects out-of-range \p RefIndex
+  /// entries (the aborting variant asserts on them).
+  static Expected<DataShackle> tryOnRefs(const Program &P,
+                                         DataBlocking Blocking,
+                                         const std::vector<unsigned> &RefIndex);
 };
 
 /// A Cartesian product of shackles, outer factors first. A single-element

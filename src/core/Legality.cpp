@@ -41,9 +41,27 @@ std::string LegalityViolation::witnessStr(const Program &P) const {
   return S;
 }
 
-std::string LegalityResult::summary(const Program &P) const {
-  if (Legal)
+const char *shackle::legalityVerdictName(LegalityVerdict V) {
+  switch (V) {
+  case LegalityVerdict::Legal:
     return "legal";
+  case LegalityVerdict::Illegal:
+    return "illegal";
+  case LegalityVerdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::string LegalityResult::summary(const Program &P) const {
+  if (Verdict == LegalityVerdict::Legal)
+    return "legal";
+  if (Verdict == LegalityVerdict::Unknown) {
+    std::string S = "unknown (conservatively rejected):";
+    for (const Diagnostic &D : Diags)
+      S += " [" + D.Message + "]";
+    return S;
+  }
   std::string S = "illegal:";
   for (const LegalityViolation &V : Violations)
     S += " [" + V.Problem.describe(P) + " runs backwards at block dim b" +
@@ -53,7 +71,8 @@ std::string LegalityResult::summary(const Program &P) const {
 
 LegalityResult shackle::checkLegality(const Program &P,
                                       const ShackleChain &Chain,
-                                      bool FirstViolationOnly) {
+                                      bool FirstViolationOnly,
+                                      const SolverBudget &Budget) {
   assert(!Chain.Factors.empty() && "empty shackle chain");
   for (const DataShackle &F : Chain.Factors) {
     assert(F.ShackledRefs.size() == P.getNumStmts() &&
@@ -110,13 +129,31 @@ LegalityResult shackle::checkLegality(const Program &P,
       Lt.back() = -1; // zdst_J <= zsrc_J - 1.
       Bad.addInequality(std::move(Lt));
 
-      if (!isIntegerEmpty(Bad)) {
+      SolverStats Stats;
+      FeasVerdict V = isIntegerEmptyBounded(Bad, Budget, &Stats);
+      if (V == FeasVerdict::Unknown) {
+        // Not proven infeasible: the shackle is no longer provably legal,
+        // but keep scanning — a *proven* violation elsewhere is a stronger
+        // (and more actionable) answer than Unknown.
+        if (Result.Verdict == LegalityVerdict::Legal) {
+          Result.Verdict = LegalityVerdict::Unknown;
+          Result.Legal = false;
+        }
+        Diagnostic D(DiagCode::LegalityUnknown,
+                     "could not decide legality of " + DP.describe(P) +
+                         " at block dim b" + std::to_string(J + 1));
+        D.addNote("solver gave up: " + Stats.reasonStr());
+        Result.Diags.push_back(std::move(D));
+        continue; // Other block dims of this dependence may still violate.
+      }
+      if (V == FeasVerdict::NonEmpty) {
+        Result.Verdict = LegalityVerdict::Illegal;
         Result.Legal = false;
-        LegalityViolation V;
-        V.Problem = std::move(DP);
-        V.BlockDim = J;
-        V.ViolationPoly = std::move(Bad);
-        Result.Violations.push_back(std::move(V));
+        LegalityViolation Viol;
+        Viol.Problem = std::move(DP);
+        Viol.BlockDim = J;
+        Viol.ViolationPoly = std::move(Bad);
+        Result.Violations.push_back(std::move(Viol));
         if (FirstViolationOnly)
           return Result;
         break; // Report each dependence at most once.

@@ -26,6 +26,8 @@
 #include "core/DataShackle.h"
 #include "core/Dependence.h"
 #include "ir/Program.h"
+#include "polyhedral/OmegaTest.h"
+#include "support/Diagnostics.h"
 
 #include <string>
 #include <vector>
@@ -48,18 +50,35 @@ struct LegalityViolation {
   std::string witnessStr(const Program &P) const;
 };
 
+/// Outcome of a legality check. Unknown means some feasibility query
+/// exhausted its solver budget with no violation found elsewhere; the
+/// shackle might be legal, but Theorem 1 was not proven.
+enum class LegalityVerdict { Legal, Illegal, Unknown };
+
+const char *legalityVerdictName(LegalityVerdict V);
+
 struct LegalityResult {
+  /// Compatibility alias: true iff Verdict == LegalityVerdict::Legal, so an
+  /// Unknown verdict conservatively rejects the shackle.
   bool Legal = true;
+  LegalityVerdict Verdict = LegalityVerdict::Legal;
   std::vector<LegalityViolation> Violations;
+  /// One LegalityUnknown diagnostic per dependence whose feasibility query
+  /// gave up, with the solver's reason attached as a note.
+  std::vector<Diagnostic> Diags;
 
   std::string summary(const Program &P) const;
 };
 
 /// Checks \p Chain against every dependence of \p P. With
 /// \p FirstViolationOnly (the default) the check stops at the first
-/// counterexample; otherwise all violated dependences are reported.
+/// counterexample; otherwise all violated dependences are reported. Each
+/// feasibility query runs under \p Budget; exhausted queries downgrade a
+/// would-be Legal verdict to Unknown (a proven violation still wins:
+/// Illegal dominates Unknown).
 LegalityResult checkLegality(const Program &P, const ShackleChain &Chain,
-                             bool FirstViolationOnly = true);
+                             bool FirstViolationOnly = true,
+                             const SolverBudget &Budget = SolverBudget());
 
 } // namespace shackle
 

@@ -213,8 +213,8 @@ LoopNest shackle::generateNaiveShackledCode(const Program &P,
 // Simplified (scanner) code
 //===----------------------------------------------------------------------===//
 
-LoopNest shackle::generateShackledCode(const Program &P,
-                                       const ShackleChain &Chain) {
+Expected<LoopNest> shackle::generateShackledCodeChecked(
+    const Program &P, const ShackleChain &Chain) {
   assert(P.isFinalized() && "program must be finalized");
   unsigned NumParams = P.getNumParams();
   unsigned M = Chain.numBlockDims();
@@ -297,7 +297,82 @@ LoopNest shackle::generateShackledCode(const Program &P,
     ParamOnly[V] = static_cast<int>(V);
   addParamContext(Context, P, ParamOnly);
 
-  LoopNest Nest = scanPolyhedra(Space, std::move(Items), P, Context);
-  pruneUnusedLets(Nest);
-  return Nest;
+  Expected<LoopNest> Nest =
+      scanPolyhedraChecked(Space, std::move(Items), P, Context);
+  if (!Nest.ok())
+    return Nest.takeDiagnostic();
+  pruneUnusedLets(Nest.get());
+  return std::move(Nest.get());
+}
+
+LoopNest shackle::generateShackledCode(const Program &P,
+                                       const ShackleChain &Chain) {
+  Expected<LoopNest> Nest = generateShackledCodeChecked(P, Chain);
+  if (!Nest.ok())
+    fatalError(Nest.diagnostic().Message.c_str());
+  return std::move(Nest.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-tolerant pipeline
+//===----------------------------------------------------------------------===//
+
+const char *shackle::codegenTierName(CodegenTier Tier) {
+  switch (Tier) {
+  case CodegenTier::Shackled:
+    return "shackled";
+  case CodegenTier::Naive:
+    return "naive";
+  case CodegenTier::Original:
+    return "original";
+  }
+  return "original";
+}
+
+CodegenResult shackle::generateCodeWithFallback(const Program &P,
+                                                const ShackleChain &Chain,
+                                                const SolverBudget &Budget) {
+  CodegenResult R;
+  R.Legality = checkLegality(P, Chain, /*FirstViolationOnly=*/true, Budget);
+  R.Diags = R.Legality.Diags;
+
+  if (R.Legality.Verdict != LegalityVerdict::Legal) {
+    // The naive tier reorders execution exactly like the shackled tier, so
+    // neither is safe without a proven-legal shackle: run the original.
+    R.Tier = CodegenTier::Original;
+    R.Nest = generateOriginalCode(P);
+    if (R.Legality.Verdict == LegalityVerdict::Illegal) {
+      Diagnostic D(DiagCode::ShackleIllegal,
+                   "shackle is illegal: " + R.Legality.summary(P), {},
+                   Severity::Warning);
+      D.addNote("falling back to original (untransformed) code");
+      R.Diags.push_back(std::move(D));
+    } else {
+      Diagnostic D(DiagCode::LegalityUnknown,
+                   "legality undecided within solver budget; "
+                   "conservatively rejecting the shackle",
+                   {}, Severity::Warning);
+      D.addNote("falling back to original (untransformed) code");
+      R.Diags.push_back(std::move(D));
+    }
+    return R;
+  }
+
+  Expected<LoopNest> Shackled = generateShackledCodeChecked(P, Chain);
+  if (Shackled.ok()) {
+    R.Tier = CodegenTier::Shackled;
+    R.Nest = std::move(Shackled.get());
+    return R;
+  }
+
+  // The shackle is legal but the scanner could not produce simplified code:
+  // the Figure-5 guards compute the same blocked order without polyhedral
+  // machinery.
+  Diagnostic D = Shackled.takeDiagnostic();
+  D.Sev = Severity::Warning;
+  D.addNote("falling back to naive (Figure 5) blocked code");
+  R.Diags.push_back(std::move(D));
+  R.Tier = CodegenTier::Naive;
+  R.Nest = generateNaiveShackledCode(P, Chain);
+  return R;
 }

@@ -26,7 +26,11 @@
 
 #include "codegen/LoopAST.h"
 #include "core/DataShackle.h"
+#include "core/Legality.h"
 #include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
 
 namespace shackle {
 
@@ -40,8 +44,51 @@ LoopNest generateOriginalCode(const Program &P);
 LoopNest generateNaiveShackledCode(const Program &P, const ShackleChain &C);
 
 /// Fully simplified blocked code via the polyhedral scanner. The caller is
-/// responsible for having checked legality.
+/// responsible for having checked legality. Aborts if the scanner fails;
+/// callers with user-provided input should use generateShackledCodeChecked
+/// or generateCodeWithFallback.
 LoopNest generateShackledCode(const Program &P, const ShackleChain &C);
+
+/// Recoverable variant of generateShackledCode: a scanner failure comes back
+/// as a ScanFailed diagnostic instead of aborting. Legality is still the
+/// caller's responsibility.
+Expected<LoopNest> generateShackledCodeChecked(const Program &P,
+                                               const ShackleChain &C);
+
+/// Which code generator ultimately produced a CodegenResult's nest. Ordered
+/// best-first: each tier is the fallback for the one before it.
+enum class CodegenTier {
+  Shackled, ///< Scanner-simplified blocked code (Figures 6/7/10).
+  Naive,    ///< Figure-5 guards; blocked semantics, no simplification.
+  Original, ///< Untransformed program order; always safe.
+};
+
+const char *codegenTierName(CodegenTier Tier);
+
+/// Outcome of the fault-tolerant pipeline.
+struct CodegenResult {
+  LoopNest Nest;
+  CodegenTier Tier = CodegenTier::Shackled;
+  /// The legality verdict that gated the transformation.
+  LegalityResult Legality;
+  /// Why the pipeline degraded, if it did (warnings, outermost first), plus
+  /// any LegalityUnknown diagnostics from the checker.
+  std::vector<Diagnostic> Diags;
+
+  /// True when the result uses the blocked execution order (Shackled or
+  /// Naive tier).
+  bool isBlocked() const { return Tier != CodegenTier::Original; }
+};
+
+/// The fault-tolerant pipeline: checks legality under \p Budget, then
+/// degrades through the tiers. A Legal verdict tries the scanner and falls
+/// back to naive (Figure 5) blocked code if the scan fails; an Illegal or
+/// Unknown verdict falls back to the original program order (the naive code
+/// also reorders, so it is only safe when the shackle is proven legal).
+/// Never aborts on user-triggerable failures.
+CodegenResult generateCodeWithFallback(const Program &P,
+                                       const ShackleChain &C,
+                                       const SolverBudget &Budget = SolverBudget());
 
 } // namespace shackle
 

@@ -8,6 +8,7 @@
 #include "frontend/Parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <vector>
@@ -35,6 +36,7 @@ enum class TokKind {
   Minus,
   Star,
   Slash,
+  Unknown,  // Unexpected character, or an out-of-range integer literal.
   Eof,
 };
 
@@ -44,6 +46,10 @@ struct Token {
   int64_t IntValue = 0;
   double FloatValue = 0;
   unsigned Line = 0;
+  unsigned Col = 0;
+  /// For Unknown tokens: set when the lexeme is a numeric literal that does
+  /// not fit in int64 (as opposed to a stray character).
+  bool IsOverflow = false;
 };
 
 class Lexer {
@@ -65,6 +71,7 @@ private:
     skipSpace();
     Cur = Token();
     Cur.Line = Line;
+    Cur.Col = static_cast<unsigned>(Pos - LineStart) + 1;
     if (Pos >= Src.size()) {
       Cur.Kind = TokKind::Eof;
       return;
@@ -97,8 +104,14 @@ private:
         Cur.Kind = TokKind::Float;
         Cur.FloatValue = std::strtod(Cur.Text.c_str(), nullptr);
       } else {
-        Cur.Kind = TokKind::Number;
+        errno = 0;
         Cur.IntValue = std::strtoll(Cur.Text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          Cur.Kind = TokKind::Unknown;
+          Cur.IsOverflow = true;
+        } else {
+          Cur.Kind = TokKind::Number;
+        }
       }
       return;
     }
@@ -116,7 +129,7 @@ private:
     case '*': Cur.Kind = TokKind::Star; return;
     case '/': Cur.Kind = TokKind::Slash; return;
     default:
-      Cur.Kind = TokKind::Eof;
+      Cur.Kind = TokKind::Unknown;
       Cur.Text = std::string(1, C);
       return;
     }
@@ -133,6 +146,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
         continue;
       }
       if (std::isspace(static_cast<unsigned char>(C))) {
@@ -145,6 +159,7 @@ private:
 
   const std::string &Src;
   size_t Pos = 0;
+  size_t LineStart = 0;
   unsigned Line = 1;
   Token Cur;
 };
@@ -160,16 +175,34 @@ public:
   ParseResult run() {
     Prog = std::make_unique<Program>();
     parseTopLevel();
-    if (!Err.empty())
-      return ParseResult{nullptr, Err};
+    if (HasErr) {
+      ParseResult R;
+      R.Error = (ErrDiag.Loc.isValid() ? ErrDiag.Loc.str() + ": " : "") +
+                ErrDiag.Message;
+      R.Diag = std::move(ErrDiag);
+      return R;
+    }
     Prog->finalize();
-    return ParseResult{std::move(Prog), ""};
+    ParseResult R;
+    R.Prog = std::move(Prog);
+    return R;
   }
 
 private:
   [[nodiscard]] bool error(const std::string &Msg) {
-    if (Err.empty())
-      Err = "line " + std::to_string(Lex.peek().Line) + ": " + Msg;
+    if (HasErr)
+      return false;
+    HasErr = true;
+    const Token &T = Lex.peek();
+    // A stray character (or an overflowing literal) is the root cause of
+    // whatever the caller failed to parse; report it instead.
+    std::string M = Msg;
+    if (T.Kind == TokKind::Unknown)
+      M = T.IsOverflow
+              ? "integer literal '" + T.Text + "' does not fit in 64 bits"
+              : "unexpected character '" + T.Text + "'";
+    ErrDiag = Diagnostic(DiagCode::ParseError, std::move(M),
+                         SourceLoc{T.Line, T.Col});
     return false;
   }
 
@@ -527,7 +560,7 @@ private:
   }
 
   void parseTopLevel() {
-    while (Err.empty() && Lex.peek().Kind != TokKind::Eof) {
+    while (!HasErr && Lex.peek().Kind != TokKind::Eof) {
       if (isKeyword("param")) {
         if (!parseParam())
           return;
@@ -544,7 +577,8 @@ private:
   std::unique_ptr<Program> Prog;
   std::map<std::string, unsigned> Vars;   // Params + open loop vars.
   std::map<std::string, unsigned> Arrays;
-  std::string Err;
+  bool HasErr = false;
+  Diagnostic ErrDiag;
 };
 
 } // namespace

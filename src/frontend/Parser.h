@@ -52,17 +52,21 @@
 #define SHACKLE_FRONTEND_PARSER_H
 
 #include "ir/Program.h"
+#include "support/Diagnostics.h"
 
 #include <memory>
 #include <string>
 
 namespace shackle {
 
-/// Result of parsing: either a finalized Program or an error message with
-/// line information.
+/// Result of parsing: either a finalized Program or a diagnostic carrying
+/// the first error with its line/column position.
 struct ParseResult {
   std::unique_ptr<Program> Prog;
-  std::string Error; ///< Empty on success.
+  std::string Error; ///< Empty on success; "line N, col M: msg" otherwise.
+  /// Structured form of Error (DiagCode::ParseError with a SourceLoc);
+  /// meaningful only when Prog is null.
+  Diagnostic Diag;
 
   explicit operator bool() const { return Prog != nullptr; }
 };

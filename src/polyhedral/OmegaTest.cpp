@@ -9,23 +9,53 @@
 
 #include "support/MathExtras.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <limits>
 
 using namespace shackle;
 
+std::string SolverStats::reasonStr() const {
+  if (Overflowed)
+    return "int64 coefficient overflow";
+  if (HitWorkLimit)
+    return "work-unit budget exhausted (" + std::to_string(WorkUnits) +
+           " units)";
+  if (HitDepthLimit)
+    return "recursion depth limit";
+  return "not exhausted";
+}
+
 namespace {
 
-/// Recursion ceiling. Real problems in this project stay far below it; the
-/// guard exists to turn a logic error into a loud failure instead of a hang.
-constexpr int MaxDepth = 256;
+/// Per-query state threaded through the recursion: the budget, the running
+/// counters, and a sticky exhaustion flag that aborts the whole query.
+struct SolverCtx {
+  const SolverBudget &Budget;
+  SolverStats &Stats;
 
-bool isEmptyRec(Polyhedron P, int Depth);
+  /// Charges \p Units of work; returns false once the budget is exceeded.
+  bool charge(uint64_t Units) {
+    Stats.WorkUnits += Units;
+    if (Stats.WorkUnits > Budget.MaxWorkUnits)
+      Stats.HitWorkLimit = true;
+    return !Stats.exhausted();
+  }
+
+  bool overflow() {
+    Stats.Overflowed = true;
+    return false;
+  }
+};
+
+FeasVerdict isEmptyRec(Polyhedron P, unsigned Depth, SolverCtx &C);
 
 /// Substitutes variable \p Var using the unit-coefficient row \p Eq
-/// (Eq[Var] == +-1) into \p P and drops the equality.
-void substituteUnit(Polyhedron &P, unsigned EqIdx, unsigned Var) {
+/// (Eq[Var] == +-1) into \p P and drops the equality. Returns false on
+/// int64 overflow (P is then abandoned).
+bool substituteUnit(Polyhedron &P, unsigned EqIdx, unsigned Var,
+                    SolverCtx &C) {
   ConstraintRow Def = P.getEquality(EqIdx);
   int64_t A = Def[Var];
   assert((A == 1 || A == -1) && "expected a unit coefficient");
@@ -34,15 +64,21 @@ void substituteUnit(Polyhedron &P, unsigned EqIdx, unsigned Var) {
   for (unsigned J = 0; J <= P.getNumVars(); ++J)
     if (J != Var)
       Subst[J] = -A * Def[J];
-  P.substitute(Var, Subst);
+  if (!P.substituteChecked(Var, Subst))
+    return C.overflow();
+  return true;
 }
 
-/// Eliminates all equalities from \p P exactly (Pugh Section 2.3.1). Returns
-/// false if the equalities prove the polyhedron integer-empty outright.
-bool eliminateEqualities(Polyhedron &P) {
+/// Eliminates all equalities from \p P exactly (Pugh Section 2.3.1).
+/// Returns Empty if the equalities prove the polyhedron integer-empty,
+/// NonEmpty if elimination completed (meaning: not yet decided, continue
+/// with the inequalities), Unknown on exhaustion.
+FeasVerdict eliminateEqualities(Polyhedron &P, SolverCtx &C) {
   while (P.getNumEqualities() > 0) {
+    if (!C.charge(1 + P.getNumEqualities()))
+      return FeasVerdict::Unknown;
     if (!P.normalize())
-      return false;
+      return FeasVerdict::Empty;
     if (P.getNumEqualities() == 0)
       break;
 
@@ -66,7 +102,8 @@ bool eliminateEqualities(Polyhedron &P) {
     }
 
     if (BestAbs == 1) {
-      substituteUnit(P, BestEq, BestVar);
+      if (!substituteUnit(P, BestEq, BestVar, C))
+        return FeasVerdict::Unknown;
       continue;
     }
 
@@ -91,9 +128,10 @@ bool eliminateEqualities(Polyhedron &P) {
            "hat-mod must produce a unit coefficient on the chosen variable");
 
     P.addEquality(std::move(NewEq));
-    substituteUnit(P, P.getNumEqualities() - 1, BestVar);
+    if (!substituteUnit(P, P.getNumEqualities() - 1, BestVar, C))
+      return FeasVerdict::Unknown;
   }
-  return !P.isObviouslyEmpty();
+  return P.isObviouslyEmpty() ? FeasVerdict::Empty : FeasVerdict::NonEmpty;
 }
 
 struct BoundSplit {
@@ -160,19 +198,25 @@ bool isVariableFree(const Polyhedron &P) {
   return true;
 }
 
-bool isEmptyRec(Polyhedron P, int Depth) {
-  assert(Depth < MaxDepth && "Omega test recursion too deep");
+FeasVerdict isEmptyRec(Polyhedron P, unsigned Depth, SolverCtx &C) {
+  if (Depth >= C.Budget.MaxDepth) {
+    C.Stats.HitDepthLimit = true;
+    return FeasVerdict::Unknown;
+  }
+  if (!C.charge(1 + P.getNumInequalities()))
+    return FeasVerdict::Unknown;
 
   if (!P.normalize())
-    return true;
+    return FeasVerdict::Empty;
   P.removeDuplicateConstraints();
-  if (!eliminateEqualities(P))
-    return true;
+  FeasVerdict EqV = eliminateEqualities(P, C);
+  if (EqV != FeasVerdict::NonEmpty)
+    return EqV; // Empty or Unknown.
   if (!P.normalize())
-    return true;
+    return FeasVerdict::Empty;
 
   if (isVariableFree(P))
-    return P.isObviouslyEmpty();
+    return P.isObviouslyEmpty() ? FeasVerdict::Empty : FeasVerdict::NonEmpty;
 
   auto [Var, Exact] = pickVariable(P);
   BoundSplit S = splitBounds(P, Var);
@@ -183,10 +227,13 @@ bool isEmptyRec(Polyhedron P, int Depth) {
     Polyhedron Q(P.getVarNames());
     for (ConstraintRow &Row : S.Rest)
       Q.addInequality(std::move(Row));
-    return isEmptyRec(std::move(Q), Depth + 1);
+    return isEmptyRec(std::move(Q), Depth + 1, C);
   }
 
-  // Real shadow (and dark shadow when inexact).
+  // Real shadow (and dark shadow when inexact). Each lower/upper pair costs
+  // one work unit; this product is exactly where hard instances explode.
+  if (!C.charge(static_cast<uint64_t>(S.Lowers.size()) * S.Uppers.size()))
+    return FeasVerdict::Unknown;
   Polyhedron Real(P.getVarNames());
   Polyhedron Dark(P.getVarNames());
   for (const ConstraintRow &Row : S.Rest) {
@@ -198,23 +245,39 @@ bool isEmptyRec(Polyhedron P, int Depth) {
       int64_t A = L[Var];
       int64_t B = -U[Var];
       ConstraintRow Combined(P.getNumVars() + 1, 0);
-      for (unsigned J = 0; J <= P.getNumVars(); ++J)
-        Combined[J] = checkedAdd(checkedMul(A, U[J]), checkedMul(B, L[J]));
+      for (unsigned J = 0; J <= P.getNumVars(); ++J) {
+        int64_t AU, BL;
+        if (mulOverflow(A, U[J], AU) || mulOverflow(B, L[J], BL) ||
+            addOverflow(AU, BL, Combined[J])) {
+          C.overflow();
+          return FeasVerdict::Unknown;
+        }
+      }
       Combined[Var] = 0;
-      Real.addInequality(Combined);
       ConstraintRow DarkRow = Combined;
-      DarkRow.back() = checkedAdd(DarkRow.back(), -(A - 1) * (B - 1));
+      // dark constant: combined - (A-1)*(B-1).
+      int64_t Penalty;
+      if (mulOverflow(A - 1, B - 1, Penalty) ||
+          subOverflow(DarkRow.back(), Penalty, DarkRow.back())) {
+        C.overflow();
+        return FeasVerdict::Unknown;
+      }
+      Real.addInequality(std::move(Combined));
       Dark.addInequality(std::move(DarkRow));
     }
   }
 
   if (Exact)
-    return isEmptyRec(std::move(Real), Depth + 1);
+    return isEmptyRec(std::move(Real), Depth + 1, C);
 
-  if (isEmptyRec(Real, Depth + 1))
-    return true;
-  if (!isEmptyRec(std::move(Dark), Depth + 1))
-    return false;
+  FeasVerdict RealV = isEmptyRec(Real, Depth + 1, C);
+  if (RealV != FeasVerdict::NonEmpty)
+    return RealV; // Empty or Unknown.
+  FeasVerdict DarkV = isEmptyRec(std::move(Dark), Depth + 1, C);
+  if (DarkV == FeasVerdict::NonEmpty)
+    return FeasVerdict::NonEmpty; // A dark-shadow point is a real point.
+  if (DarkV == FeasVerdict::Unknown)
+    return FeasVerdict::Unknown;
 
   // Inexact and the shadows disagree: splinter (Pugh Section 2.3.3). An
   // integer solution, if any, must have A * x within a bounded distance of
@@ -223,52 +286,107 @@ bool isEmptyRec(Polyhedron P, int Depth) {
   int64_t BMax = 0;
   for (const ConstraintRow &U : S.Uppers)
     BMax = std::max(BMax, -U[Var]);
+  bool SawUnknown = false;
   for (const ConstraintRow &L : S.Lowers) {
     int64_t A = L[Var];
-    int64_t MaxI = floorDiv(checkedMul(A, BMax) - A - BMax, BMax);
+    int64_t ABMax;
+    if (mulOverflow(A, BMax, ABMax)) {
+      C.overflow();
+      return FeasVerdict::Unknown;
+    }
+    int64_t MaxI = floorDiv(ABMax - A - BMax, BMax);
     for (int64_t I = 0; I <= MaxI; ++I) {
+      ++C.Stats.Splinters;
+      if (!C.charge(1))
+        return FeasVerdict::Unknown;
       Polyhedron Q = P;
       ConstraintRow Eq = L; // A * x + l(rest) == I
-      Eq.back() = checkedAdd(Eq.back(), -I);
+      Eq.back() -= I;       // |I| <= A <= |coeff| already in range.
       Q.addEquality(std::move(Eq));
-      if (!isEmptyRec(std::move(Q), Depth + 1))
-        return false;
+      FeasVerdict V = isEmptyRec(std::move(Q), Depth + 1, C);
+      if (V == FeasVerdict::NonEmpty)
+        return FeasVerdict::NonEmpty;
+      if (V == FeasVerdict::Unknown)
+        SawUnknown = true;
     }
   }
-  return true;
+  // Every splinter proven empty => empty; any Unknown splinter poisons the
+  // emptiness claim.
+  return SawUnknown ? FeasVerdict::Unknown : FeasVerdict::Empty;
 }
 
 } // namespace
 
-bool shackle::isIntegerEmpty(const Polyhedron &P) {
-  return isEmptyRec(P, /*Depth=*/0);
+FeasVerdict shackle::isIntegerEmptyBounded(const Polyhedron &P,
+                                           const SolverBudget &Budget,
+                                           SolverStats *Stats) {
+  SolverStats Local;
+  SolverCtx C{Budget, Stats ? *Stats : Local};
+  return isEmptyRec(P, /*Depth=*/0, C);
 }
 
-bool shackle::isSubsetOf(const Polyhedron &A, const Polyhedron &B) {
+Ternary shackle::isSubsetOfBounded(const Polyhedron &A, const Polyhedron &B,
+                                   const SolverBudget &Budget,
+                                   SolverStats *Stats) {
   assert(A.getNumVars() == B.getNumVars() && "subset requires a common space");
+  bool SawUnknown = false;
+  auto Check = [&](Polyhedron Q) {
+    switch (isIntegerEmptyBounded(Q, Budget, Stats)) {
+    case FeasVerdict::Empty:
+      return true; // This direction holds; keep checking the rest.
+    case FeasVerdict::NonEmpty:
+      return false;
+    case FeasVerdict::Unknown:
+      SawUnknown = true;
+      return true; // Undecided; a later constraint may still refute.
+    }
+    return true;
+  };
   for (const ConstraintRow &Row : B.equalities()) {
     // A subset of {e == 0} iff A /\ {e >= 1} and A /\ {e <= -1} are empty.
     Polyhedron Pos = A;
     ConstraintRow GE = Row;
     GE.back() -= 1;
     Pos.addInequality(std::move(GE));
-    if (!isIntegerEmpty(Pos))
-      return false;
+    if (!Check(std::move(Pos)))
+      return Ternary::False;
     Polyhedron Neg = A;
     ConstraintRow LE = negateInequality(Row);
     Neg.addInequality(std::move(LE));
-    if (!isIntegerEmpty(Neg))
-      return false;
+    if (!Check(std::move(Neg)))
+      return Ternary::False;
   }
   for (const ConstraintRow &Row : B.inequalities()) {
     Polyhedron Q = A;
     Q.addInequality(negateInequality(Row));
-    if (!isIntegerEmpty(Q))
-      return false;
+    if (!Check(std::move(Q)))
+      return Ternary::False;
   }
-  return true;
+  return SawUnknown ? Ternary::Unknown : Ternary::True;
+}
+
+Ternary shackle::isDisjointBounded(const Polyhedron &A, const Polyhedron &B,
+                                   const SolverBudget &Budget,
+                                   SolverStats *Stats) {
+  switch (isIntegerEmptyBounded(intersect(A, B), Budget, Stats)) {
+  case FeasVerdict::Empty:
+    return Ternary::True;
+  case FeasVerdict::NonEmpty:
+    return Ternary::False;
+  case FeasVerdict::Unknown:
+    break;
+  }
+  return Ternary::Unknown;
+}
+
+bool shackle::isIntegerEmpty(const Polyhedron &P) {
+  return isIntegerEmptyBounded(P) == FeasVerdict::Empty;
+}
+
+bool shackle::isSubsetOf(const Polyhedron &A, const Polyhedron &B) {
+  return isSubsetOfBounded(A, B) == Ternary::True;
 }
 
 bool shackle::isDisjoint(const Polyhedron &A, const Polyhedron &B) {
-  return isIntegerEmpty(intersect(A, B));
+  return isDisjointBounded(A, B) == Ternary::True;
 }

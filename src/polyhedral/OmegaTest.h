@@ -16,6 +16,14 @@
 ///   3. the dark-shadow sufficient test, and
 ///   4. splintering for the rare inexact eliminations.
 ///
+/// The test is exact but worst-case exponential, and Fourier-Motzkin can
+/// splinter and grow coefficients without bound on adversarial inputs. Every
+/// query therefore runs under a SolverBudget: a work-unit ceiling, a
+/// recursion ceiling, and overflow-checked int64 arithmetic. When any limit
+/// trips, the query answers *Unknown* instead of hanging or wrapping, and
+/// callers must act conservatively (keep the dependence, reject the shackle,
+/// fall back to simpler code generation).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHACKLE_POLYHEDRAL_OMEGATEST_H
@@ -23,17 +31,83 @@
 
 #include "polyhedral/Polyhedron.h"
 
+#include <cstdint>
+
 namespace shackle {
 
-/// Returns true iff \p P contains no integer point. Exact (sound and
-/// complete) for any conjunction of affine constraints over int64
-/// coefficients.
+/// Three-valued answer to "is this set integer-empty?".
+enum class FeasVerdict {
+  Empty,    ///< Proven: no integer point.
+  NonEmpty, ///< Proven: at least one integer point.
+  Unknown,  ///< Budget exhausted or arithmetic overflowed; undecided.
+};
+
+/// Three-valued answer for the derived predicates (subset, disjoint).
+enum class Ternary { False, True, Unknown };
+
+/// Resource limits for one solver query (shared across its recursion).
+struct SolverBudget {
+  /// Abstract work units; roughly one per constraint combination formed
+  /// during Fourier-Motzkin plus one per recursive subproblem. The default
+  /// decides every legality/codegen problem in this project in well under
+  /// a millisecond while bounding adversarial inputs to ~a second.
+  uint64_t MaxWorkUnits = 2'000'000;
+  /// Recursion ceiling (also a stack-depth guard; never disable it).
+  unsigned MaxDepth = 256;
+
+  /// A budget for callers that prefer a long wait over an Unknown verdict.
+  static SolverBudget generous() {
+    SolverBudget B;
+    B.MaxWorkUnits = 512'000'000;
+    return B;
+  }
+};
+
+/// Counters reported by a bounded query; useful for diagnostics and tests.
+struct SolverStats {
+  uint64_t WorkUnits = 0;   ///< Total work charged.
+  uint64_t Splinters = 0;   ///< Splinter subproblems spawned.
+  bool HitWorkLimit = false;
+  bool HitDepthLimit = false;
+  bool Overflowed = false;  ///< A coefficient left int64 range.
+
+  /// True iff the query gave up for any reason (verdict was Unknown).
+  bool exhausted() const {
+    return HitWorkLimit || HitDepthLimit || Overflowed;
+  }
+  /// Human-readable reason for an Unknown verdict.
+  std::string reasonStr() const;
+};
+
+/// Decides whether \p P contains an integer point, within \p Budget. Sound:
+/// Empty and NonEmpty answers are exact; Unknown means undecided.
+FeasVerdict isIntegerEmptyBounded(const Polyhedron &P,
+                                  const SolverBudget &Budget = SolverBudget(),
+                                  SolverStats *Stats = nullptr);
+
+/// Is every integer point of \p A in \p B (same space)? True/False exact;
+/// Unknown when some underlying emptiness query exhausted its budget.
+Ternary isSubsetOfBounded(const Polyhedron &A, const Polyhedron &B,
+                          const SolverBudget &Budget = SolverBudget(),
+                          SolverStats *Stats = nullptr);
+
+/// Do A and B share no integer point (same space)?
+Ternary isDisjointBounded(const Polyhedron &A, const Polyhedron &B,
+                          const SolverBudget &Budget = SolverBudget(),
+                          SolverStats *Stats = nullptr);
+
+/// Returns true iff \p P is *proven* to contain no integer point under the
+/// default budget. An Unknown verdict maps to false ("not proven empty"),
+/// which is the conservative direction for every caller in this project:
+/// dependences are kept, redundancy is not assumed, pieces are not dropped.
 bool isIntegerEmpty(const Polyhedron &P);
 
-/// Returns true iff every integer point of \p A lies in \p B (same space).
+/// Returns true iff every integer point of \p A is proven to lie in \p B
+/// (same space); Unknown maps to false.
 bool isSubsetOf(const Polyhedron &A, const Polyhedron &B);
 
-/// Returns true iff A and B share no integer point (same space).
+/// Returns true iff A and B are proven to share no integer point (same
+/// space); Unknown maps to false.
 bool isDisjoint(const Polyhedron &A, const Polyhedron &B);
 
 } // namespace shackle

@@ -308,6 +308,33 @@ void Polyhedron::substitute(unsigned Var, const ConstraintRow &Def) {
   removeDuplicateConstraints();
 }
 
+bool Polyhedron::substituteChecked(unsigned Var, const ConstraintRow &Def) {
+  assert(Def.size() == NumVars + 1 && "definition row has wrong arity");
+  assert(Def[Var] == 0 && "definition must not mention the variable");
+  auto Apply = [&](ConstraintRow &Row) {
+    int64_t A = Row[Var];
+    if (A == 0)
+      return true;
+    Row[Var] = 0;
+    for (unsigned J = 0; J <= NumVars; ++J) {
+      int64_t Scaled;
+      if (mulOverflow(A, Def[J], Scaled) ||
+          addOverflow(Row[J], Scaled, Row[J]))
+        return false;
+    }
+    return true;
+  };
+  for (ConstraintRow &Row : Equalities)
+    if (!Apply(Row))
+      return false;
+  for (ConstraintRow &Row : Inequalities)
+    if (!Apply(Row))
+      return false;
+  normalize();
+  removeDuplicateConstraints();
+  return true;
+}
+
 bool Polyhedron::containsPoint(const std::vector<int64_t> &Point) const {
   assert(Point.size() == NumVars && "point has wrong arity");
   if (KnownEmpty)

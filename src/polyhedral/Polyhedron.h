@@ -135,6 +135,12 @@ public:
   /// coefficients integral, so Denom must be 1; callers scale beforehand).
   void substitute(unsigned Var, const ConstraintRow &Def);
 
+  /// Overflow-reporting variant of substitute() for solver paths that must
+  /// survive adversarial coefficients: returns false (leaving the polyhedron
+  /// in an unspecified but valid state that callers must abandon) if any
+  /// intermediate product or sum leaves int64 range.
+  [[nodiscard]] bool substituteChecked(unsigned Var, const ConstraintRow &Def);
+
   /// Evaluates whether the integer point \p Point (size NumVars) satisfies
   /// all constraints.
   bool containsPoint(const std::vector<int64_t> &Point) const;

@@ -1,0 +1,197 @@
+//===- Diagnostics.h - Structured recoverable diagnostics -------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable-error side of the failure policy (see DESIGN.md,
+/// "Failure policy"): anything that can go wrong because of *input* — a
+/// malformed DSL program, a shackle that does not fit the program, a solver
+/// that runs out of budget, a scan the code generator cannot order — is
+/// reported as a Diagnostic carried by a Status or Expected<T> and flows up
+/// to the caller, which degrades gracefully (fallback code generation,
+/// conservative legality verdicts, non-zero CLI exit codes). fatalError in
+/// ErrorHandling.h remains reserved for broken internal invariants only.
+///
+/// A Diagnostic is an error code, a severity, a message, an optional source
+/// location (line/column in DSL input), and a chain of notes adding context
+/// as the error propagates upward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_DIAGNOSTICS_H
+#define SHACKLE_SUPPORT_DIAGNOSTICS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shackle {
+
+/// What went wrong, machine-readably. The CLI maps these to exit codes
+/// (docs/CLI.md); tests match on them instead of message text.
+enum class DiagCode {
+  /// The DSL front end rejected the input text.
+  ParseError,
+  /// A file could not be opened or read.
+  IOError,
+  /// A shackle does not fit the program (e.g. onStores over a statement
+  /// that does not store to the blocked array).
+  ShackleMismatch,
+  /// The Omega test gave up: work-unit budget, recursion depth, or checked
+  /// int64 arithmetic overflowed. The querent must treat the answer as
+  /// "unknown" and act conservatively.
+  SolverBudgetExceeded,
+  /// The legality check proved a Theorem 1 violation: the shackle would run
+  /// a dependence backwards.
+  ShackleIllegal,
+  /// The legality check could not prove or refute Theorem 1 within budget;
+  /// the shackle is conservatively rejected.
+  LegalityUnknown,
+  /// The polyhedral scanner failed to produce loops (piece ordering,
+  /// unbounded dimension, or its own solver budget); callers fall back to
+  /// naive or original code.
+  ScanFailed,
+  /// Invalid command-line usage.
+  UsageError,
+};
+
+/// Renders the code's stable spelling, e.g. "parse-error".
+const char *diagCodeName(DiagCode Code);
+
+enum class Severity { Note, Warning, Error };
+
+/// A position in DSL source text; 1-based, 0 meaning "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  /// "line 3, col 7" (or "" when unknown).
+  std::string str() const;
+};
+
+/// One structured diagnostic with an optional chain of notes.
+struct Diagnostic {
+  DiagCode Code = DiagCode::UsageError;
+  Severity Sev = Severity::Error;
+  std::string Message;
+  SourceLoc Loc;
+  /// Context accumulated while the error travelled up the pipeline,
+  /// outermost note last.
+  std::vector<Diagnostic> Notes;
+
+  Diagnostic() = default;
+  Diagnostic(DiagCode Code, std::string Message, SourceLoc Loc = {},
+             Severity Sev = Severity::Error)
+      : Code(Code), Sev(Sev), Message(std::move(Message)), Loc(Loc) {}
+
+  Diagnostic &addNote(std::string Message, SourceLoc Loc = {});
+
+  /// One line per note: "error: [parse-error] line 3, col 7: ...".
+  std::string str() const;
+};
+
+/// Success, or a Diagnostic. The [[nodiscard]] shape of llvm::Error without
+/// the must-check crash: dropping a Status is a compile warning, not UB.
+class [[nodiscard]] Status {
+public:
+  /// Success.
+  Status() = default;
+
+  static Status success() { return Status(); }
+  static Status error(DiagCode Code, std::string Message, SourceLoc Loc = {}) {
+    Status S;
+    S.Diag.emplace(Code, std::move(Message), Loc);
+    return S;
+  }
+  static Status error(Diagnostic D) {
+    Status S;
+    S.Diag.emplace(std::move(D));
+    return S;
+  }
+
+  bool ok() const { return !Diag.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Diagnostic &diagnostic() const {
+    assert(Diag && "no diagnostic on a success Status");
+    return *Diag;
+  }
+  Diagnostic takeDiagnostic() {
+    assert(Diag && "no diagnostic on a success Status");
+    Diagnostic D = std::move(*Diag);
+    Diag.reset();
+    return D;
+  }
+
+  /// Appends a context note if this is an error; no-op on success. Returns
+  /// *this so call sites can `return S.withNote(...)`.
+  Status &withNote(std::string Message, SourceLoc Loc = {}) {
+    if (Diag)
+      Diag->addNote(std::move(Message), Loc);
+    return *this;
+  }
+
+private:
+  std::optional<Diagnostic> Diag;
+};
+
+/// A T or a Diagnostic explaining why there is no T.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Diagnostic D) : Diag(std::move(D)) {}
+  /// An error Status converts to an error Expected (mirrors llvm::Expected).
+  Expected(Status S) {
+    assert(!S.ok() && "cannot build Expected<T> from a success Status");
+    Diag.emplace(S.takeDiagnostic());
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &get() {
+    assert(Value && "accessing the value of an error Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "accessing the value of an error Expected");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const Diagnostic &diagnostic() const {
+    assert(Diag && "no diagnostic on a success Expected");
+    return *Diag;
+  }
+  Diagnostic takeDiagnostic() {
+    assert(Diag && "no diagnostic on a success Expected");
+    Diagnostic D = std::move(*Diag);
+    Diag.reset();
+    return D;
+  }
+  /// The error as a Status (must be an error).
+  Status takeStatus() { return Status::error(takeDiagnostic()); }
+
+  Expected &withNote(std::string Message, SourceLoc Loc = {}) {
+    if (Diag)
+      Diag->addNote(std::move(Message), Loc);
+    return *this;
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Diagnostic> Diag;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_DIAGNOSTICS_H

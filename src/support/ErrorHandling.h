@@ -9,6 +9,12 @@
 /// Reporting for broken internal invariants that must abort even in release
 /// builds (the moral equivalent of llvm_unreachable / report_fatal_error).
 ///
+/// This is the *unrecoverable* half of the failure policy (DESIGN.md,
+/// "Failure policy"). Anything an end user can trigger — malformed DSL
+/// input, an ill-fitting shackle, solver exhaustion — must instead return a
+/// Status / Expected<T> from Diagnostics.h so the pipeline can degrade
+/// gracefully.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHACKLE_SUPPORT_ERRORHANDLING_H

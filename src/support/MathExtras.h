@@ -75,6 +75,25 @@ inline int64_t symMod(int64_t Dividend, int64_t Divisor) {
   return R;
 }
 
+/// Overflow-reporting multiply: sets \p R to the wrapped product and returns
+/// true iff A * B does not fit in int64. Used by the Omega test's
+/// Fourier-Motzkin combination, where coefficient products on adversarial
+/// inputs can exceed 64 bits; the solver then answers Unknown instead of
+/// computing with a wrapped value.
+inline bool mulOverflow(int64_t A, int64_t B, int64_t &R) {
+  return __builtin_mul_overflow(A, B, &R);
+}
+
+/// Overflow-reporting add; see mulOverflow.
+inline bool addOverflow(int64_t A, int64_t B, int64_t &R) {
+  return __builtin_add_overflow(A, B, &R);
+}
+
+/// Overflow-reporting subtract; see mulOverflow.
+inline bool subOverflow(int64_t A, int64_t B, int64_t &R) {
+  return __builtin_sub_overflow(A, B, &R);
+}
+
 /// Multiply with a debug-build overflow check. The polyhedral library keeps
 /// coefficients small, so overflow indicates a logic error, not bad input.
 inline int64_t checkedMul(int64_t A, int64_t B) {

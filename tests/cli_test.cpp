@@ -134,8 +134,69 @@ TEST_F(CliFile, ParseErrorsAreReportedWithLine) {
   std::fputs("param N\narray A[N]\ndo i = 0, N-1\nA[i] = 1\n", F);
   std::fclose(F);
   auto [Rc, Out] = runCli("file " + Bad + " print");
-  EXPECT_NE(Rc, 0);
+  EXPECT_EQ(Rc, 3);
   EXPECT_NE(Out.find("line"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("parse-error"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, StrayCharacterReportsLineAndColumnWithExit3) {
+  std::string Bad = ::testing::TempDir() + "cli_test_stray.dsl";
+  std::FILE *F = std::fopen(Bad.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs("param N\narray A[N]\ndo i = 0, N-1\n  A[i] = 1 @ 2\nend\n", F);
+  std::fclose(F);
+  auto [Rc, Out] = runCli("file " + Bad + " print");
+  EXPECT_EQ(Rc, 3);
+  EXPECT_NE(Out.find("line 4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("col"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("unexpected character '@'"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, MissingArrayFlagIsUsageErrorExit1) {
+  auto [Rc, Out] = runCli("file " + Path + " codegen --block=8,8");
+  EXPECT_EQ(Rc, 1);
+  EXPECT_NE(Out.find("usage-error"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, MismatchedShackleArrayIsReportedNotAborted) {
+  // --array=B is not declared by the program: a structured error, never a
+  // crash/abort.
+  auto [Rc, Out] = runCli("file " + Path + " codegen --array=B --block=8,8");
+  EXPECT_EQ(Rc, 1);
+  EXPECT_NE(Out.find("error"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, TinySolverBudgetMakesLegalityUndecidedExit4) {
+  auto [Rc, Out] = runCli("file " + Path +
+                          " legality --array=A --block=8,8 --solver-budget=5");
+  EXPECT_EQ(Rc, 4);
+  EXPECT_NE(Out.find("legality-unknown"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("budget"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, TinySolverBudgetCodegenFallsBackToOriginal) {
+  auto [Rc, Out] = runCli("file " + Path +
+                          " codegen --array=A --block=8,8 --solver-budget=5");
+  // Fallback still emits runnable (original) code and exits 0.
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("codegen tier: original"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("falling back"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("do J = 0 .. N - 1"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("do b1"), std::string::npos) << Out;
+}
+
+TEST_F(CliFile, StrictRefusesFallbackTiers) {
+  auto [Rc, Out] =
+      runCli("file " + Path +
+             " codegen --array=A --block=8,8 --solver-budget=5 --strict");
+  EXPECT_EQ(Rc, 4);
+  EXPECT_NE(Out.find("refusing to emit"), std::string::npos) << Out;
+  // And a healthy run is unaffected by --strict.
+  auto [Rc2, Out2] =
+      runCli("file " + Path + " codegen --array=A --block=8,8 --strict");
+  EXPECT_EQ(Rc2, 0);
+  EXPECT_NE(Out2.find("codegen tier: shackled"), std::string::npos) << Out2;
+  EXPECT_NE(Out2.find("do b1"), std::string::npos) << Out2;
 }
 
 } // namespace

@@ -145,4 +145,102 @@ std::vector<Case> allCases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, Equivalence, ::testing::ValuesIn(allCases()));
 
+//===----------------------------------------------------------------------===//
+// Fallback tiers: whatever tier the fault-tolerant driver lands on, the
+// numbers it computes are bit-identical to the shackled code.
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Nest on a fresh instance seeded identically to the reference
+/// and returns the max abs difference against running \p RefNest.
+double diffAgainst(const Program &P, const LoopNest &RefNest,
+                   const LoopNest &Nest, int64_t N, bool NeedsSPD) {
+  ProgramInstance Ref(P, {N}), Test(P, {N});
+  Ref.fillRandom(1000 + N, 0.5, 1.5);
+  if (NeedsSPD)
+    for (int64_t I = 0; I < N; ++I) {
+      int64_t Idx[2] = {I, I};
+      Ref.buffer(0)[Ref.offset(0, Idx)] += 3.0 * static_cast<double>(N);
+    }
+  for (unsigned A = 0; A < P.getNumArrays(); ++A)
+    Test.buffer(A) = Ref.buffer(A);
+  runLoopNest(RefNest, Ref);
+  runLoopNest(Nest, Test);
+  return Ref.maxAbsDifference(Test);
+}
+
+class FallbackTiers : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FallbackTiers, AllThreeTiersAgreeBitForBit) {
+  // GetParam() selects Cholesky (true) or MMM (false): the two kernels the
+  // paper's headline results rest on.
+  bool Chol = GetParam();
+  BenchSpec Spec = Chol ? makeCholeskyRight() : makeMatMul();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain =
+      Chol ? choleskyShackleStores(P, 4) : mmmShackleC(P, 4);
+  ASSERT_TRUE(checkLegality(P, Chain).Legal);
+
+  LoopNest Shackled = generateShackledCode(P, Chain);
+  LoopNest Naive = generateNaiveShackledCode(P, Chain);
+  LoopNest Original = generateOriginalCode(P);
+  for (int64_t N : {1, 4, 5, 11}) {
+    EXPECT_EQ(diffAgainst(P, Shackled, Naive, N, Chol), 0.0)
+        << "naive tier diverged at N=" << N;
+    EXPECT_EQ(diffAgainst(P, Shackled, Original, N, Chol), 0.0)
+        << "original tier diverged at N=" << N;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CholeskyAndMMM, FallbackTiers, ::testing::Bool());
+
+TEST(FallbackDriver, HealthyPipelineStaysOnShackledTier) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  CodegenResult R = generateCodeWithFallback(P, choleskyShackleStores(P, 4));
+  EXPECT_EQ(R.Tier, CodegenTier::Shackled);
+  EXPECT_TRUE(R.isBlocked());
+  EXPECT_EQ(R.Legality.Verdict, LegalityVerdict::Legal);
+  EXPECT_TRUE(R.Diags.empty());
+  EXPECT_EQ(diffAgainst(P, generateShackledCode(P, choleskyShackleStores(P, 4)),
+                        R.Nest, 11, /*NeedsSPD=*/true),
+            0.0);
+}
+
+TEST(FallbackDriver, ExhaustedSolverFallsBackToOriginalCode) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  SolverBudget Tiny;
+  Tiny.MaxWorkUnits = 1;
+  CodegenResult R =
+      generateCodeWithFallback(P, choleskyShackleStores(P, 4), Tiny);
+  EXPECT_EQ(R.Tier, CodegenTier::Original);
+  EXPECT_FALSE(R.isBlocked());
+  EXPECT_EQ(R.Legality.Verdict, LegalityVerdict::Unknown);
+  ASSERT_FALSE(R.Diags.empty());
+  bool SawUnknown = false;
+  for (const Diagnostic &D : R.Diags)
+    SawUnknown |= D.Code == DiagCode::LegalityUnknown;
+  EXPECT_TRUE(SawUnknown);
+  // The emitted code is exactly the original program.
+  EXPECT_EQ(R.Nest.str(), generateOriginalCode(P).str());
+  EXPECT_EQ(diffAgainst(P, generateOriginalCode(P), R.Nest, 11,
+                        /*NeedsSPD=*/true),
+            0.0);
+}
+
+TEST(FallbackDriver, IllegalShackleFallsBackToOriginalCode) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = choleskyShackleStores(P, 4);
+  Chain.Factors[0].Blocking.Planes[0].Reversed = true; // Known illegal.
+  CodegenResult R = generateCodeWithFallback(P, Chain);
+  EXPECT_EQ(R.Tier, CodegenTier::Original);
+  EXPECT_EQ(R.Legality.Verdict, LegalityVerdict::Illegal);
+  bool SawIllegal = false;
+  for (const Diagnostic &D : R.Diags)
+    SawIllegal |= D.Code == DiagCode::ShackleIllegal;
+  EXPECT_TRUE(SawIllegal);
+  EXPECT_EQ(R.Nest.str(), generateOriginalCode(P).str());
+}
+
 } // namespace

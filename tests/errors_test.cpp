@@ -38,6 +38,51 @@ TEST(ErrorsDeathTest, OnRefsRejectsWrongArray) {
                "does not target the blocked array");
 }
 
+//===----------------------------------------------------------------------===//
+// The recoverable counterparts: tryOnStores/tryOnRefs return a diagnostic
+// instead of dying, so the CLI (and any embedder) can report and continue.
+//===----------------------------------------------------------------------===//
+
+TEST(RecoverableErrors, TryOnStoresReportsMismatchDiagnostic) {
+  BenchSpec Spec = makeMatMul();
+  Expected<DataShackle> S = DataShackle::tryOnStores(
+      *Spec.Prog, DataBlocking::rectangular(1, {8, 8}));
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.diagnostic().Code, DiagCode::ShackleMismatch);
+  EXPECT_NE(S.diagnostic().Message.find("does not store to the blocked array"),
+            std::string::npos)
+      << S.diagnostic().Message;
+}
+
+TEST(RecoverableErrors, TryOnStoresSucceedsOnTheStoredArray) {
+  BenchSpec Spec = makeMatMul();
+  Expected<DataShackle> S = DataShackle::tryOnStores(
+      *Spec.Prog, DataBlocking::rectangular(0, {8, 8}));
+  ASSERT_TRUE(S.ok()) << S.diagnostic().Message;
+  EXPECT_EQ(S->ShackledRefs.size(), Spec.Prog->getNumStmts());
+}
+
+TEST(RecoverableErrors, TryOnRefsValidatesIndexVectorAndArray) {
+  BenchSpec Spec = makeMatMul();
+  // Wrong array for the chosen reference.
+  Expected<DataShackle> Wrong = DataShackle::tryOnRefs(
+      *Spec.Prog, DataBlocking::rectangular(2, {8, 8}), {2});
+  ASSERT_FALSE(Wrong.ok());
+  EXPECT_EQ(Wrong.diagnostic().Code, DiagCode::ShackleMismatch);
+  EXPECT_NE(Wrong.diagnostic().Message.find("does not target"),
+            std::string::npos);
+  // Wrong number of reference indices.
+  Expected<DataShackle> Short = DataShackle::tryOnRefs(
+      *Spec.Prog, DataBlocking::rectangular(0, {8, 8}), {});
+  ASSERT_FALSE(Short.ok());
+  EXPECT_EQ(Short.diagnostic().Code, DiagCode::ShackleMismatch);
+  // Out-of-range reference index.
+  Expected<DataShackle> Range = DataShackle::tryOnRefs(
+      *Spec.Prog, DataBlocking::rectangular(0, {8, 8}), {99});
+  ASSERT_FALSE(Range.ok());
+  EXPECT_EQ(Range.diagnostic().Code, DiagCode::ShackleMismatch);
+}
+
 TEST(DescribeChain, RendersBlockingAndRefs) {
   BenchSpec Spec = makeCholeskyRight();
   const Program &P = *Spec.Prog;

@@ -157,6 +157,39 @@ INSTANTIATE_TEST_SUITE_P(
                   "shadows"},
         ErrorCase{"param N\narray A[N]\nA[i+1] = 1", "unknown variable"}));
 
+TEST(FrontendErrors, StrayCharacterCarriesLineAndColumn) {
+  ParseResult R = parseProgram(
+      "param N\narray A[N]\ndo i = 0, N-1\n  A[i] = 1 @ 2\nend\n");
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.Diag.Code, DiagCode::ParseError);
+  EXPECT_EQ(R.Diag.Loc.Line, 4u);
+  EXPECT_EQ(R.Diag.Loc.Col, 12u);
+  EXPECT_NE(R.Error.find("unexpected character '@'"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find("col 12"), std::string::npos) << R.Error;
+}
+
+TEST(FrontendErrors, OverflowingIntegerLiteralIsRejected) {
+  ParseResult R = parseProgram(
+      "param N\narray A[N]\ndo i = 0, N-1\n"
+      "  A[i] = A[i] + 99999999999999999999\nend\n");
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.Diag.Code, DiagCode::ParseError);
+  EXPECT_NE(R.Error.find("does not fit in 64 bits"), std::string::npos)
+      << R.Error;
+}
+
+TEST(FrontendErrors, TrailingGarbageAfterProgramIsAnError) {
+  // A stray character after a complete program used to be silently treated
+  // as end-of-input; it must be a diagnostic.
+  ParseResult R =
+      parseProgram("param N\narray A[N]\ndo i = 0, N-1\n  A[i] = 1\nend\n$");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("unexpected character '$'"), std::string::npos)
+      << R.Error;
+  EXPECT_EQ(R.Diag.Loc.Line, 6u);
+}
+
 TEST(Frontend, AffineRejectsVariableTimesVariable) {
   const char *Src = "param N\narray A[N]\ndo i = 0, N-1\nA[i*N] = 1\nend";
   ParseResult R = parseProgram(Src);

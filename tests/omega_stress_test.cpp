@@ -14,6 +14,7 @@
 
 #include "polyhedral/OmegaTest.h"
 #include "polyhedral/Polyhedron.h"
+#include "support/MathExtras.h"
 
 #include <gtest/gtest.h>
 
@@ -117,6 +118,24 @@ TEST(OmegaStress, PughSplinterExample) {
   EXPECT_FALSE(isIntegerEmpty(Q)); // x=3, y=1.
 }
 
+TEST(OmegaStress, OmegaNightmareRequiresSplintering) {
+  // Pugh's "Omega test nightmare": 27 <= 11x + 13y <= 45 and
+  // -10 <= 7x - 9y <= 4. Real-feasible but integer-empty, and the dark
+  // shadow alone cannot prove it — the decision must go through
+  // splintering, which the stats must report.
+  Polyhedron P(2);
+  P.addInequalityTerms({{0, 11}, {1, 13}}, -27);
+  P.addInequalityTerms({{0, -11}, {1, -13}}, 45);
+  P.addInequalityTerms({{0, 7}, {1, -9}}, 10);
+  P.addInequalityTerms({{0, -7}, {1, 9}}, 4);
+  ASSERT_FALSE(bruteNonEmpty(P, 10)); // The real region fits well inside.
+  SolverStats Stats;
+  EXPECT_EQ(isIntegerEmptyBounded(P, SolverBudget(), &Stats),
+            FeasVerdict::Empty);
+  EXPECT_GT(Stats.Splinters, 0u);
+  EXPECT_FALSE(Stats.exhausted());
+}
+
 TEST(OmegaStress, WideCoefficientEqualitySystems) {
   // 127x + 52y == 1 has solutions (Bezout); bounded boxes decide.
   Polyhedron P(2);
@@ -141,6 +160,131 @@ TEST(OmegaStress, DeepEqualityChain) {
   EXPECT_FALSE(isIntegerEmpty(P));
   P.addInequalityTerms({{3, 1}}, -3); // x3 >= 3: contradiction.
   EXPECT_TRUE(isIntegerEmpty(P));
+}
+
+//===----------------------------------------------------------------------===//
+// Budget exhaustion: adversarial inputs must answer Unknown, never hang.
+//===----------------------------------------------------------------------===//
+
+/// A dense "thin slab" system: NumVars width-1 slabs whose coefficients
+/// are large, coprime and never +-1, with every variable appearing on
+/// both sides of every slab. Each slab is anchored on the all-halves real
+/// point (x_V = 1/2), so the system is real-feasible by construction and
+/// Fourier-Motzkin can never disprove it rationally — yet an integer
+/// point would have to hit a width-1 window of every dense functional at
+/// once. Every elimination is inexact, the thin dark shadows are empty,
+/// and each inexact step splinters ~|coefficient| subproblems, so the
+/// search tree grows like 50^NumVars. The unbounded solver would run for
+/// geological time on this; the budgeted solver must give up and say so.
+Polyhedron thinSlabs(unsigned NumVars) {
+  Polyhedron P(NumVars);
+  for (unsigned Row = 0; Row < NumVars; ++Row) {
+    ConstraintRow Lo(NumVars + 1, 0), Up(NumVars + 1, 0);
+    int64_t Twice = 0; // 2 * slab_Row(1/2, ..., 1/2).
+    for (unsigned V = 0; V < NumVars; ++V) {
+      int64_t C = 53 + static_cast<int64_t>((17 * Row + 29 * V) % 45);
+      if ((13 * Row + 7 * V) % 5 < 2)
+        C = -C;
+      Lo[V] = C;
+      Up[V] = -C;
+      Twice += C;
+    }
+    int64_t Base = floorDiv(Twice, 2);
+    Lo[NumVars] = -Base;     // slab_Row(x) >= Base
+    Up[NumVars] = Base + 1;  // slab_Row(x) <= Base + 1
+    P.addInequality(std::move(Lo));
+    P.addInequality(std::move(Up));
+  }
+  return P;
+}
+
+TEST(OmegaBudget, AdversarialInstanceReturnsUnknownUnderDefaultBudget) {
+  Polyhedron P = thinSlabs(6);
+  SolverStats Stats;
+  FeasVerdict V = isIntegerEmptyBounded(P, SolverBudget(), &Stats);
+  EXPECT_EQ(V, FeasVerdict::Unknown);
+  EXPECT_TRUE(Stats.exhausted());
+  EXPECT_TRUE(Stats.HitWorkLimit) << Stats.reasonStr();
+  EXPECT_GT(Stats.WorkUnits, SolverBudget().MaxWorkUnits);
+  EXPECT_NE(Stats.reasonStr().find("work-unit budget"), std::string::npos);
+  // The legacy boolean maps Unknown to "not proven empty".
+  EXPECT_FALSE(isIntegerEmpty(P));
+}
+
+TEST(OmegaBudget, TinyWorkBudgetGivesUpOnDecidableInstance) {
+  // The same multi-level block-link system MultiLevelBlockLinkChains
+  // decides exactly; under a 5-unit budget the only sound answer is
+  // Unknown.
+  Polyhedron P(3);
+  P.addBounds(0, 0, 999);
+  P.addInequalityTerms({{0, 1}, {1, -64}}, 0);
+  P.addInequalityTerms({{0, -1}, {1, 64}}, 63);
+  P.addInequalityTerms({{0, 1}, {2, -8}}, 0);
+  P.addInequalityTerms({{0, -1}, {2, 8}}, 7);
+  P.addInequalityTerms({{2, -1}, {1, 8}}, -1);
+  SolverBudget Tiny;
+  Tiny.MaxWorkUnits = 5;
+  SolverStats Stats;
+  EXPECT_EQ(isIntegerEmptyBounded(P, Tiny, &Stats), FeasVerdict::Unknown);
+  EXPECT_TRUE(Stats.HitWorkLimit);
+  // The default budget decides the same instance with room to spare.
+  SolverStats Full;
+  EXPECT_EQ(isIntegerEmptyBounded(P, SolverBudget(), &Full),
+            FeasVerdict::Empty);
+  EXPECT_FALSE(Full.exhausted());
+  EXPECT_GT(Full.WorkUnits, 0u);
+}
+
+TEST(OmegaBudget, DepthCeilingTripsInsteadOfRecursing) {
+  // Pugh's splinter family needs at least one nested elimination; a depth
+  // ceiling of one stops after the first level, whatever the verdict
+  // would have been.
+  Polyhedron P(2);
+  P.addInequalityTerms({{1, 1}}, 0);
+  P.addInequalityTerms({{0, 1}, {1, -3}}, 0);
+  P.addInequalityTerms({{0, -1}, {1, 3}}, 1);
+  P.addBounds(0, 2, 3);
+  SolverBudget Shallow;
+  Shallow.MaxDepth = 1;
+  SolverStats Stats;
+  EXPECT_EQ(isIntegerEmptyBounded(P, Shallow, &Stats), FeasVerdict::Unknown);
+  EXPECT_TRUE(Stats.HitDepthLimit);
+  EXPECT_NE(Stats.reasonStr().find("depth"), std::string::npos);
+}
+
+TEST(OmegaBudget, SubsetAndDisjointPropagateUnknown) {
+  // [0,5]^2 is a subset of [0,10]^2 and disjoint from [20,30]^2, but a
+  // one-unit budget cannot prove either; the three-valued wrappers must
+  // answer Unknown and the boolean wrappers (default budget) stay exact.
+  Polyhedron A(2), B(2), C(2);
+  A.addBounds(0, 0, 5);
+  A.addBounds(1, 0, 5);
+  B.addBounds(0, 0, 10);
+  B.addBounds(1, 0, 10);
+  C.addBounds(0, 20, 30);
+  C.addBounds(1, 20, 30);
+  SolverBudget One;
+  One.MaxWorkUnits = 1;
+  EXPECT_EQ(isSubsetOfBounded(A, B, One), Ternary::Unknown);
+  EXPECT_EQ(isDisjointBounded(A, C, One), Ternary::Unknown);
+  EXPECT_TRUE(isSubsetOf(A, B));
+  EXPECT_FALSE(isSubsetOf(B, A));
+  EXPECT_TRUE(isDisjoint(A, C));
+  EXPECT_FALSE(isDisjoint(A, B));
+}
+
+TEST(OmegaBudget, StatsAreCleanOnEasyInstances) {
+  // Every decided verdict must come with exhausted() == false, so callers
+  // can trust "Unknown iff exhausted".
+  Polyhedron P(2);
+  P.addBounds(0, 0, 7);
+  P.addBounds(1, 0, 7);
+  P.addInequalityTerms({{0, 1}, {1, 1}}, -20); // x + y >= 20: empty.
+  SolverStats Stats;
+  EXPECT_EQ(isIntegerEmptyBounded(P, SolverBudget(), &Stats),
+            FeasVerdict::Empty);
+  EXPECT_FALSE(Stats.exhausted());
+  EXPECT_EQ(Stats.reasonStr(), "not exhausted");
 }
 
 } // namespace

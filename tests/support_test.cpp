@@ -5,10 +5,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Diagnostics.h"
 #include "support/MathExtras.h"
 #include "support/Writer.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
 
 using namespace shackle;
 
@@ -64,6 +68,133 @@ TEST(MathExtras, HatModExamples) {
   EXPECT_EQ(symMod(5, 8), -3);
   EXPECT_EQ(symMod(8, 8), 0);
   EXPECT_EQ(symMod(7, 2), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Overflow-reporting arithmetic (the Omega test's safety net).
+//===----------------------------------------------------------------------===//
+
+constexpr int64_t Min64 = std::numeric_limits<int64_t>::min();
+constexpr int64_t Max64 = std::numeric_limits<int64_t>::max();
+
+TEST(OverflowHelpers, MulBoundaries) {
+  int64_t R = 0;
+  // In-range products, including the extremes that just fit.
+  EXPECT_FALSE(mulOverflow(0, Min64, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_FALSE(mulOverflow(1, Min64, R));
+  EXPECT_EQ(R, Min64);
+  EXPECT_FALSE(mulOverflow(-1, Max64, R));
+  EXPECT_EQ(R, -Max64);
+  EXPECT_FALSE(mulOverflow(Max64, 1, R));
+  EXPECT_EQ(R, Max64);
+  EXPECT_FALSE(mulOverflow(1LL << 31, 1LL << 31, R));
+  EXPECT_EQ(R, 1LL << 62);
+  // One past the edge in every sign combination.
+  EXPECT_TRUE(mulOverflow(-1, Min64, R)); // |INT64_MIN| does not fit.
+  EXPECT_TRUE(mulOverflow(Min64, -1, R));
+  EXPECT_TRUE(mulOverflow(Min64, 2, R));
+  EXPECT_TRUE(mulOverflow(Max64, 2, R));
+  EXPECT_TRUE(mulOverflow(Max64, Max64, R));
+  EXPECT_TRUE(mulOverflow(Min64, Min64, R));
+  EXPECT_TRUE(mulOverflow(Max64, Min64, R)); // Mixed signs.
+  EXPECT_TRUE(mulOverflow(1LL << 32, 1LL << 31, R));
+}
+
+TEST(OverflowHelpers, AddBoundaries) {
+  int64_t R = 0;
+  EXPECT_FALSE(addOverflow(Max64, 0, R));
+  EXPECT_EQ(R, Max64);
+  EXPECT_FALSE(addOverflow(Max64, Min64, R)); // Mixed signs never overflow.
+  EXPECT_EQ(R, -1);
+  EXPECT_FALSE(addOverflow(Min64, Max64, R));
+  EXPECT_EQ(R, -1);
+  EXPECT_FALSE(addOverflow(Max64 - 1, 1, R));
+  EXPECT_EQ(R, Max64);
+  EXPECT_FALSE(addOverflow(Min64 + 1, -1, R));
+  EXPECT_EQ(R, Min64);
+  EXPECT_TRUE(addOverflow(Max64, 1, R));
+  EXPECT_TRUE(addOverflow(Min64, -1, R));
+  EXPECT_TRUE(addOverflow(Max64, Max64, R));
+  EXPECT_TRUE(addOverflow(Min64, Min64, R));
+}
+
+TEST(OverflowHelpers, SubBoundaries) {
+  int64_t R = 0;
+  EXPECT_FALSE(subOverflow(Min64, 0, R));
+  EXPECT_EQ(R, Min64);
+  EXPECT_FALSE(subOverflow(Max64, Max64, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_FALSE(subOverflow(Min64, Min64, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_FALSE(subOverflow(-1, Max64, R));
+  EXPECT_EQ(R, Min64);
+  EXPECT_TRUE(subOverflow(Min64, 1, R));
+  EXPECT_TRUE(subOverflow(Max64, -1, R));
+  EXPECT_TRUE(subOverflow(0, Min64, R)); // -INT64_MIN does not fit.
+  EXPECT_TRUE(subOverflow(Max64, Min64, R));
+  EXPECT_TRUE(subOverflow(Min64, Max64, R));
+}
+
+//===----------------------------------------------------------------------===//
+// Structured diagnostics (Status / Expected<T>).
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, SourceLocRendering) {
+  EXPECT_EQ(SourceLoc{}.str(), "");
+  EXPECT_FALSE(SourceLoc{}.isValid());
+  SourceLoc L;
+  L.Line = 3;
+  L.Col = 7;
+  EXPECT_TRUE(L.isValid());
+  EXPECT_EQ(L.str(), "line 3, col 7");
+}
+
+TEST(Diagnostics, DiagCodeNamesAreStable) {
+  EXPECT_STREQ(diagCodeName(DiagCode::ParseError), "parse-error");
+  EXPECT_STREQ(diagCodeName(DiagCode::SolverBudgetExceeded),
+               "solver-budget-exceeded");
+  EXPECT_STREQ(diagCodeName(DiagCode::ShackleIllegal), "shackle-illegal");
+  EXPECT_STREQ(diagCodeName(DiagCode::LegalityUnknown), "legality-unknown");
+  EXPECT_STREQ(diagCodeName(DiagCode::ScanFailed), "scan-failed");
+  EXPECT_STREQ(diagCodeName(DiagCode::UsageError), "usage-error");
+}
+
+TEST(Diagnostics, StatusCarriesDiagnosticAndNotes) {
+  Status Ok = Status::success();
+  EXPECT_TRUE(Ok.ok());
+  Status S = Status::error(DiagCode::ScanFailed, "pieces are not ordered");
+  S.withNote("while generating code for matmul");
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.diagnostic().Code, DiagCode::ScanFailed);
+  ASSERT_EQ(S.diagnostic().Notes.size(), 1u);
+  std::string Str = S.diagnostic().str();
+  EXPECT_NE(Str.find("[scan-failed]"), std::string::npos) << Str;
+  EXPECT_NE(Str.find("pieces are not ordered"), std::string::npos) << Str;
+  EXPECT_NE(Str.find("while generating code"), std::string::npos) << Str;
+  // takeDiagnostic moves the payload out.
+  Diagnostic D = S.takeDiagnostic();
+  EXPECT_EQ(D.Message, "pieces are not ordered");
+}
+
+TEST(Diagnostics, ExpectedValueAndErrorPaths) {
+  Expected<int> V(42);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 42);
+  SourceLoc L;
+  L.Line = 2;
+  L.Col = 5;
+  Expected<int> E(Diagnostic(DiagCode::ParseError, "unexpected 'end'", L));
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.diagnostic().Code, DiagCode::ParseError);
+  EXPECT_EQ(E.diagnostic().Loc.Line, 2u);
+  E.withNote("while parsing the loop body");
+  // An error Status converts into an error Expected of any type, keeping
+  // the diagnostic and its notes.
+  Expected<std::string> F(E.takeStatus());
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.diagnostic().Message, "unexpected 'end'");
+  EXPECT_EQ(F.diagnostic().Notes.size(), 1u);
 }
 
 TEST(Writer, IndentationAndLines) {

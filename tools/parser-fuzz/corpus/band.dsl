@@ -1,0 +1,9 @@
+param N
+param bw
+array A[N][N] band(bw)
+do J = 0, N-1
+  A[J][J] = sqrt(A[J][J])
+  do I = J+1, min(N-1, J+bw)
+    A[I][J] = A[I][J] / A[J][J]
+  end
+end

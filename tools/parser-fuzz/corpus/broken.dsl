@@ -1,0 +1,4 @@
+param N
+array A[N
+do i = 0, N-1
+  A[i] = B[j] @ 99999999999999999999

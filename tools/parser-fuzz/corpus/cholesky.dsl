@@ -1,0 +1,15 @@
+# Right-looking Cholesky, paper Figure 1(ii).
+param N
+array A[N][N] colmajor
+
+do J = 0, N-1
+  S1: A[J][J] = sqrt(A[J][J])
+  do I = J+1, N-1
+    S2: A[I][J] = A[I][J] / A[J][J]
+  end
+  do L = J+1, N-1
+    do K = J+1, L
+      S3: A[L][K] = A[L][K] - A[L][J]*A[K][J]
+    end
+  end
+end

@@ -1,0 +1,6 @@
+param N
+param M
+array b[N]
+do i = max(0, 3-N), min(N-1, M+4)
+  b[N-1-i] = b[N-1-i] + b[2*i - i] - (-(b[i]))
+end

@@ -1,0 +1,8 @@
+param N
+array C[N][N] tiled(8, 4)
+array A[N][N] rowmajor
+do I = 0, N-1
+  do J = 0, N-1
+    C[I][J] = 0.5 * C[I][J] + 1.25e-1 * A[J][I]
+  end
+end

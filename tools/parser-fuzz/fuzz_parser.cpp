@@ -1,0 +1,146 @@
+//===- fuzz_parser.cpp - DSL parser fuzz harness -------------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The front end's robustness contract: *no* byte sequence may crash, abort
+// or hang the parser — malformed input must come back as a ParseResult
+// diagnostic (see DESIGN.md, "Failure policy").
+//
+// Two build modes share one entry point:
+//
+//  * -DSHACKLE_ENABLE_FUZZER=ON (Clang only): a libFuzzer target; run as
+//      parser-fuzz tools/parser-fuzz/corpus
+//    for coverage-guided fuzzing.
+//  * default: a deterministic standalone driver that replays the seed
+//    corpus plus LCG-derived mutations (byte flips, truncations, splices)
+//    of every seed; registered in ctest as a smoke test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+using namespace shackle;
+
+namespace {
+
+/// One fuzz iteration: parsing must never crash, and a successful parse
+/// must survive pretty-printing (the CLI always prints what it parsed).
+void runOneInput(const uint8_t *Data, size_t Size) {
+  std::string Src(reinterpret_cast<const char *>(Data), Size);
+  ParseResult R = parseProgram(Src);
+  if (R)
+    (void)R.Prog->str();
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  runOneInput(Data, Size);
+  return 0;
+}
+
+#ifndef SHACKLE_FUZZER_BUILD
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+/// Deterministic xorshift generator so failures reproduce exactly.
+struct Rng {
+  uint64_t X;
+  explicit Rng(uint64_t Seed) : X(Seed * 0x9e3779b97f4a7c15ULL + 1) {}
+  uint64_t next() {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    return X;
+  }
+};
+
+/// Applies 1-4 random edits to \p Input: flip a byte, insert a byte,
+/// delete a span, or splice a chunk from elsewhere in the input.
+std::vector<uint8_t> mutate(const std::vector<uint8_t> &Input, Rng &R) {
+  std::vector<uint8_t> Out = Input;
+  unsigned Edits = 1 + R.next() % 4;
+  for (unsigned E = 0; E < Edits && !Out.empty(); ++E) {
+    switch (R.next() % 4) {
+    case 0: // Flip.
+      Out[R.next() % Out.size()] = static_cast<uint8_t>(R.next());
+      break;
+    case 1: // Insert.
+      Out.insert(Out.begin() + R.next() % (Out.size() + 1),
+                 static_cast<uint8_t>(R.next()));
+      break;
+    case 2: { // Delete a span.
+      size_t At = R.next() % Out.size();
+      size_t Len = 1 + R.next() % 16;
+      Out.erase(Out.begin() + At,
+                Out.begin() + std::min(Out.size(), At + Len));
+      break;
+    }
+    default: { // Splice a chunk from elsewhere.
+      size_t From = R.next() % Out.size();
+      size_t Len = std::min<size_t>(1 + R.next() % 32, Out.size() - From);
+      size_t To = R.next() % (Out.size() + 1);
+      std::vector<uint8_t> Chunk(Out.begin() + From,
+                                 Out.begin() + From + Len);
+      Out.insert(Out.begin() + To, Chunk.begin(), Chunk.end());
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr,
+                 "usage: parser-fuzz <corpus-dir> [mutations-per-seed]\n");
+    return 1;
+  }
+  unsigned long Mutations = Argc > 2 ? std::strtoul(Argv[2], nullptr, 10) : 500;
+
+  std::vector<std::vector<uint8_t>> Seeds;
+  for (const auto &Entry : std::filesystem::directory_iterator(Argv[1])) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::ifstream In(Entry.path(), std::ios::binary);
+    Seeds.emplace_back(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  }
+  if (Seeds.empty()) {
+    std::fprintf(stderr, "parser-fuzz: no seeds in %s\n", Argv[1]);
+    return 1;
+  }
+
+  uint64_t Runs = 0;
+  for (size_t S = 0; S < Seeds.size(); ++S) {
+    runOneInput(Seeds[S].data(), Seeds[S].size());
+    ++Runs;
+    Rng R(0xf0a2 + S);
+    for (unsigned long M = 0; M < Mutations; ++M) {
+      std::vector<uint8_t> Input = mutate(Seeds[S], R);
+      runOneInput(Input.data(), Input.size());
+      ++Runs;
+    }
+  }
+  std::printf("parser-fuzz: %llu inputs parsed, no crashes\n",
+              static_cast<unsigned long long>(Runs));
+  return 0;
+}
+
+#endif // SHACKLE_FUZZER_BUILD

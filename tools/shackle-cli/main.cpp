@@ -129,8 +129,55 @@ int usage() {
       "      [--block=B1[,B2...]] [--order=colblocks] [--reversed] "
       "[--naive]\n"
       "      (shackles every statement through its store into NAME)\n"
-      "  shackle file <path> auto --array=NAME [--eval=N]\n");
+      "  shackle file <path> auto --array=NAME [--eval=N]\n"
+      "common flags:\n"
+      "  --solver-budget=N   Omega-test work-unit budget per query\n"
+      "  --strict            fail instead of falling back to simpler code\n"
+      "exit codes: 0 ok/legal, 1 usage or I/O error, 2 shackle illegal,\n"
+      "            3 parse error, 4 legality undecided within budget\n"
+      "(see docs/CLI.md)\n");
   return 1;
+}
+
+/// Maps a diagnostic to the CLI's documented exit code (docs/CLI.md).
+int exitCodeFor(const Diagnostic &D) {
+  switch (D.Code) {
+  case DiagCode::ParseError:
+    return 3;
+  case DiagCode::ShackleIllegal:
+    return 2;
+  case DiagCode::LegalityUnknown:
+  case DiagCode::SolverBudgetExceeded:
+    return 4;
+  case DiagCode::IOError:
+  case DiagCode::ShackleMismatch:
+  case DiagCode::ScanFailed:
+  case DiagCode::UsageError:
+    return 1;
+  }
+  return 1;
+}
+
+/// Prints \p D to stderr (prefixed with \p File when non-null) and returns
+/// its exit code.
+int reportError(const char *File, const Diagnostic &D) {
+  if (File)
+    std::fprintf(stderr, "%s: %s\n", File, D.str().c_str());
+  else
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+  return exitCodeFor(D);
+}
+
+int legalityExitCode(const LegalityResult &LR) {
+  switch (LR.Verdict) {
+  case LegalityVerdict::Legal:
+    return 0;
+  case LegalityVerdict::Illegal:
+    return 2;
+  case LegalityVerdict::Unknown:
+    return 4;
+  }
+  return 4;
 }
 
 int64_t flagValue(int Argc, char **Argv, const char *Name, int64_t Default) {
@@ -147,6 +194,13 @@ bool hasFlag(int Argc, char **Argv, const char *Name) {
     if (Flag == Argv[I])
       return true;
   return false;
+}
+
+SolverBudget budgetFromFlags(int Argc, char **Argv) {
+  SolverBudget B;
+  B.MaxWorkUnits = static_cast<uint64_t>(flagValue(
+      Argc, Argv, "solver-budget", static_cast<int64_t>(B.MaxWorkUnits)));
+  return B;
 }
 
 std::vector<int64_t> paramList(int Argc, char **Argv, const char *Name) {
@@ -212,10 +266,9 @@ int cmdFile(int Argc, char **Argv) {
   if (Argc < 4)
     return usage();
   std::FILE *F = std::fopen(Argv[2], "rb");
-  if (!F) {
-    std::fprintf(stderr, "cannot open %s\n", Argv[2]);
-    return 1;
-  }
+  if (!F)
+    return reportError(Argv[2],
+                       Diagnostic(DiagCode::IOError, "cannot open file"));
   std::string Source;
   char Buf[4096];
   size_t Got;
@@ -224,10 +277,8 @@ int cmdFile(int Argc, char **Argv) {
   std::fclose(F);
 
   ParseResult R = parseProgram(Source);
-  if (!R) {
-    std::fprintf(stderr, "%s: %s\n", Argv[2], R.Error.c_str());
-    return 1;
-  }
+  if (!R)
+    return reportError(Argv[2], R.Diag);
   const Program &P = *R.Prog;
   std::string Action = Argv[3];
   if (Action == "print") {
@@ -247,10 +298,11 @@ int cmdFile(int Argc, char **Argv) {
       for (unsigned A = 0; A < P.getNumArrays(); ++A)
         if (P.getArray(A).Name == Argv[I] + 8)
           ArrayId = static_cast<int>(A);
-  if (ArrayId < 0) {
-    std::fprintf(stderr, "--array=NAME (declared in the program) required\n");
-    return 1;
-  }
+  if (ArrayId < 0)
+    return reportError(Argv[2],
+                       Diagnostic(DiagCode::UsageError,
+                                  "--array=NAME (declared in the program) "
+                                  "required"));
 
   if (Action == "auto") {
     AutoShackleOptions Opts;
@@ -282,26 +334,52 @@ int cmdFile(int Argc, char **Argv) {
       DataBlocking::rectangular(ArrayId, Blocks, Order);
   if (hasFlag(Argc, Argv, "reversed"))
     Blocking.Planes[0].Reversed = true;
+  Expected<DataShackle> Shackle =
+      DataShackle::tryOnStores(P, std::move(Blocking));
+  if (!Shackle.ok())
+    return reportError(Argv[2], Shackle.diagnostic());
   ShackleChain Chain;
-  Chain.Factors.push_back(DataShackle::onStores(P, std::move(Blocking)));
+  Chain.Factors.push_back(std::move(Shackle.get()));
+  SolverBudget Budget = budgetFromFlags(Argc, Argv);
+  bool Strict = hasFlag(Argc, Argv, "strict");
 
   if (Action == "legality") {
-    LegalityResult LR = checkLegality(P, Chain, /*FirstViolationOnly=*/false);
+    LegalityResult LR =
+        checkLegality(P, Chain, /*FirstViolationOnly=*/false, Budget);
     std::printf("%s\n", LR.summary(P).c_str());
     for (const LegalityViolation &V : LR.Violations)
       std::printf("  %s\n", V.witnessStr(P).c_str());
-    return LR.Legal ? 0 : 2;
+    for (const Diagnostic &D : LR.Diags)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+    return legalityExitCode(LR);
   }
-  if (Action == "codegen") {
-    LoopNest Nest = hasFlag(Argc, Argv, "naive")
-                        ? generateNaiveShackledCode(P, Chain)
-                        : generateShackledCode(P, Chain);
-    std::printf("%s", Nest.str().c_str());
-    return 0;
-  }
-  if (Action == "emit") {
-    LoopNest Nest = generateShackledCode(P, Chain);
-    std::printf("%s", emitKernel(Nest, "kernel").c_str());
+  if (Action == "codegen" || Action == "emit") {
+    if (hasFlag(Argc, Argv, "naive") && Action == "codegen") {
+      LegalityResult LR = checkLegality(P, Chain, true, Budget);
+      if (LR.Verdict != LegalityVerdict::Legal) {
+        std::fprintf(stderr, "shackle rejected: %s\n",
+                     LR.summary(P).c_str());
+        return legalityExitCode(LR);
+      }
+      std::printf("%s", generateNaiveShackledCode(P, Chain).str().c_str());
+      return 0;
+    }
+    CodegenResult CR = generateCodeWithFallback(P, Chain, Budget);
+    for (const Diagnostic &D : CR.Diags)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+    std::fprintf(stderr, "codegen tier: %s\n", codegenTierName(CR.Tier));
+    if (Strict && CR.Tier != CodegenTier::Shackled) {
+      std::fprintf(stderr,
+                   "--strict: refusing to emit %s-tier fallback code\n",
+                   codegenTierName(CR.Tier));
+      return CR.Legality.Verdict == LegalityVerdict::Legal
+                 ? 1
+                 : legalityExitCode(CR.Legality);
+    }
+    if (Action == "codegen")
+      std::printf("%s", CR.Nest.str().c_str());
+    else
+      std::printf("%s", emitKernel(CR.Nest, "kernel").c_str());
     return 0;
   }
   if (Action == "simulate") {
@@ -423,11 +501,14 @@ int main(int Argc, char **Argv) {
   ShackleChain Chain = CIt->second(P, Block);
 
   if (Cmd == "legality") {
-    LegalityResult R = checkLegality(P, Chain, /*FirstViolationOnly=*/false);
+    LegalityResult R = checkLegality(P, Chain, /*FirstViolationOnly=*/false,
+                                     budgetFromFlags(Argc, Argv));
     std::printf("%s\n", R.summary(P).c_str());
     for (const LegalityViolation &V : R.Violations)
       std::printf("  %s\n", V.witnessStr(P).c_str());
-    return R.Legal ? 0 : 2;
+    for (const Diagnostic &D : R.Diags)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+    return legalityExitCode(R);
   }
 
   if (Cmd == "codegen") {
