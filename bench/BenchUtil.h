@@ -8,9 +8,12 @@
 /// \file
 /// Helpers shared by the figure-reproduction benchmarks: deterministic
 /// input generation, pristine/working array pairs (factorizations destroy
-/// their input, so every timed iteration starts from a fresh copy), and a
+/// their input, so every timed iteration starts from a fresh copy), a
 /// google-benchmark runner that reports MFlop/s the way the paper's graphs
-/// do.
+/// do, and a machine-readable results sink: every benchmark built on
+/// SHACKLE_BENCH_MAIN() accepts `--json out.json` and appends one record
+/// {name, n, block, threads, ns_per_iter} per benchmark run, so sweep
+/// scripts can diff configurations without scraping console output.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +25,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace shackle_bench {
@@ -127,6 +132,123 @@ inline void runHandKernel(benchmark::State &St, Fn &&Body, Workspace &WS,
       Flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
 }
 
+//===----------------------------------------------------------------------===//
+// Machine-readable results (--json out.json)
+//===----------------------------------------------------------------------===//
+
+/// Tags a benchmark run with the sweep coordinates the JSON records carry.
+/// Pass 0 for axes that do not apply (they are emitted as 0).
+inline void setBenchMeta(benchmark::State &St, int64_t N, int64_t Block,
+                         int64_t Threads = 1) {
+  St.counters["n"] = benchmark::Counter(static_cast<double>(N));
+  St.counters["block"] = benchmark::Counter(static_cast<double>(Block));
+  St.counters["threads"] = benchmark::Counter(static_cast<double>(Threads));
+}
+
+/// A ConsoleReporter that also collects one record per completed run, for
+/// the --json flag. Aggregates (mean/median of repetitions) are skipped;
+/// each raw run is one record.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+public:
+  struct Record {
+    std::string Name;
+    int64_t N = 0, Block = 0, Threads = 0;
+    double NsPerIter = 0.0;
+  };
+  std::vector<Record> Records;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred || R.run_type != Run::RT_Iteration ||
+          R.iterations == 0)
+        continue;
+      Record Rec;
+      Rec.Name = R.benchmark_name();
+      auto Counter = [&R](const char *Key) -> int64_t {
+        auto It = R.counters.find(Key);
+        return It == R.counters.end()
+                   ? 0
+                   : static_cast<int64_t>(It->second.value);
+      };
+      Rec.N = Counter("n");
+      Rec.Block = Counter("block");
+      Rec.Threads = Counter("threads");
+      Rec.NsPerIter = R.real_accumulated_time /
+                      static_cast<double>(R.iterations) * 1e9;
+      Records.push_back(std::move(Rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
+/// Escapes a string for embedding in a JSON literal.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+inline bool writeJsonRecords(const char *Path,
+                             const std::vector<JsonTeeReporter::Record> &Rs) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I < Rs.size(); ++I)
+    std::fprintf(F,
+                 "  {\"name\": \"%s\", \"n\": %lld, \"block\": %lld, "
+                 "\"threads\": %lld, \"ns_per_iter\": %.3f}%s\n",
+                 jsonEscape(Rs[I].Name).c_str(),
+                 static_cast<long long>(Rs[I].N),
+                 static_cast<long long>(Rs[I].Block),
+                 static_cast<long long>(Rs[I].Threads), Rs[I].NsPerIter,
+                 I + 1 < Rs.size() ? "," : "");
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  return true;
+}
+
+/// main() body behind SHACKLE_BENCH_MAIN(): peels `--json out.json` (or
+/// `--json=out.json`) off the command line, forwards everything else to
+/// google-benchmark, and writes the collected records on exit.
+inline int benchMain(int Argc, char **Argv) {
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      JsonPath = Argv[I] + 7;
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  int NArgs = static_cast<int>(Args.size());
+  benchmark::Initialize(&NArgs, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(NArgs, Args.data()))
+    return 1;
+  JsonTeeReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  if (!JsonPath.empty() &&
+      !writeJsonRecords(JsonPath.c_str(), Reporter.Records)) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace shackle_bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding the --json flag.
+#define SHACKLE_BENCH_MAIN()                                                   \
+  int main(int argc, char **argv) {                                            \
+    return shackle_bench::benchMain(argc, argv);                               \
+  }
 
 #endif // SHACKLE_BENCH_BENCHUTIL_H

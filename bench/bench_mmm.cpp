@@ -44,18 +44,21 @@ void BM_Input(benchmark::State &St) {
   int64_t N = St.range(0);
   Workspace WS = makeMMMWorkspace(N);
   runGenKernel(St, "mmm_orig", WS, mmmFlops(N));
+  setBenchMeta(St, N, 0);
 }
 
 void BM_ShackleC(benchmark::State &St) {
   int64_t N = St.range(0);
   Workspace WS = makeMMMWorkspace(N);
   runGenKernel(St, "mmm_shackle_c_64", WS, mmmFlops(N));
+  setBenchMeta(St, N, 64);
 }
 
 void BM_ShackleCxA(benchmark::State &St) {
   int64_t N = St.range(0);
   Workspace WS = makeMMMWorkspace(N);
   runGenKernel(St, "mmm_shackle_cxa_64", WS, mmmFlops(N));
+  setBenchMeta(St, N, 64);
 }
 
 void BM_HandBlocked(benchmark::State &St) {
@@ -68,6 +71,7 @@ void BM_HandBlocked(benchmark::State &St) {
                                W.work(2).data(), N, 64);
       },
       WS, mmmFlops(N));
+  setBenchMeta(St, N, 64);
 }
 
 // Block-size ablation at fixed N = 512.
@@ -77,6 +81,7 @@ void BM_BlockSizeSweep(benchmark::State &St) {
   Workspace WS = makeMMMWorkspace(N);
   std::string Name = "mmm_shackle_cxa_" + std::to_string(B);
   runGenKernel(St, Name.c_str(), WS, mmmFlops(N));
+  setBenchMeta(St, N, B);
 }
 
 } // namespace
@@ -87,4 +92,4 @@ BENCHMARK(BM_ShackleCxA)->DenseRange(100, 600, 100)->Arg(1024)->MinTime(0.05)->U
 BENCHMARK(BM_HandBlocked)->DenseRange(100, 600, 100)->Arg(1024)->MinTime(0.05)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BlockSizeSweep)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->MinTime(0.05)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SHACKLE_BENCH_MAIN()

@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace shackle;
 
@@ -111,6 +112,18 @@ void ProgramInstance::fillRandom(uint64_t Seed, double Lo, double Hi) {
       V = Lo + (Hi - Lo) * (static_cast<double>(Next() >> 11) * 0x1.0p-53);
 }
 
+bool ProgramInstance::bitwiseEqual(const ProgramInstance &Other) const {
+  assert(Buffers.size() == Other.Buffers.size());
+  for (unsigned Id = 0; Id < Buffers.size(); ++Id) {
+    assert(Buffers[Id].size() == Other.Buffers[Id].size());
+    if (!Buffers[Id].empty() &&
+        std::memcmp(Buffers[Id].data(), Other.Buffers[Id].data(),
+                    Buffers[Id].size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
 double ProgramInstance::maxAbsDifference(const ProgramInstance &Other) const {
   assert(Buffers.size() == Other.Buffers.size());
   double Max = 0;
@@ -180,10 +193,24 @@ public:
     }
   }
 
+  /// Subtree execution: start from caller-provided dimension values (the
+  /// dims bound above the subtree; the rest are scratch).
+  Executor(const LoopNest &Nest, ProgramInstance &Inst, const TraceFn *Trace,
+           std::vector<int64_t> InitialDimValues)
+      : Nest(Nest), Inst(Inst), Trace(Trace), CountOnly(false),
+        DimValues(std::move(InitialDimValues)),
+        StmtVarValues(Nest.Prog->getNumVars(), 0) {
+    assert(DimValues.size() == Nest.NumDims && "one value per dimension");
+    for (unsigned V = 0; V < Nest.NumParams; ++V)
+      StmtVarValues[V] = Inst.paramValue(V);
+  }
+
   void run() {
     for (const ASTNodePtr &N : Nest.Roots)
       exec(*N);
   }
+
+  void runSubtree(const ASTNode &Root) { exec(Root); }
 
   uint64_t instanceCount() const { return Instances; }
 
@@ -309,6 +336,13 @@ void shackle::runLoopNest(const LoopNest &Nest, ProgramInstance &Inst,
                           const TraceFn *Trace) {
   Executor E(Nest, Inst, Trace, /*CountOnly=*/false);
   E.run();
+}
+
+void shackle::runLoopNestSubtree(const LoopNest &Nest, const ASTNode &Root,
+                                 const std::vector<int64_t> &DimValues,
+                                 ProgramInstance &Inst, const TraceFn *Trace) {
+  Executor E(Nest, Inst, Trace, DimValues);
+  E.runSubtree(Root);
 }
 
 uint64_t shackle::countExecutedInstances(const LoopNest &Nest,

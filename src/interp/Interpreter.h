@@ -54,6 +54,12 @@ public:
   /// same program (same parameter values).
   double maxAbsDifference(const ProgramInstance &Other) const;
 
+  /// True iff every array buffer is byte-for-byte identical to \p Other's
+  /// (stricter than maxAbsDifference() == 0: distinguishes -0.0 from 0.0
+  /// and compares NaNs by representation). The parallel executor's
+  /// determinism guarantee is stated - and tested - at this strength.
+  bool bitwiseEqual(const ProgramInstance &Other) const;
+
 private:
   const Program *Prog;
   std::vector<int64_t> ParamValues;
@@ -70,6 +76,18 @@ using TraceFn = std::function<void(unsigned ArrayId, int64_t Offset,
 /// each statement instance).
 void runLoopNest(const LoopNest &Nest, ProgramInstance &Inst,
                  const TraceFn *Trace = nullptr);
+
+/// Executes one subtree of \p Nest with the enclosing scanning dimensions
+/// pre-bound: \p DimValues must hold Nest.NumDims entries whose leading
+/// entries (parameters and every dimension bound above \p Root, e.g. the
+/// block coordinates) carry their concrete values; the remaining entries
+/// are scratch. Each call builds its own evaluation state, so concurrent
+/// calls on the same instance are safe as long as the statement instances
+/// they execute touch disjoint elements or are otherwise ordered (the
+/// parallel executor's block dependence DAG guarantees exactly this).
+void runLoopNestSubtree(const LoopNest &Nest, const ASTNode &Root,
+                        const std::vector<int64_t> &DimValues,
+                        ProgramInstance &Inst, const TraceFn *Trace = nullptr);
 
 /// Counts the statement instances \p Nest would execute (no array work).
 uint64_t countExecutedInstances(const LoopNest &Nest,

@@ -1,0 +1,107 @@
+//===- BlockDepGraph.h - Dependence DAG over block coordinates --*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's legality machinery (Theorem 1) relates every dependence to
+/// the *block coordinates* its endpoints are mapped to. Legality only needs
+/// "never backwards"; this pass extracts the stronger information latent in
+/// the same systems: between which pairs of blocks does any dependence flow
+/// at all? Blocks with no dependence path between them can execute
+/// concurrently - the block-level analogue of wavefront parallelism in
+/// tiled polyhedral programs.
+///
+/// For each dependence problem we append source/target block coordinates
+/// exactly as the legality checker does, pin the problem-size parameters to
+/// their concrete values, and search the feasible *sign patterns* of the
+/// block-coordinate difference (target minus source) with one bounded Omega
+/// query per node of the {-,0,+}^M search tree, pruning infeasible
+/// prefixes. A block pair (u, v) gets an edge iff sign(v - u) matches some
+/// feasible pattern - an over-approximation of the exact block dependence
+/// relation (sound for parallel execution: extra edges only reduce
+/// concurrency). A query that exhausts its SolverBudget marks the graph
+/// Conservative and is treated as feasible, again erring toward more edges.
+///
+/// For a shackle proven legal, every feasible pattern is lexicographically
+/// non-negative (that is Theorem 1), so all edges point forward in block
+/// traversal order and the graph is acyclic by construction. Cyclic graphs
+/// can only arise from Unknown verdicts or unchecked shackles; callers must
+/// test acyclic() and fall back to serial execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_PARALLEL_BLOCKDEPGRAPH_H
+#define SHACKLE_PARALLEL_BLOCKDEPGRAPH_H
+
+#include "core/DataShackle.h"
+#include "ir/Program.h"
+#include "polyhedral/OmegaTest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace shackle {
+
+struct BlockDepGraphOptions {
+  /// Budget for each feasibility query in the sign-pattern search.
+  SolverBudget Budget;
+  /// Edge-count ceiling: a graph too dense to be worth scheduling (the
+  /// worst case is quadratic in blocks) stops early with EdgeCapHit set.
+  uint64_t MaxEdges = 8ull << 20;
+};
+
+/// Dependence DAG over the touched blocks of one shackled execution.
+struct BlockDepGraph {
+  unsigned NumBlockDims = 0;
+  /// Node -> block coordinates, in block traversal order.
+  std::vector<std::vector<int64_t>> Coords;
+  /// Node -> successors (blocks that must wait for it). Deduplicated.
+  std::vector<std::vector<uint32_t>> Succs;
+  /// Node -> number of predecessors.
+  std::vector<uint32_t> InDegree;
+  uint64_t NumEdges = 0;
+
+  /// Feasible nonzero sign patterns of (target block - source block), one
+  /// entry per block dim in {-1, 0, +1}. Kept for diagnostics and tests.
+  std::vector<std::vector<int>> SignPatterns;
+
+  /// True when some solver query gave up and its pattern subtree was
+  /// conservatively treated as feasible.
+  bool Conservative = false;
+  /// True when MaxEdges tripped; Succs/InDegree are then incomplete and
+  /// the graph must not be used for scheduling.
+  bool EdgeCapHit = false;
+
+  std::size_t numBlocks() const { return Coords.size(); }
+
+  /// Kahn check. An EdgeCapHit graph reports false (unusable).
+  bool acyclic() const;
+
+  /// Length of the longest path + 1 (the critical-path lower bound on
+  /// parallel makespan, in blocks). Only valid on acyclic graphs.
+  std::size_t criticalPathLength() const;
+};
+
+/// Computes the feasible sign patterns of the block-coordinate difference
+/// for every dependence of \p P under shackle chain \p Chain, with the
+/// program parameters pinned to \p ParamValues. Exposed separately for
+/// testing; buildBlockDepGraph calls it.
+std::vector<std::vector<int>>
+blockDependenceSigns(const Program &P, const ShackleChain &Chain,
+                     const std::vector<int64_t> &ParamValues,
+                     const SolverBudget &Budget, bool *SawUnknown = nullptr);
+
+/// Builds the dependence DAG over \p Blocks (the touched block coordinate
+/// tuples in traversal order, e.g. from partitionLoopNestByBlocks).
+BlockDepGraph
+buildBlockDepGraph(const Program &P, const ShackleChain &Chain,
+                   const std::vector<int64_t> &ParamValues,
+                   const std::vector<std::vector<int64_t>> &Blocks,
+                   const BlockDepGraphOptions &Opts = BlockDepGraphOptions());
+
+} // namespace shackle
+
+#endif // SHACKLE_PARALLEL_BLOCKDEPGRAPH_H

@@ -1,0 +1,189 @@
+//===- BlockPartition.cpp - Slice a shackled nest into block tasks -----------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/BlockPartition.h"
+
+#include "support/MathExtras.h"
+
+#include <map>
+
+using namespace shackle;
+
+namespace {
+
+struct Walker {
+  const LoopNest &Nest;
+  unsigned BlockBase;  ///< First block dim (== Nest.NumParams).
+  unsigned SchedBase;  ///< First intra-block dim (== BlockBase + M).
+  BlockPartition &Out;
+
+  std::vector<int64_t> DimValues;
+  std::vector<bool> Bound;
+  unsigned NumBound = 0; ///< Block dims currently bound.
+
+  /// Block coords -> index into Out.Tasks (first-visit order preserved).
+  std::map<std::vector<int64_t>, std::size_t> TaskIndex;
+
+  bool Failed = false;
+
+  Walker(const LoopNest &Nest, unsigned M, BlockPartition &Out)
+      : Nest(Nest), BlockBase(Nest.NumParams), SchedBase(Nest.NumParams + M),
+        Out(Out), DimValues(Nest.NumDims, 0), Bound(Nest.NumDims, false) {}
+
+  void fail(const std::string &Why) {
+    if (!Failed) {
+      Failed = true;
+      Out.FailReason = Why;
+    }
+  }
+
+  int64_t evalBound(const BoundExpr &B) {
+    int64_t V = B.Expr.evaluate(DimValues);
+    if (B.Divisor == 1)
+      return V;
+    return B.IsCeil ? ceilDiv(V, B.Divisor) : floorDiv(V, B.Divisor);
+  }
+
+  /// True if every dimension the row reads is already bound (params and
+  /// block dims walked so far).
+  bool rowIsBound(const ConstraintRow &Row) const {
+    for (unsigned I = 0; I + 1 < Row.size(); ++I)
+      if (Row[I] != 0 && !(I < Nest.NumParams || Bound[I]))
+        return false;
+    return true;
+  }
+
+  int64_t evalRow(const ConstraintRow &Row) const {
+    int64_t V = Row.back();
+    for (unsigned I = 0; I + 1 < Row.size(); ++I)
+      if (Row[I] != 0)
+        V += Row[I] * DimValues[I];
+    return V;
+  }
+
+  void recordSegment(const ASTNode &N) {
+    if (NumBound != SchedBase - BlockBase) {
+      fail("intra-block code reached with only " + std::to_string(NumBound) +
+           " of " + std::to_string(SchedBase - BlockBase) +
+           " block dims bound");
+      return;
+    }
+    std::vector<int64_t> Coords(DimValues.begin() + BlockBase,
+                                DimValues.begin() + SchedBase);
+    auto [It, Inserted] =
+        TaskIndex.try_emplace(std::move(Coords), Out.Tasks.size());
+    if (Inserted) {
+      Out.Tasks.emplace_back();
+      Out.Tasks.back().Coords.assign(DimValues.begin() + BlockBase,
+                                     DimValues.begin() + SchedBase);
+    }
+    BlockTask::Segment Seg;
+    Seg.Node = &N;
+    Seg.DimValues = DimValues;
+    Out.Tasks[It->second].Segments.push_back(std::move(Seg));
+  }
+
+  void walk(const ASTNode &N) {
+    if (Failed)
+      return;
+    switch (N.Kind) {
+    case ASTKind::Loop:
+    case ASTKind::Let: {
+      if (N.Dim >= SchedBase) {
+        recordSegment(N); // Intra-block loop: the task executes it.
+        return;
+      }
+      if (N.Dim < BlockBase) {
+        fail("loop over a parameter dimension");
+        return;
+      }
+      int64_t Lo, Hi;
+      if (N.Kind == ASTKind::Let) {
+        Lo = Hi = evalBound(N.Lbs[0]);
+      } else {
+        Lo = evalBound(N.Lbs[0]);
+        for (unsigned I = 1; I < N.Lbs.size(); ++I)
+          Lo = std::max(Lo, evalBound(N.Lbs[I]));
+        Hi = evalBound(N.Ubs[0]);
+        for (unsigned I = 1; I < N.Ubs.size(); ++I)
+          Hi = std::min(Hi, evalBound(N.Ubs[I]));
+      }
+      bool WasBound = Bound[N.Dim];
+      if (!WasBound) {
+        Bound[N.Dim] = true;
+        ++NumBound;
+      }
+      for (int64_t V = Lo; V <= Hi && !Failed; ++V) {
+        DimValues[N.Dim] = V;
+        for (const ASTNodePtr &C : N.Body)
+          walk(*C);
+      }
+      if (!WasBound) {
+        Bound[N.Dim] = false;
+        --NumBound;
+      }
+      return;
+    }
+    case ASTKind::If: {
+      // A guard over already-bound dims partitions the block space: decide
+      // it here. A guard reading inner dims belongs to the block body.
+      bool AllBound = true;
+      for (const ConstraintRow &Row : N.EqConds)
+        AllBound = AllBound && rowIsBound(Row);
+      for (const ConstraintRow &Row : N.IneqConds)
+        AllBound = AllBound && rowIsBound(Row);
+      if (!AllBound) {
+        recordSegment(N);
+        return;
+      }
+      for (const ConstraintRow &Row : N.EqConds)
+        if (evalRow(Row) != 0)
+          return;
+      for (const ConstraintRow &Row : N.IneqConds)
+        if (evalRow(Row) < 0)
+          return;
+      for (const ASTNodePtr &C : N.Body)
+        walk(*C);
+      return;
+    }
+    case ASTKind::Instance:
+      recordSegment(N);
+      return;
+    }
+  }
+};
+
+} // namespace
+
+BlockPartition
+shackle::partitionLoopNestByBlocks(const LoopNest &Nest, unsigned NumBlockDims,
+                                   const std::vector<int64_t> &ParamValues) {
+  BlockPartition Out;
+  Out.NumBlockDims = NumBlockDims;
+  if (ParamValues.size() != Nest.NumParams) {
+    Out.FailReason = "wrong number of parameter values";
+    return Out;
+  }
+  if (Nest.NumParams + NumBlockDims > Nest.NumDims) {
+    Out.FailReason = "nest has fewer dims than params + block dims";
+    return Out;
+  }
+  Walker W(Nest, NumBlockDims, Out);
+  for (unsigned V = 0; V < Nest.NumParams; ++V)
+    W.DimValues[V] = ParamValues[V];
+  for (const ASTNodePtr &N : Nest.Roots) {
+    W.walk(*N);
+    if (W.Failed)
+      break;
+  }
+  if (W.Failed) {
+    Out.Tasks.clear();
+    return Out;
+  }
+  Out.OK = true;
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- BlockPartition.h - Slice a shackled nest into block tasks *- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shackled LoopNest scans [params][b1..bM][schedule dims]: the outermost
+/// M loop levels enumerate the touched blocks in traversal order, and the
+/// subtrees below them perform the instances shackled to each block. This
+/// pass walks exactly those outer levels with concrete parameter values,
+/// and produces one task per block: its coordinates plus the list of
+/// (subtree, bound-dimension snapshot) segments to execute. The scanner may
+/// split a block dimension's index set into several sibling loops, so a
+/// block's segments can come from different subtrees; they are recorded in
+/// serial execution order and must run in that order within the block.
+///
+/// The walk is purely structural: it never executes statements and never
+/// touches array storage, so the resulting partition is immutable shared
+/// input for any number of concurrent workers (each worker re-executes a
+/// segment through its own interpreter state).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_PARALLEL_BLOCKPARTITION_H
+#define SHACKLE_PARALLEL_BLOCKPARTITION_H
+
+#include "codegen/LoopAST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// One schedulable unit: all instances the shackle ties to one block.
+struct BlockTask {
+  /// Block coordinates (b1..bM), negated where the plane set is Reversed -
+  /// i.e. exactly the values of the nest's block dimensions.
+  std::vector<int64_t> Coords;
+
+  /// One entry per generated-code subtree belonging to this block, in
+  /// serial execution order.
+  struct Segment {
+    const ASTNode *Node = nullptr;
+    /// Snapshot of the nest's dimension values with params and all block
+    /// dims bound (inner dims are scratch for the executing interpreter).
+    std::vector<int64_t> DimValues;
+  };
+  std::vector<Segment> Segments;
+};
+
+struct BlockPartition {
+  bool OK = false;
+  /// Why partitioning failed (structure not recognized); empty when OK.
+  std::string FailReason;
+  unsigned NumBlockDims = 0;
+  /// Tasks in block traversal order (first-visit order of the serial nest).
+  std::vector<BlockTask> Tasks;
+
+  /// Convenience: the coordinate tuples alone, for buildBlockDepGraph.
+  std::vector<std::vector<int64_t>> coords() const {
+    std::vector<std::vector<int64_t>> C;
+    C.reserve(Tasks.size());
+    for (const BlockTask &T : Tasks)
+      C.push_back(T.Coords);
+    return C;
+  }
+};
+
+/// Partitions \p Nest (a shackled or naive-shackled LoopNest whose dims
+/// NumParams..NumParams+NumBlockDims-1 are the block coordinates) by block,
+/// for the concrete \p ParamValues. Returns OK == false when the nest does
+/// not have the expected block-loops-outside shape; callers then run the
+/// nest serially instead.
+BlockPartition partitionLoopNestByBlocks(const LoopNest &Nest,
+                                         unsigned NumBlockDims,
+                                         const std::vector<int64_t> &ParamValues);
+
+} // namespace shackle
+
+#endif // SHACKLE_PARALLEL_BLOCKPARTITION_H

@@ -1,0 +1,150 @@
+//===- ChaseLevDeque.h - Lock-free work-stealing deque ----------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic Chase–Lev dynamic circular work-stealing deque [Chase & Lev,
+/// SPAA 2005], with the C11 memory orderings of Lê, Pop, Cohen & Zappa
+/// Nardelli, "Correct and Efficient Work-Stealing for Weak Memory Models"
+/// (PPoPP 2013). One thread (the owner) pushes and pops at the bottom;
+/// any number of thieves steal from the top.
+///
+/// The element type must be trivially copyable and small (task ids); slots
+/// are std::atomic<T> so that the buffer recycling inherent to the
+/// algorithm is race-free under ThreadSanitizer as well as in the C++
+/// memory model. Buffers grow geometrically; retired buffers are kept
+/// until the deque is destroyed, which is the standard safe-reclamation
+/// shortcut (a thief may still be reading a stale buffer pointer, but the
+/// storage stays valid and the subsequent top CAS fails).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_PARALLEL_CHASELEVDEQUE_H
+#define SHACKLE_PARALLEL_CHASELEVDEQUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace shackle {
+
+template <typename T> class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque elements are copied between threads without locks");
+
+  struct Ring {
+    int64_t Capacity; ///< Always a power of two.
+    int64_t Mask;
+    std::unique_ptr<std::atomic<T>[]> Slots;
+
+    explicit Ring(int64_t C)
+        : Capacity(C), Mask(C - 1), Slots(new std::atomic<T>[C]) {}
+
+    T get(int64_t I) const {
+      return Slots[I & Mask].load(std::memory_order_relaxed);
+    }
+    void put(int64_t I, T V) {
+      Slots[I & Mask].store(V, std::memory_order_relaxed);
+    }
+  };
+
+public:
+  explicit ChaseLevDeque(int64_t InitialCapacity = 64) {
+    int64_t C = 1;
+    while (C < InitialCapacity)
+      C <<= 1;
+    Active.store(new Ring(C), std::memory_order_relaxed);
+    Retired.emplace_back(Active.load(std::memory_order_relaxed));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque &) = delete;
+  ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+  /// Owner only.
+  void push(T Item) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T_ = Top.load(std::memory_order_acquire);
+    Ring *R = Active.load(std::memory_order_relaxed);
+    if (B - T_ > R->Capacity - 1)
+      R = grow(R, B, T_);
+    R->put(B, Item);
+    // Publish with a release store on Bottom (the canonical C11 orderings)
+    // rather than a release fence + relaxed store: the two are equivalent in
+    // the C++ memory model (and identical code on x86), but ThreadSanitizer
+    // does not model standalone fences, so only the store form keeps the
+    // push -> steal synchronization visible to it.
+    Bottom.store(B + 1, std::memory_order_release);
+  }
+
+  /// Owner only: LIFO pop from the bottom. Returns false when empty.
+  bool pop(T &Out) {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Ring *R = Active.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t T_ = Top.load(std::memory_order_relaxed);
+    if (T_ > B) {
+      // Empty: restore the canonical state.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Out = R->get(B);
+    if (T_ != B)
+      return true; // More than one element left; no race possible.
+    // Exactly one element: race against thieves for it.
+    bool Won = Top.compare_exchange_strong(T_, T_ + 1,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Won;
+  }
+
+  /// Any thread: FIFO steal from the top. Returns false when empty or when
+  /// losing a race (callers just try another victim).
+  bool steal(T &Out) {
+    int64_t T_ = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (T_ >= B)
+      return false;
+    Ring *R = Active.load(std::memory_order_consume);
+    T Item = R->get(T_);
+    if (!Top.compare_exchange_strong(T_, T_ + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return false;
+    Out = Item;
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  int64_t sizeEstimate() const {
+    return Bottom.load(std::memory_order_relaxed) -
+           Top.load(std::memory_order_relaxed);
+  }
+
+private:
+  Ring *grow(Ring *Old, int64_t B, int64_t T_) {
+    Ring *R = new Ring(Old->Capacity * 2);
+    for (int64_t I = T_; I < B; ++I)
+      R->put(I, Old->get(I));
+    Active.store(R, std::memory_order_release);
+    Retired.emplace_back(R); // Old stays alive for in-flight thieves.
+    return R;
+  }
+
+  alignas(64) std::atomic<int64_t> Top{0};
+  alignas(64) std::atomic<int64_t> Bottom{0};
+  alignas(64) std::atomic<Ring *> Active{nullptr};
+  /// Every ring ever allocated, owner-mutated only; freed on destruction.
+  std::vector<std::unique_ptr<Ring>> Retired;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_PARALLEL_CHASELEVDEQUE_H

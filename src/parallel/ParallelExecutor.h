@@ -1,0 +1,114 @@
+//===- ParallelExecutor.h - Parallel block-shackled execution ---*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel execution mode: plan once, run many times.
+///
+/// A ParallelPlan fixes a program, a shackle chain, and concrete parameter
+/// values, then precomputes everything workers need so that execution
+/// touches no shared mutable analysis state:
+///
+///   1. code generation through the fault-tolerant pipeline (legality under
+///      a SolverBudget, shackled -> naive -> original tiers);
+///   2. the per-block task list (partitionLoopNestByBlocks);
+///   3. the block dependence DAG (buildBlockDepGraph).
+///
+/// run() executes ready blocks as tasks on the work-stealing scheduler,
+/// releasing successors as in-degrees drop to zero. Whenever any stage
+/// degrades - shackle not proven legal, unpartitionable nest, cyclic or
+/// over-dense or solver-Unknown-poisoned graph - the plan keeps a serial
+/// fallback (the same LoopNest run in traversal order, the multi-pass
+/// runtime's philosophy of never refusing to execute), records a
+/// ParallelFallback diagnostic, and still produces correct results.
+///
+/// Determinism: for every dependence edge u -> v the scheduler orders all
+/// of block u before all of block v, and instances inside a block run in
+/// original program order; every pair of conflicting accesses is therefore
+/// ordered identically to the serial shackled execution, making parallel
+/// results bitwise-identical to serial ones for any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_PARALLEL_PARALLELEXECUTOR_H
+#define SHACKLE_PARALLEL_PARALLELEXECUTOR_H
+
+#include "core/ShackleDriver.h"
+#include "interp/Interpreter.h"
+#include "parallel/BlockDepGraph.h"
+#include "parallel/BlockPartition.h"
+#include "parallel/Scheduler.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+struct ParallelPlanOptions {
+  /// Budget for both the legality check and the DAG sign-pattern queries.
+  SolverBudget Budget;
+  /// Passed through to buildBlockDepGraph.
+  uint64_t MaxEdges = 8ull << 20;
+};
+
+/// How one execution actually ran.
+enum class ParallelMode { Parallel, SerialFallback };
+
+const char *parallelModeName(ParallelMode M);
+
+struct ParallelRunStats {
+  ParallelMode Mode = ParallelMode::SerialFallback;
+  unsigned ThreadsUsed = 1;
+  uint64_t BlocksRun = 0;
+  uint64_t Steals = 0;
+};
+
+class ParallelPlan {
+public:
+  /// Builds a plan; never fails (degrades to a serial plan instead, with
+  /// the reasons in diags()).
+  static ParallelPlan build(const Program &P, const ShackleChain &Chain,
+                            std::vector<int64_t> ParamValues,
+                            const ParallelPlanOptions &Opts =
+                                ParallelPlanOptions());
+
+  /// True when run() with >1 thread will actually execute blocks
+  /// concurrently (graph built, acyclic, partition OK).
+  bool parallelReady() const { return Ready; }
+
+  /// The nest every execution (parallel or serial) interprets.
+  const LoopNest &nest() const { return CG.Nest; }
+  CodegenTier tier() const { return CG.Tier; }
+  const BlockDepGraph &graph() const { return Graph; }
+  const BlockPartition &partition() const { return Partition; }
+  const std::vector<Diagnostic> &diags() const { return Diags; }
+  const std::vector<int64_t> &paramValues() const { return Params; }
+
+  /// Executes the plan on \p Inst (whose parameter values must match) with
+  /// \p NumThreads workers. Thread-count 0 means 1. Falls back to serial
+  /// in-order execution when the plan is not parallel-ready.
+  ParallelRunStats run(ProgramInstance &Inst, unsigned NumThreads) const;
+
+  /// Serial reference execution of the same nest (always available).
+  void runSerial(ProgramInstance &Inst) const { runLoopNest(CG.Nest, Inst); }
+
+  /// One-line human-readable summary (blocks, edges, critical path, mode).
+  std::string summary() const;
+
+private:
+  CodegenResult CG;
+  BlockPartition Partition;
+  BlockDepGraph Graph;
+  std::vector<Diagnostic> Diags;
+  std::vector<int64_t> Params;
+  bool Ready = false;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_PARALLEL_PARALLELEXECUTOR_H

@@ -1,0 +1,224 @@
+//===- Scheduler.cpp - Work-stealing DAG task scheduler ----------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Scheduler.h"
+
+#include "parallel/ChaseLevDeque.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace shackle;
+
+namespace {
+
+/// Shared state of one runTaskDag invocation.
+struct DagRun {
+  std::size_t NumTasks;
+  const std::vector<std::vector<uint32_t>> &Succs;
+  const TaskBody &Body;
+  unsigned NumWorkers;
+
+  std::unique_ptr<std::atomic<uint32_t>[]> Deg;
+  std::vector<std::unique_ptr<ChaseLevDeque<uint32_t>>> Deques;
+
+  std::atomic<uint64_t> Remaining;
+  std::atomic<bool> Done{false};
+
+  // Parking. Epoch/NumParked are mutex-protected; a parker registers under
+  // the lock, rescans every deque once, and only then waits, so a pusher
+  // that sees NumParked == 0 is guaranteed its task is visible to that
+  // rescan (Dekker pattern: both sides order their store before the other's
+  // load with seq_cst fences).
+  std::mutex M;
+  std::condition_variable CV;
+  uint64_t Epoch = 0;
+  std::atomic<int> NumParked{0};
+
+  std::atomic<uint64_t> TotalRun{0}, TotalSteals{0}, TotalParks{0};
+
+  DagRun(std::size_t NumTasks,
+         const std::vector<std::vector<uint32_t>> &Succs, const TaskBody &Body,
+         unsigned NumWorkers)
+      : NumTasks(NumTasks), Succs(Succs), Body(Body), NumWorkers(NumWorkers),
+        Deg(new std::atomic<uint32_t>[NumTasks ? NumTasks : 1]),
+        Remaining(NumTasks) {
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Deques.emplace_back(std::make_unique<ChaseLevDeque<uint32_t>>(
+          static_cast<int64_t>(NumTasks / NumWorkers + 64)));
+  }
+
+  void wakeAll() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Epoch;
+    }
+    CV.notify_all();
+  }
+
+  /// Called by a worker after it made new tasks stealable.
+  void signalWork() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (NumParked.load(std::memory_order_relaxed) > 0)
+      wakeAll();
+  }
+
+  bool popOrSteal(unsigned Me, uint32_t &T, uint64_t &Steals) {
+    if (Deques[Me]->pop(T))
+      return true;
+    for (unsigned I = 1; I < NumWorkers; ++I) {
+      unsigned Victim = (Me + I) % NumWorkers;
+      if (Deques[Victim]->steal(T)) {
+        ++Steals;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void execute(uint32_t T, unsigned Me, uint64_t &Ran) {
+    Body(T, Me);
+    ++Ran;
+    unsigned Pushed = 0;
+    for (uint32_t V : Succs[T])
+      if (Deg[V].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Deques[Me]->push(V);
+        ++Pushed;
+      }
+    if (Pushed > 0)
+      signalWork();
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Done.store(true, std::memory_order_release);
+      wakeAll();
+    }
+  }
+
+  void workerLoop(unsigned Me) {
+    uint64_t Ran = 0, Steals = 0, Parks = 0;
+    uint32_t T = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      if (popOrSteal(Me, T, Steals)) {
+        execute(T, Me, Ran);
+        continue;
+      }
+      // Nothing visible: register as parked, rescan once, then sleep. The
+      // timed wait is a liveness backstop only; the epoch protocol is what
+      // normally wakes us.
+      uint64_t E;
+      {
+        std::lock_guard<std::mutex> L(M);
+        E = Epoch;
+      }
+      NumParked.fetch_add(1, std::memory_order_seq_cst);
+      bool GotTask = !Done.load(std::memory_order_acquire) &&
+                     popOrSteal(Me, T, Steals);
+      if (GotTask) {
+        NumParked.fetch_sub(1, std::memory_order_relaxed);
+        execute(T, Me, Ran);
+        continue;
+      }
+      if (Done.load(std::memory_order_acquire)) {
+        NumParked.fetch_sub(1, std::memory_order_relaxed);
+        continue; // Outer loop exits.
+      }
+      {
+        std::unique_lock<std::mutex> L(M);
+        ++Parks;
+        CV.wait_for(L, std::chrono::milliseconds(1), [&] {
+          return Epoch != E || Done.load(std::memory_order_acquire);
+        });
+      }
+      NumParked.fetch_sub(1, std::memory_order_relaxed);
+    }
+    TotalRun.fetch_add(Ran, std::memory_order_relaxed);
+    TotalSteals.fetch_add(Steals, std::memory_order_relaxed);
+    TotalParks.fetch_add(Parks, std::memory_order_relaxed);
+  }
+};
+
+} // namespace
+
+bool shackle::runTaskDag(std::size_t NumTasks,
+                         const std::vector<std::vector<uint32_t>> &Succs,
+                         const std::vector<uint32_t> &InDegree,
+                         unsigned NumThreads, const TaskBody &Body,
+                         DagRunStats *Stats) {
+  if (Succs.size() != NumTasks || InDegree.size() != NumTasks)
+    return false;
+
+  // Validate: recompute in-degrees and run a Kahn pass. Refusing a cyclic
+  // or inconsistent graph *before* running anything keeps task side effects
+  // all-or-nothing, which the serial-fallback callers rely on.
+  std::vector<uint32_t> Deg(NumTasks, 0);
+  for (std::size_t U = 0; U < NumTasks; ++U)
+    for (uint32_t V : Succs[U]) {
+      if (V >= NumTasks)
+        return false;
+      ++Deg[V];
+    }
+  for (std::size_t U = 0; U < NumTasks; ++U)
+    if (Deg[U] != InDegree[U])
+      return false;
+  {
+    std::vector<uint32_t> Work = Deg;
+    std::vector<uint32_t> Queue;
+    Queue.reserve(NumTasks);
+    for (std::size_t U = 0; U < NumTasks; ++U)
+      if (Work[U] == 0)
+        Queue.push_back(static_cast<uint32_t>(U));
+    for (std::size_t I = 0; I < Queue.size(); ++I)
+      for (uint32_t V : Succs[Queue[I]])
+        if (--Work[V] == 0)
+          Queue.push_back(V);
+    if (Queue.size() != NumTasks)
+      return false; // Cycle.
+  }
+
+  if (NumTasks == 0) {
+    if (Stats)
+      *Stats = DagRunStats{};
+    return true;
+  }
+
+  unsigned NumWorkers = NumThreads == 0 ? 1 : NumThreads;
+  if (static_cast<std::size_t>(NumWorkers) > NumTasks)
+    NumWorkers = static_cast<unsigned>(NumTasks);
+
+  DagRun Run(NumTasks, Succs, Body, NumWorkers);
+  for (std::size_t U = 0; U < NumTasks; ++U)
+    Run.Deg[U].store(Deg[U], std::memory_order_relaxed);
+
+  // Seed the deques round-robin with the initially ready tasks (before any
+  // worker starts, so plain pushes are safe and every worker begins with
+  // a fair share of the first wavefront).
+  unsigned Next = 0;
+  for (std::size_t U = 0; U < NumTasks; ++U)
+    if (Deg[U] == 0) {
+      Run.Deques[Next]->push(static_cast<uint32_t>(U));
+      Next = (Next + 1) % NumWorkers;
+    }
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned W = 1; W < NumWorkers; ++W)
+    Threads.emplace_back([&Run, W] { Run.workerLoop(W); });
+  Run.workerLoop(0);
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  if (Stats) {
+    Stats->ThreadsUsed = NumWorkers;
+    Stats->TasksRun = Run.TotalRun.load(std::memory_order_relaxed);
+    Stats->Steals = Run.TotalSteals.load(std::memory_order_relaxed);
+    Stats->Parks = Run.TotalParks.load(std::memory_order_relaxed);
+  }
+  return true;
+}

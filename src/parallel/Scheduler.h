@@ -1,0 +1,61 @@
+//===- Scheduler.h - Work-stealing DAG task scheduler -----------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a dependence DAG of tasks on a pool of worker threads. Each
+/// worker owns a Chase–Lev deque; completed tasks decrement the in-degree
+/// of their successors and push the ones that drop to zero onto the
+/// finishing worker's deque (locality: a block's successors usually touch
+/// adjacent data). Idle workers steal from random victims and park on a
+/// condition variable when the whole system looks empty, so a wavefront
+/// that narrows to one task does not spin the other cores.
+///
+/// The caller must pass an acyclic graph (runTaskDag verifies with a Kahn
+/// pass before touching any task and refuses cyclic inputs). Task bodies
+/// run exactly once; for every edge u -> v, the body of u happens-before
+/// the body of v (the in-degree decrement is acq_rel and the deque provides
+/// release/acquire hand-off), so data written by u is visible to v without
+/// further synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_PARALLEL_SCHEDULER_H
+#define SHACKLE_PARALLEL_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace shackle {
+
+/// Counters from one DAG execution (telemetry; not needed for correctness).
+struct DagRunStats {
+  unsigned ThreadsUsed = 1;
+  uint64_t TasksRun = 0;
+  uint64_t Steals = 0;    ///< Successful steals across all workers.
+  uint64_t Parks = 0;     ///< Times a worker went to sleep empty-handed.
+};
+
+/// Task body: called exactly once per task, with the task id and the index
+/// of the worker executing it.
+using TaskBody = std::function<void(uint32_t Task, unsigned Worker)>;
+
+/// Executes tasks 0..NumTasks-1 respecting the edges Succs (task u lists
+/// every v that must wait for u); InDegree[v] must equal the number of
+/// predecessors of v. Spawns NumThreads-1 workers and uses the calling
+/// thread as worker 0 (NumThreads == 1 runs everything inline).
+///
+/// Returns false - without running anything - if the graph is cyclic or
+/// InDegree is inconsistent with Succs; returns true after all tasks ran.
+bool runTaskDag(std::size_t NumTasks,
+                const std::vector<std::vector<uint32_t>> &Succs,
+                const std::vector<uint32_t> &InDegree, unsigned NumThreads,
+                const TaskBody &Body, DagRunStats *Stats = nullptr);
+
+} // namespace shackle
+
+#endif // SHACKLE_PARALLEL_SCHEDULER_H

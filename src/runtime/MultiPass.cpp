@@ -70,7 +70,7 @@ MultiPassResult shackle::runMultiPassShackled(const Program &P,
   MultiPassResult Result;
 
   std::vector<Instance> Insts = enumerateInstances(P, Inst);
-  Result.Instances = Insts.size();
+  Result.TotalInstances = Insts.size();
 
   // Block coordinates of each instance's shackled reference.
   std::vector<int64_t> VarValues(P.getNumVars(), 0);
@@ -141,9 +141,13 @@ MultiPassResult shackle::runMultiPassShackled(const Program &P,
     Blocks[Insts[Idx].Block].push_back(Idx);
 
   uint64_t Remaining = Insts.size();
+  uint32_t OldestPending = 0; // Program-order index; only moves forward.
   while (Remaining > 0 && Result.Passes < MaxPasses) {
     ++Result.Passes;
-    bool Progress = false;
+    uint64_t ExecutedThisPass = 0;
+    while (OldestPending < Insts.size() && Done[OldestPending])
+      ++OldestPending;
+    uint32_t OldestBefore = OldestPending;
     for (auto &[Coords, Members] : Blocks) {
       for (uint32_t Idx : Members) {
         if (Done[Idx] || !IsReady(Idx))
@@ -152,10 +156,14 @@ MultiPassResult shackle::runMultiPassShackled(const Program &P,
         executeStatementInstance(Inst, S, Insts[Idx].Iter);
         Done[Idx] = true;
         --Remaining;
-        Progress = true;
+        ++ExecutedThisPass;
       }
     }
-    if (!Progress)
+    Result.Instances += ExecutedThisPass;
+    Result.ExecutedPerPass.push_back(ExecutedThisPass);
+    if (OldestBefore < Insts.size() && !Done[OldestBefore])
+      Result.OldestRetiredEachPass = false;
+    if (ExecutedThisPass == 0)
       break; // Deadlock would indicate corrupt dependence data.
   }
   Result.Completed = Remaining == 0;

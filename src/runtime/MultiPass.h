@@ -33,6 +33,7 @@
 #include "ir/Program.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace shackle {
 
@@ -40,11 +41,20 @@ struct MultiPassResult {
   /// Number of full sweeps over the blocks that executed at least one
   /// instance.
   unsigned Passes = 0;
-  /// Total statement instances executed.
+  /// Statement instances actually executed (equal to TotalInstances iff
+  /// Completed; smaller when MaxPasses cut the run short).
   uint64_t Instances = 0;
+  /// Statement instances the program would execute in full.
+  uint64_t TotalInstances = 0;
+  /// Instances executed by each sweep, in sweep order (Passes entries).
+  std::vector<uint64_t> ExecutedPerPass;
+  /// True while every sweep so far retired the oldest pending instance
+  /// (in program order). This is the progress guarantee that makes the
+  /// traversal terminate: the oldest pending instance has no unexecuted
+  /// dependence predecessors, so each sweep retires it.
+  bool OldestRetiredEachPass = true;
   /// False if MaxPasses was exhausted with work pending (cannot happen for
-  /// well-formed programs: each sweep always retires at least the oldest
-  /// pending instance).
+  /// well-formed programs given enough passes: see OldestRetiredEachPass).
   bool Completed = false;
 };
 

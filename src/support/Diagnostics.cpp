@@ -27,6 +27,8 @@ const char *shackle::diagCodeName(DiagCode Code) {
     return "scan-failed";
   case DiagCode::UsageError:
     return "usage-error";
+  case DiagCode::ParallelFallback:
+    return "parallel-fallback";
   }
   return "unknown";
 }

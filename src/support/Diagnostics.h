@@ -58,6 +58,11 @@ enum class DiagCode {
   ScanFailed,
   /// Invalid command-line usage.
   UsageError,
+  /// Parallel block execution degraded to serial: the block dependence
+  /// graph was cyclic, too dense, undecidable within budget, or the nest
+  /// could not be partitioned by block. Always a warning; results are
+  /// still correct.
+  ParallelFallback,
 };
 
 /// Renders the code's stable spelling, e.g. "parse-error".

@@ -132,6 +132,56 @@ TEST(MultiPass, Seidel2DCompletesAndMatches) {
   EXPECT_EQ(Ref.maxAbsDifference(Test), 0.0);
 }
 
+TEST(MultiPass, MaxPassesCutoffReportsPartialProgress) {
+  // A relaxation kernel needing several sweeps, capped at one: the run must
+  // report Completed == false, count only what actually executed, and still
+  // have retired at least the oldest pending instance (the progress property
+  // that guarantees termination when passes are unbounded).
+  BenchSpec Spec = makeSeidel1D();
+  const Program &P = *Spec.Prog;
+  int64_t N = 20, T = 3, B = 4;
+  ShackleChain Chain = seidelShackle(P, B);
+
+  ProgramInstance Full(P, {N, T});
+  Full.fillRandom(33, 0.0, 1.0);
+  MultiPassResult FullR = runMultiPassShackled(P, Chain.Factors[0], Full);
+  ASSERT_TRUE(FullR.Completed);
+  ASSERT_GT(FullR.Passes, 1u); // The cap below really cuts this run short.
+
+  ProgramInstance Capped(P, {N, T});
+  Capped.fillRandom(33, 0.0, 1.0);
+  MultiPassResult R =
+      runMultiPassShackled(P, Chain.Factors[0], Capped, /*MaxPasses=*/1);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_EQ(R.Passes, 1u);
+  EXPECT_EQ(R.TotalInstances, static_cast<uint64_t>((N - 2) * T));
+  EXPECT_LT(R.Instances, R.TotalInstances);
+  ASSERT_EQ(R.ExecutedPerPass.size(), 1u);
+  EXPECT_EQ(R.ExecutedPerPass[0], R.Instances);
+  // Progress property: the sweep retired the oldest pending instance (and
+  // thus at least one), so repeated sweeps always terminate.
+  EXPECT_GE(R.Instances, 1u);
+  EXPECT_TRUE(R.OldestRetiredEachPass);
+}
+
+TEST(MultiPass, PerPassCountsSumToTotal) {
+  BenchSpec Spec = makeSeidel1D();
+  const Program &P = *Spec.Prog;
+  int64_t N = 20, T = 3;
+  ShackleChain Chain = seidelShackle(P, 4);
+  ProgramInstance Inst(P, {N, T});
+  Inst.fillRandom(5, 0.0, 1.0);
+  MultiPassResult R = runMultiPassShackled(P, Chain.Factors[0], Inst);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.Instances, R.TotalInstances);
+  EXPECT_EQ(R.ExecutedPerPass.size(), R.Passes);
+  uint64_t Sum = 0;
+  for (uint64_t C : R.ExecutedPerPass)
+    Sum += C;
+  EXPECT_EQ(Sum, R.TotalInstances);
+  EXPECT_TRUE(R.OldestRetiredEachPass);
+}
+
 TEST(MultiPass, PassCountGrowsWithSweeps) {
   BenchSpec Spec = makeSeidel1D();
   const Program &P = *Spec.Prog;

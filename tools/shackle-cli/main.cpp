@@ -26,9 +26,12 @@
 #include "emitc/EmitC.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "parallel/ParallelExecutor.h"
 #include "programs/Benchmarks.h"
 #include "runtime/MultiPass.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,6 +127,8 @@ int usage() {
       "  shackle auto     <benchmark> [--eval=N]\n"
       "  shackle simulate <benchmark> <config> [--block=N] "
       "--params=N[,bw]\n"
+      "  shackle run      <benchmark> <config> [--block=N] --params=N[,..]\n"
+      "      [--threads=N] [--verify]   (parallel block execution)\n"
       "  shackle file <path> print\n"
       "  shackle file <path> {legality|codegen|emit} --array=NAME\n"
       "      [--block=B1[,B2...]] [--order=colblocks] [--reversed] "
@@ -153,6 +158,7 @@ int exitCodeFor(const Diagnostic &D) {
   case DiagCode::ShackleMismatch:
   case DiagCode::ScanFailed:
   case DiagCode::UsageError:
+  case DiagCode::ParallelFallback:
     return 1;
   }
   return 1;
@@ -550,6 +556,55 @@ int main(int Argc, char **Argv) {
     };
     Simulate("original", generateOriginalCode(P));
     Simulate("shackled", generateShackledCode(P, Chain));
+    return 0;
+  }
+
+  if (Cmd == "run") {
+    std::vector<int64_t> Params = paramList(Argc, Argv, "params");
+    if (Params.size() != P.getNumParams()) {
+      std::fprintf(stderr, "--params must supply %u value(s)\n",
+                   P.getNumParams());
+      return 1;
+    }
+    unsigned Threads = static_cast<unsigned>(
+        std::max<int64_t>(1, flagValue(Argc, Argv, "threads", 1)));
+    ParallelPlanOptions Opts;
+    Opts.Budget = budgetFromFlags(Argc, Argv);
+    ParallelPlan Plan = ParallelPlan::build(P, Chain, Params, Opts);
+    for (const Diagnostic &D : Plan.diags())
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+    std::printf("plan: %s\n", Plan.summary().c_str());
+    if (hasFlag(Argc, Argv, "strict") && !Plan.parallelReady()) {
+      std::fprintf(stderr,
+                   "--strict: refusing serial fallback execution\n");
+      return 1;
+    }
+
+    ProgramInstance Inst(P, Params);
+    Inst.fillRandom(1, 0.5, 1.5);
+    auto Start = std::chrono::steady_clock::now();
+    ParallelRunStats Stats = Plan.run(Inst, Threads);
+    auto End = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    std::printf("ran %llu block task(s) on %u thread(s) in %.2f ms "
+                "(mode=%s, steals=%llu)\n",
+                static_cast<unsigned long long>(Stats.BlocksRun),
+                Stats.ThreadsUsed, Ms, parallelModeName(Stats.Mode),
+                static_cast<unsigned long long>(Stats.Steals));
+    if (Spec.Flops)
+      std::printf("%.1f MFlops\n", Spec.Flops(Params) / (Ms * 1e3));
+    if (hasFlag(Argc, Argv, "verify")) {
+      ProgramInstance Ref(P, Params);
+      Ref.fillRandom(1, 0.5, 1.5);
+      Plan.runSerial(Ref);
+      if (!Ref.bitwiseEqual(Inst)) {
+        std::fprintf(stderr, "verify: parallel result differs from serial "
+                             "shackled execution\n");
+        return 2;
+      }
+      std::printf("verify: bitwise-identical to serial execution\n");
+    }
     return 0;
   }
 
