@@ -194,11 +194,14 @@ public:
   }
 
   /// Subtree execution: start from caller-provided dimension values (the
-  /// dims bound above the subtree; the rest are scratch).
+  /// dims bound above the subtree; the rest are scratch). When \p Writes is
+  /// non-null the walk is a dry run that only reports each instance's store
+  /// address (undo-log capture); the instance storage is never touched.
   Executor(const LoopNest &Nest, ProgramInstance &Inst, const TraceFn *Trace,
-           std::vector<int64_t> InitialDimValues)
+           std::vector<int64_t> InitialDimValues,
+           const WriteSink *Writes = nullptr)
       : Nest(Nest), Inst(Inst), Trace(Trace), CountOnly(false),
-        DimValues(std::move(InitialDimValues)),
+        Writes(Writes), DimValues(std::move(InitialDimValues)),
         StmtVarValues(Nest.Prog->getNumVars(), 0) {
     assert(DimValues.size() == Nest.NumDims && "one value per dimension");
     for (unsigned V = 0; V < Nest.NumParams; ++V)
@@ -281,6 +284,10 @@ private:
     const Stmt &S = *N.S;
     for (unsigned K = 0; K < N.VarMap.size(); ++K)
       StmtVarValues[S.LoopVars[K]] = DimValues[N.VarMap[K]];
+    if (Writes) {
+      (*Writes)(S.LHS.ArrayId, refOffset(S.LHS));
+      return;
+    }
     double Value = evalScalar(S.RHS.get());
     int64_t Off = refOffset(S.LHS);
     if (Trace)
@@ -325,6 +332,7 @@ private:
   ProgramInstance &Inst;
   const TraceFn *Trace;
   bool CountOnly;
+  const WriteSink *Writes = nullptr;
   uint64_t Instances = 0;
   std::vector<int64_t> DimValues;
   std::vector<int64_t> StmtVarValues;
@@ -342,6 +350,17 @@ void shackle::runLoopNestSubtree(const LoopNest &Nest, const ASTNode &Root,
                                  const std::vector<int64_t> &DimValues,
                                  ProgramInstance &Inst, const TraceFn *Trace) {
   Executor E(Nest, Inst, Trace, DimValues);
+  E.runSubtree(Root);
+}
+
+void shackle::collectSubtreeWrites(const LoopNest &Nest, const ASTNode &Root,
+                                   const std::vector<int64_t> &DimValues,
+                                   const ProgramInstance &Inst,
+                                   const WriteSink &Sink) {
+  // The const_cast is sound: with a WriteSink the Executor never touches
+  // the instance's buffers (see execInstance).
+  Executor E(Nest, const_cast<ProgramInstance &>(Inst), nullptr, DimValues,
+             &Sink);
   E.runSubtree(Root);
 }
 

@@ -89,6 +89,21 @@ void runLoopNestSubtree(const LoopNest &Nest, const ASTNode &Root,
                         const std::vector<int64_t> &DimValues,
                         ProgramInstance &Inst, const TraceFn *Trace = nullptr);
 
+/// Callback receiving one (array, physical element offset) pair per store
+/// the walked code would perform. Duplicates are reported as encountered.
+using WriteSink = std::function<void(unsigned ArrayId, int64_t Offset)>;
+
+/// Enumerates the write footprint of one subtree of \p Nest without
+/// executing it: the same structural walk as runLoopNestSubtree, but each
+/// statement instance only evaluates its LHS address and reports it to
+/// \p Sink — no loads, no stores, no floating-point work. Well-defined
+/// because control flow (bounds, guards) in LoopAST is affine and therefore
+/// data-independent. The parallel executor snapshots exactly these
+/// elements into a block's undo log before running it.
+void collectSubtreeWrites(const LoopNest &Nest, const ASTNode &Root,
+                          const std::vector<int64_t> &DimValues,
+                          const ProgramInstance &Inst, const WriteSink &Sink);
+
 /// Counts the statement instances \p Nest would execute (no array work).
 uint64_t countExecutedInstances(const LoopNest &Nest,
                                 const ProgramInstance &Inst);

@@ -8,6 +8,7 @@
 #include "parallel/BlockDepGraph.h"
 
 #include "core/Dependence.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
@@ -92,6 +93,8 @@ struct SignSearch {
         Next.addInequality(std::move(Lt));
       }
       FeasVerdict V = isIntegerEmptyBounded(Next, Budget);
+      if (injectSolverUnknown())
+        V = FeasVerdict::Unknown; // Chaos: simulate budget exhaustion.
       if (V == FeasVerdict::Empty)
         continue;
       if (V == FeasVerdict::Unknown)

@@ -25,10 +25,13 @@
 #ifndef SHACKLE_PARALLEL_CHASELEVDEQUE_H
 #define SHACKLE_PARALLEL_CHASELEVDEQUE_H
 
+#include "support/FaultInjector.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <vector>
 
@@ -66,13 +69,22 @@ public:
   ChaseLevDeque(const ChaseLevDeque &) = delete;
   ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
 
-  /// Owner only.
-  void push(T Item) {
+  /// Owner only. Returns false when the buffer was full and growing it
+  /// failed with bad_alloc; the item is then NOT enqueued and the deque is
+  /// unchanged (strong guarantee: no task lost in the structure, no buffer
+  /// leaked, thieves unaffected), so the caller can park the item elsewhere
+  /// and keep running. Always true when the buffer has room.
+  bool push(T Item) {
     int64_t B = Bottom.load(std::memory_order_relaxed);
     int64_t T_ = Top.load(std::memory_order_acquire);
     Ring *R = Active.load(std::memory_order_relaxed);
-    if (B - T_ > R->Capacity - 1)
-      R = grow(R, B, T_);
+    if (B - T_ > R->Capacity - 1) {
+      try {
+        R = grow(R, B, T_);
+      } catch (const std::bad_alloc &) {
+        return false;
+      }
+    }
     R->put(B, Item);
     // Publish with a release store on Bottom (the canonical C11 orderings)
     // rather than a release fence + relaxed store: the two are equivalent in
@@ -80,6 +92,7 @@ public:
     // does not model standalone fences, so only the store form keeps the
     // push -> steal synchronization visible to it.
     Bottom.store(B + 1, std::memory_order_release);
+    return true;
   }
 
   /// Owner only: LIFO pop from the bottom. Returns false when empty.
@@ -129,12 +142,22 @@ public:
   }
 
 private:
+  /// Exception-safe growth: everything that can throw (the injection hook,
+  /// the Ring allocation, the Retired bookkeeping) happens before the new
+  /// ring is published to Active, so a bad_alloc anywhere leaves the deque
+  /// exactly as it was — same capacity, same elements, nothing leaked —
+  /// and concurrent thieves never observe a half-built ring.
   Ring *grow(Ring *Old, int64_t B, int64_t T_) {
-    Ring *R = new Ring(Old->Capacity * 2);
+    if (injectAllocFail())
+      throw std::bad_alloc();
+    auto Fresh = std::make_unique<Ring>(Old->Capacity * 2);
+    Ring *R = Fresh.get();
     for (int64_t I = T_; I < B; ++I)
       R->put(I, Old->get(I));
+    Retired.reserve(Retired.size() + 1); // Last throw point.
     Active.store(R, std::memory_order_release);
-    Retired.emplace_back(R); // Old stays alive for in-flight thieves.
+    Retired.emplace_back(std::move(Fresh)); // Noexcept after the reserve;
+                                            // Old stays alive for thieves.
     return R;
   }
 

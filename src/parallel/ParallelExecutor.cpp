@@ -7,7 +7,13 @@
 
 #include "parallel/ParallelExecutor.h"
 
+#include "parallel/UndoLog.h"
+#include "support/FaultInjector.h"
+
+#include <atomic>
 #include <cassert>
+#include <mutex>
+#include <stdexcept>
 
 using namespace shackle;
 
@@ -15,6 +21,8 @@ const char *shackle::parallelModeName(ParallelMode M) {
   switch (M) {
   case ParallelMode::Parallel:
     return "parallel";
+  case ParallelMode::Degraded:
+    return "degraded";
   case ParallelMode::SerialFallback:
     return "serial-fallback";
   }
@@ -99,41 +107,249 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
 
 ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
                                    unsigned NumThreads) const {
+  // The pre-fault-tolerance fast path: no undo snapshots, no watchdog.
+  ParallelRunOptions Opts;
+  Opts.NumThreads = NumThreads;
+  Opts.UndoLog = false;
+  Opts.MaxRetries = 0;
+  return run(Inst, Opts);
+}
+
+ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
+                                   const ParallelRunOptions &Opts) const {
   assert(Inst.paramValues() == Params &&
          "instance parameters must match the plan");
-  ParallelRunStats Stats;
+  ParallelRunStats S;
   if (!Ready) {
     runSerial(Inst);
-    Stats.Mode = ParallelMode::SerialFallback;
-    Stats.ThreadsUsed = 1;
-    Stats.BlocksRun = Partition.OK ? Partition.Tasks.size() : 0;
-    return Stats;
+    S.Mode = ParallelMode::SerialFallback;
+    S.ThreadsUsed = 1;
+    S.BlocksRun = Partition.OK ? Partition.Tasks.size() : 0;
+    S.Progress.TotalUnits = 1; // Unit = the whole nest, run in one piece.
+    S.Progress.recordAttempt(1);
+    return S;
   }
 
   const std::vector<BlockTask> &Tasks = Partition.Tasks;
-  DagRunStats DS;
-  bool Ran = runTaskDag(
-      Tasks.size(), Graph.Succs, Graph.InDegree,
-      NumThreads == 0 ? 1 : NumThreads,
-      [&](uint32_t T, unsigned) {
-        for (const BlockTask::Segment &Seg : Tasks[T].Segments)
-          runLoopNestSubtree(CG.Nest, *Seg.Node, Seg.DimValues, Inst);
-      },
-      &DS);
-  if (!Ran) {
-    // Defensive: runTaskDag re-validates and refuses without side effects,
-    // so the serial path is still a clean first execution.
+  const std::size_t N = Tasks.size();
+  S.Progress.TotalUnits = N;
+
+  // Shared bookkeeping. RetryCount's per-block slots are only written by
+  // the worker currently executing that block (DAG edges order any two
+  // conflicting executions of a block), so a plain vector is race-free;
+  // the diagnostic list takes a mutex.
+  std::vector<uint32_t> RetryCount(N, 0);
+  std::atomic<uint64_t> Faults{0};
+  std::atomic<bool> Poisoned{false};
+  std::mutex DiagM;
+  std::vector<Diagnostic> FaultDiags;
+  auto noteDiag = [&](Diagnostic D) {
+    std::lock_guard<std::mutex> L(DiagM);
+    FaultDiags.push_back(std::move(D));
+  };
+
+  auto blockName = [&](uint32_t T) {
+    std::string Name = "block #" + std::to_string(T) + " (";
+    for (std::size_t I = 0; I < Tasks[T].Coords.size(); ++I) {
+      if (I)
+        Name += ",";
+      Name += std::to_string(Tasks[T].Coords[I]);
+    }
+    return Name + ")";
+  };
+
+  // One execution attempt of one block; failures come back as a message.
+  auto tryRunBlock = [&](uint32_t T, std::string &Err) {
+    try {
+      if (injectTaskThrow(T))
+        throw std::runtime_error("injected task fault");
+      for (const BlockTask::Segment &Seg : Tasks[T].Segments)
+        runLoopNestSubtree(CG.Nest, *Seg.Node, Seg.DimValues, Inst);
+      return true;
+    } catch (const std::exception &E) {
+      Err = E.what();
+    } catch (...) {
+      Err = "unknown exception";
+    }
+    return false;
+  };
+
+  // Snapshot + first attempt + up to MaxRetries rollback-and-retry rounds.
+  // On false the block's footprint has been restored to its pre-attempt
+  // state (or Poisoned is set when undo logging is off), so the caller can
+  // replay it later without recapturing anything else.
+  auto attemptBlock = [&](uint32_t T) {
+    BlockUndoLog Undo;
+    if (Opts.UndoLog)
+      Undo = captureBlockUndo(CG.Nest, Tasks[T], Inst);
+    const unsigned Attempts = 1 + (Opts.UndoLog ? Opts.MaxRetries : 0);
+    for (unsigned A = 0; A < Attempts; ++A) {
+      std::string Err;
+      if (tryRunBlock(T, Err)) {
+        if (A > 0)
+          noteDiag(Diagnostic(
+              DiagCode::ParallelFault,
+              blockName(T) + " recovered after " + std::to_string(A) +
+                  " rollback retr" + (A == 1 ? "y" : "ies"),
+              {}, Severity::Warning));
+        return true;
+      }
+      Faults.fetch_add(1, std::memory_order_relaxed);
+      Diagnostic D(DiagCode::ParallelFault,
+                   blockName(T) + " failed: " + Err, {}, Severity::Warning);
+      if (!Opts.UndoLog) {
+        Poisoned.store(true, std::memory_order_relaxed);
+        D.Sev = Severity::Error;
+        D.addNote("undo logging disabled; block state cannot be rolled "
+                  "back");
+        noteDiag(std::move(D));
+        return false;
+      }
+      restoreBlockUndo(Undo, Inst);
+      if (A + 1 < Attempts) {
+        ++RetryCount[T];
+        D.addNote("write footprint rolled back (" +
+                  std::to_string(Undo.Entries.size()) +
+                  " element(s)); retrying, attempt " + std::to_string(A + 2) +
+                  " of " + std::to_string(Attempts));
+      } else {
+        D.addNote("write footprint rolled back; retry budget exhausted");
+      }
+      noteDiag(std::move(D));
+    }
+    return false;
+  };
+
+  DagRunOptions DOpts;
+  DOpts.NumThreads = Opts.NumThreads == 0 ? 1 : Opts.NumThreads;
+  DOpts.DeadlineMs = Opts.DeadlineMs;
+  DOpts.StallTimeoutMs = Opts.StallTimeoutMs;
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  // Injected stalls and deaths wedge the pool on purpose; without a
+  // watchdog they would hang the run forever, so chaos runs always get one.
+  if (DOpts.StallTimeoutMs == 0 && FaultInjector::instance().armed())
+    DOpts.StallTimeoutMs = 1000;
+#endif
+
+  DagRunResult R = runTaskDagPartial(
+      N, Graph.Succs, Graph.InDegree, DOpts,
+      [&](uint32_t T, unsigned) { return attemptBlock(T); });
+  if (R.Refused) {
+    // Defensive: runTaskDagPartial re-validates and refuses without side
+    // effects, so the serial path is still a clean first execution.
     runSerial(Inst);
-    Stats.Mode = ParallelMode::SerialFallback;
-    Stats.ThreadsUsed = 1;
-    Stats.BlocksRun = Tasks.size();
-    return Stats;
+    S.Mode = ParallelMode::SerialFallback;
+    S.ThreadsUsed = 1;
+    S.BlocksRun = N;
+    S.Progress.recordAttempt(N);
+    return S;
   }
-  Stats.Mode = ParallelMode::Parallel;
-  Stats.ThreadsUsed = DS.ThreadsUsed;
-  Stats.BlocksRun = DS.TasksRun;
-  Stats.Steals = DS.Steals;
-  return Stats;
+
+  S.ThreadsUsed = R.Stats.ThreadsUsed;
+  S.Steals = R.Stats.Steals;
+  S.Abort = R.Stats.Abort;
+  uint64_t ParallelDone = 0;
+  for (uint8_t D : R.TaskDone)
+    ParallelDone += D;
+  S.Progress.recordAttempt(ParallelDone);
+
+  if (R.Stats.OverflowPushes > 0)
+    noteDiag(Diagnostic(
+        DiagCode::ParallelFault,
+        "deque growth allocation failed; " +
+            std::to_string(R.Stats.OverflowPushes) +
+            " task hand-off(s) diverted to the overflow queue (none lost)",
+        {}, Severity::Warning));
+
+  auto finalize = [&] {
+    S.Faults = Faults.load(std::memory_order_relaxed);
+    uint64_t TotalRetries = 0;
+    bool AnyRetry = false;
+    for (uint32_t C : RetryCount) {
+      TotalRetries += C;
+      AnyRetry |= C != 0;
+    }
+    S.Retries = TotalRetries;
+    if (AnyRetry)
+      S.RetriesPerBlock = RetryCount;
+    if (Poisoned.load(std::memory_order_relaxed))
+      S.Failed = true;
+    S.Diags = std::move(FaultDiags);
+  };
+
+  if (R.Completed) {
+    S.Mode = ParallelMode::Parallel;
+    S.BlocksRun = N;
+    finalize();
+    return S;
+  }
+
+  // Quiesce happened. Name watchdog-detected faults (task failures already
+  // produced their own diagnostics above), then announce the degradation
+  // and replay the unfinished suffix serially in dependence order. Any
+  // topological order is bitwise-equivalent: a completed block saw exactly
+  // its DAG-ordered inputs, an unfinished block's footprint is untouched
+  // (rolled back on failure, never started otherwise), and independent
+  // blocks touch disjoint data by construction of the dependence graph.
+  S.Mode = ParallelMode::Degraded;
+  uint64_t Unfinished = N - ParallelDone;
+  if (S.Abort == DagAbort::Stalled)
+    noteDiag(Diagnostic(
+        DiagCode::ParallelFault,
+        "watchdog: no block completed within " +
+            std::to_string(DOpts.StallTimeoutMs) + " ms; " +
+            std::to_string(R.Stats.StalledWorkers) + " of " +
+            std::to_string(R.Stats.ThreadsUsed) +
+            " worker(s) without a heartbeat",
+        {}, Severity::Warning));
+  else if (S.Abort == DagAbort::Deadline)
+    noteDiag(Diagnostic(DiagCode::ParallelFault,
+                        "deadline of " + std::to_string(DOpts.DeadlineMs) +
+                            " ms expired with " + std::to_string(Unfinished) +
+                            " block(s) unfinished",
+                        {}, Severity::Warning));
+  noteDiag(Diagnostic(
+      DiagCode::ParallelDegrade,
+      "parallel phase aborted (" + std::string(dagAbortName(S.Abort)) +
+          ") after " + std::to_string(ParallelDone) + " of " +
+          std::to_string(N) + " block(s); replaying the remaining " +
+          std::to_string(Unfinished) + " serially in dependence order",
+      {}, Severity::Warning));
+
+  // Kahn order over the (acyclic, validated) block DAG.
+  std::vector<uint32_t> Topo;
+  {
+    std::vector<uint32_t> Work = Graph.InDegree;
+    Topo.reserve(N);
+    for (std::size_t U = 0; U < N; ++U)
+      if (Work[U] == 0)
+        Topo.push_back(static_cast<uint32_t>(U));
+    for (std::size_t I = 0; I < Topo.size(); ++I)
+      for (uint32_t V : Graph.Succs[Topo[I]])
+        if (--Work[V] == 0)
+          Topo.push_back(V);
+  }
+
+  uint64_t Replayed = 0;
+  for (uint32_t T : Topo) {
+    if (R.TaskDone[T])
+      continue;
+    if (attemptBlock(T)) {
+      ++Replayed;
+      continue;
+    }
+    S.Failed = true;
+    noteDiag(Diagnostic(DiagCode::ParallelFault,
+                        blockName(T) +
+                            " failed every attempt including serial "
+                            "replay; results are unreliable",
+                        {}, Severity::Error));
+  }
+  S.ReplayedSerially = Replayed;
+  S.Progress.recordAttempt(Replayed);
+  S.BlocksRun = ParallelDone + Replayed;
+  finalize();
+  return S;
 }
 
 std::string ParallelPlan::summary() const {

@@ -25,6 +25,15 @@
 /// runtime's philosophy of never refusing to execute), records a
 /// ParallelFallback diagnostic, and still produces correct results.
 ///
+/// Runtime faults extend the same ladder downward (DESIGN.md §9): a block
+/// whose body throws is rolled back from its undo log (captureBlockUndo)
+/// and retried in place up to MaxRetries times; a block that keeps failing,
+/// a watchdog stall, or a deadline quiesces the scheduler and the surviving
+/// unfinished blocks are replayed serially in dependence order — mode
+/// Degraded, diagnostics ParallelFault/ParallelDegrade, results still
+/// bitwise-identical to serial. Only a block that fails every serial
+/// attempt too marks the run Failed.
+///
 /// Determinism: for every dependence edge u -> v the scheduler orders all
 /// of block u before all of block v, and instances inside a block run in
 /// original program order; every pair of conflicting accesses is therefore
@@ -42,6 +51,7 @@
 #include "parallel/BlockPartition.h"
 #include "parallel/Scheduler.h"
 #include "support/Diagnostics.h"
+#include "support/Progress.h"
 
 #include <cstdint>
 #include <string>
@@ -57,15 +67,56 @@ struct ParallelPlanOptions {
 };
 
 /// How one execution actually ran.
-enum class ParallelMode { Parallel, SerialFallback };
+enum class ParallelMode {
+  Parallel,       ///< Every block completed in the parallel phase.
+  Degraded,       ///< Parallel phase quiesced; suffix replayed serially.
+  SerialFallback, ///< Plan was never parallel-ready; ran serially.
+};
 
 const char *parallelModeName(ParallelMode M);
+
+/// Per-run knobs for the self-healing execution path.
+struct ParallelRunOptions {
+  unsigned NumThreads = 1;
+  /// Snapshot each block's write footprint before running it so a failed
+  /// block can be rolled back and retried. Off = the pre-fault-tolerance
+  /// fast path (benchmarks): any task failure poisons the run.
+  bool UndoLog = true;
+  /// Rollback-and-retry attempts per block (on top of the first attempt),
+  /// applied independently in the parallel phase and the serial replay.
+  unsigned MaxRetries = 2;
+  /// Abort the parallel phase this many ms after it starts (0 = none).
+  uint64_t DeadlineMs = 0;
+  /// Watchdog: abort the parallel phase when no block completes for this
+  /// many ms (0 = off). When the fault injector is armed and this is 0, a
+  /// conservative default is applied so injected stalls/deaths cannot hang
+  /// the run.
+  uint64_t StallTimeoutMs = 0;
+};
 
 struct ParallelRunStats {
   ParallelMode Mode = ParallelMode::SerialFallback;
   unsigned ThreadsUsed = 1;
   uint64_t BlocksRun = 0;
   uint64_t Steals = 0;
+  /// Block-body failures caught (each rolled back via the undo log).
+  uint64_t Faults = 0;
+  /// Rollback-and-retry attempts across all blocks and both phases.
+  uint64_t Retries = 0;
+  /// Blocks completed by the serial replay after a quiesce.
+  uint64_t ReplayedSerially = 0;
+  /// Why the parallel phase stopped early (None when it completed).
+  DagAbort Abort = DagAbort::None;
+  /// A block failed every attempt, including serial replay; results are
+  /// unreliable. Never set when recovery succeeded.
+  bool Failed = false;
+  /// Blocks completed per attempt (parallel phase, then serial replay) —
+  /// the same partial-progress ledger the multi-pass runtime keeps.
+  ProgressLog Progress;
+  /// Per-block retry counts, indexed by block id; empty when no retries.
+  std::vector<uint32_t> RetriesPerBlock;
+  /// ParallelFault / ParallelDegrade diagnostics from this run.
+  std::vector<Diagnostic> Diags;
 };
 
 class ParallelPlan {
@@ -89,9 +140,17 @@ public:
   const std::vector<Diagnostic> &diags() const { return Diags; }
   const std::vector<int64_t> &paramValues() const { return Params; }
 
-  /// Executes the plan on \p Inst (whose parameter values must match) with
-  /// \p NumThreads workers. Thread-count 0 means 1. Falls back to serial
-  /// in-order execution when the plan is not parallel-ready.
+  /// Executes the plan on \p Inst (whose parameter values must match) under
+  /// \p Opts: undo-logged blocks, rollback-and-retry on failure, watchdog
+  /// and deadline aborts, serial replay of the unfinished suffix after a
+  /// quiesce. Never throws and never hangs; see ParallelRunStats for what
+  /// happened. Falls back to serial in-order execution when the plan is
+  /// not parallel-ready.
+  ParallelRunStats run(ProgramInstance &Inst,
+                       const ParallelRunOptions &Opts) const;
+
+  /// Fast-path overload (benchmarks, determinism tests): \p NumThreads
+  /// workers, undo logging off, no watchdog. Thread-count 0 means 1.
   ParallelRunStats run(ProgramInstance &Inst, unsigned NumThreads) const;
 
   /// Serial reference execution of the same nest (always available).

@@ -8,6 +8,7 @@
 #include "parallel/Scheduler.h"
 
 #include "parallel/ChaseLevDeque.h"
+#include "support/FaultInjector.h"
 
 #include <atomic>
 #include <chrono>
@@ -18,20 +19,63 @@
 
 using namespace shackle;
 
+const char *shackle::dagAbortName(DagAbort A) {
+  switch (A) {
+  case DagAbort::None:
+    return "none";
+  case DagAbort::TaskFailed:
+    return "task-failed";
+  case DagAbort::Deadline:
+    return "deadline";
+  case DagAbort::Stalled:
+    return "stalled";
+  }
+  return "none";
+}
+
 namespace {
 
-/// Shared state of one runTaskDag invocation.
+using Clock = std::chrono::steady_clock;
+
+uint64_t msBetween(Clock::time_point From, Clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(To - From)
+          .count());
+}
+
+/// Shared state of one runTaskDagPartial invocation.
 struct DagRun {
   std::size_t NumTasks;
   const std::vector<std::vector<uint32_t>> &Succs;
-  const TaskBody &Body;
+  const FailableTaskBody &Body;
   unsigned NumWorkers;
 
   std::unique_ptr<std::atomic<uint32_t>[]> Deg;
+  /// 1 after a task's body ran and returned true. Read post-join by the
+  /// caller to replay exactly the unfinished suffix.
+  std::unique_ptr<std::atomic<uint8_t>[]> TaskDone;
+  /// Per-worker liveness counters, bumped once per worker-loop iteration
+  /// (including parked iterations, via the 1 ms timed-wait backstop). The
+  /// watchdog diffs them to name the workers that froze.
+  std::unique_ptr<std::atomic<uint64_t>[]> Heartbeat;
   std::vector<std::unique_ptr<ChaseLevDeque<uint32_t>>> Deques;
 
   std::atomic<uint64_t> Remaining;
   std::atomic<bool> Done{false};
+
+  /// Quiesce protocol: any failure path stores AbortWhy then Abort and
+  /// wakes everyone; every worker re-checks stopping() per iteration (and
+  /// inside simulated stalls), so the pool drains within one task body of
+  /// the request. Successors of unfinished tasks are never released.
+  std::atomic<bool> Abort{false};
+  std::atomic<int> AbortWhy{static_cast<int>(DagAbort::None)};
+
+  /// Overflow queue: the safety net for deque growth hitting bad_alloc.
+  /// A failed hand-off lands here (mutex-protected, pre-reserved where
+  /// possible) instead of being dropped; popOrSteal drains it.
+  std::mutex OvM;
+  std::vector<uint32_t> Overflow;
+  std::atomic<uint64_t> OverflowPushes{0};
 
   // Parking. Epoch/NumParked are mutex-protected; a parker registers under
   // the lock, rescans every deque once, and only then waits, so a pusher
@@ -44,16 +88,37 @@ struct DagRun {
   std::atomic<int> NumParked{0};
 
   std::atomic<uint64_t> TotalRun{0}, TotalSteals{0}, TotalParks{0};
+  std::atomic<uint64_t> TotalFailures{0};
+  std::atomic<unsigned> StalledWorkers{0};
 
   DagRun(std::size_t NumTasks,
-         const std::vector<std::vector<uint32_t>> &Succs, const TaskBody &Body,
-         unsigned NumWorkers)
+         const std::vector<std::vector<uint32_t>> &Succs,
+         const FailableTaskBody &Body, unsigned NumWorkers)
       : NumTasks(NumTasks), Succs(Succs), Body(Body), NumWorkers(NumWorkers),
         Deg(new std::atomic<uint32_t>[NumTasks ? NumTasks : 1]),
+        TaskDone(new std::atomic<uint8_t>[NumTasks ? NumTasks : 1]),
+        Heartbeat(new std::atomic<uint64_t>[NumWorkers]),
         Remaining(NumTasks) {
-    for (unsigned W = 0; W < NumWorkers; ++W)
+    for (std::size_t U = 0; U < NumTasks; ++U)
+      TaskDone[U].store(0, std::memory_order_relaxed);
+    for (unsigned W = 0; W < NumWorkers; ++W) {
+      Heartbeat[W].store(0, std::memory_order_relaxed);
       Deques.emplace_back(std::make_unique<ChaseLevDeque<uint32_t>>(
           static_cast<int64_t>(NumTasks / NumWorkers + 64)));
+    }
+  }
+
+  bool stopping() const {
+    return Done.load(std::memory_order_acquire) ||
+           Abort.load(std::memory_order_acquire);
+  }
+
+  void requestAbort(DagAbort Why) {
+    int None = static_cast<int>(DagAbort::None);
+    AbortWhy.compare_exchange_strong(None, static_cast<int>(Why),
+                                     std::memory_order_relaxed);
+    Abort.store(true, std::memory_order_release);
+    wakeAll();
   }
 
   void wakeAll() {
@@ -71,8 +136,31 @@ struct DagRun {
       wakeAll();
   }
 
+  /// Hands a ready task to worker \p Me; never loses it (deque growth
+  /// failure diverts to the overflow queue).
+  void pushReady(unsigned Me, uint32_t V) {
+    if (Deques[Me]->push(V))
+      return;
+    {
+      std::lock_guard<std::mutex> L(OvM);
+      Overflow.push_back(V);
+    }
+    OverflowPushes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool popOverflow(uint32_t &T) {
+    std::lock_guard<std::mutex> L(OvM);
+    if (Overflow.empty())
+      return false;
+    T = Overflow.back();
+    Overflow.pop_back();
+    return true;
+  }
+
   bool popOrSteal(unsigned Me, uint32_t &T, uint64_t &Steals) {
     if (Deques[Me]->pop(T))
+      return true;
+    if (popOverflow(T))
       return true;
     for (unsigned I = 1; I < NumWorkers; ++I) {
       unsigned Victim = (Me + I) % NumWorkers;
@@ -85,12 +173,26 @@ struct DagRun {
   }
 
   void execute(uint32_t T, unsigned Me, uint64_t &Ran) {
-    Body(T, Me);
+    bool OK = false;
+    try {
+      OK = Body(T, Me);
+    } catch (...) {
+      OK = false; // A body that leaks an exception counts as failed.
+    }
+    if (!OK) {
+      // The failed task stays not-done and its successors are never
+      // released, so every completed task saw exactly the inputs a serial
+      // DAG-order execution would have produced.
+      TotalFailures.fetch_add(1, std::memory_order_relaxed);
+      requestAbort(DagAbort::TaskFailed);
+      return;
+    }
+    TaskDone[T].store(1, std::memory_order_relaxed);
     ++Ran;
     unsigned Pushed = 0;
     for (uint32_t V : Succs[T])
       if (Deg[V].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        Deques[Me]->push(V);
+        pushReady(Me, V);
         ++Pushed;
       }
     if (Pushed > 0)
@@ -101,11 +203,28 @@ struct DagRun {
     }
   }
 
+  /// Simulated wedge for stall injection: sleeps without heartbeating (the
+  /// point is to look dead to the watchdog) but checks Abort each slice so
+  /// the post-abort join stays prompt.
+  void stallFor(uint64_t Ms) {
+    Clock::time_point End = Clock::now() + std::chrono::milliseconds(Ms);
+    while (Clock::now() < End && !Abort.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
   void workerLoop(unsigned Me) {
     uint64_t Ran = 0, Steals = 0, Parks = 0;
     uint32_t T = 0;
-    while (!Done.load(std::memory_order_acquire)) {
+    while (!stopping()) {
+      Heartbeat[Me].fetch_add(1, std::memory_order_relaxed);
       if (popOrSteal(Me, T, Steals)) {
+        if (injectWorkerDeath(Me))
+          break; // Dies holding T; only the watchdog can notice.
+        if (uint64_t Ms = injectWorkerStall(Me)) {
+          stallFor(Ms);
+          if (stopping())
+            break; // Quiesced mid-wedge; T stays not-done for replay.
+        }
         execute(T, Me, Ran);
         continue;
       }
@@ -118,23 +237,21 @@ struct DagRun {
         E = Epoch;
       }
       NumParked.fetch_add(1, std::memory_order_seq_cst);
-      bool GotTask = !Done.load(std::memory_order_acquire) &&
-                     popOrSteal(Me, T, Steals);
+      bool GotTask = !stopping() && popOrSteal(Me, T, Steals);
       if (GotTask) {
         NumParked.fetch_sub(1, std::memory_order_relaxed);
         execute(T, Me, Ran);
         continue;
       }
-      if (Done.load(std::memory_order_acquire)) {
+      if (stopping()) {
         NumParked.fetch_sub(1, std::memory_order_relaxed);
         continue; // Outer loop exits.
       }
       {
         std::unique_lock<std::mutex> L(M);
         ++Parks;
-        CV.wait_for(L, std::chrono::milliseconds(1), [&] {
-          return Epoch != E || Done.load(std::memory_order_acquire);
-        });
+        CV.wait_for(L, std::chrono::milliseconds(1),
+                    [&] { return Epoch != E || stopping(); });
       }
       NumParked.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -142,17 +259,73 @@ struct DagRun {
     TotalSteals.fetch_add(Steals, std::memory_order_relaxed);
     TotalParks.fetch_add(Parks, std::memory_order_relaxed);
   }
+
+  /// Watchdog: detects deadline expiry and global stalls. Stall detection
+  /// watches Remaining, not heartbeats — a parked-but-healthy pool
+  /// heartbeats forever while making no progress, and that is exactly the
+  /// wedge (lost task, dead worker) this must catch. Heartbeats are only
+  /// used to *name* the frozen workers once a stall is established.
+  void watchdogLoop(uint64_t DeadlineMs, uint64_t StallTimeoutMs) {
+    Clock::time_point Start = Clock::now();
+    Clock::time_point LastProgress = Start;
+    uint64_t LastRemaining = Remaining.load(std::memory_order_acquire);
+    std::vector<uint64_t> HbSnap(NumWorkers, 0);
+    auto Snap = [&] {
+      for (unsigned W = 0; W < NumWorkers; ++W)
+        HbSnap[W] = Heartbeat[W].load(std::memory_order_relaxed);
+    };
+    Snap();
+    uint64_t Horizon = StallTimeoutMs ? StallTimeoutMs : DeadlineMs;
+    if (DeadlineMs)
+      Horizon = std::min(Horizon, DeadlineMs);
+    uint64_t TickMs = Horizon / 8;
+    if (TickMs < 1)
+      TickMs = 1;
+    if (TickMs > 10)
+      TickMs = 10;
+    while (!stopping()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(TickMs));
+      if (stopping())
+        break;
+      Clock::time_point Now = Clock::now();
+      if (DeadlineMs && msBetween(Start, Now) >= DeadlineMs) {
+        requestAbort(DagAbort::Deadline);
+        break;
+      }
+      uint64_t R = Remaining.load(std::memory_order_acquire);
+      if (R != LastRemaining) {
+        LastRemaining = R;
+        LastProgress = Now;
+        Snap();
+        continue;
+      }
+      if (StallTimeoutMs && msBetween(LastProgress, Now) >= StallTimeoutMs) {
+        // Frozen = no heartbeat over the last full tick. Healthy parked
+        // workers advance many times per tick via the 1 ms wait backstop.
+        unsigned Frozen = 0;
+        for (unsigned W = 0; W < NumWorkers; ++W)
+          if (Heartbeat[W].load(std::memory_order_relaxed) == HbSnap[W])
+            ++Frozen;
+        StalledWorkers.store(Frozen, std::memory_order_relaxed);
+        requestAbort(DagAbort::Stalled);
+        break;
+      }
+      Snap(); // Rolling per-tick baseline for the frozen-worker diff.
+    }
+  }
 };
 
 } // namespace
 
-bool shackle::runTaskDag(std::size_t NumTasks,
-                         const std::vector<std::vector<uint32_t>> &Succs,
-                         const std::vector<uint32_t> &InDegree,
-                         unsigned NumThreads, const TaskBody &Body,
-                         DagRunStats *Stats) {
-  if (Succs.size() != NumTasks || InDegree.size() != NumTasks)
-    return false;
+DagRunResult shackle::runTaskDagPartial(
+    std::size_t NumTasks, const std::vector<std::vector<uint32_t>> &Succs,
+    const std::vector<uint32_t> &InDegree, const DagRunOptions &Opts,
+    const FailableTaskBody &Body) {
+  DagRunResult Result;
+  if (Succs.size() != NumTasks || InDegree.size() != NumTasks) {
+    Result.Refused = true;
+    return Result;
+  }
 
   // Validate: recompute in-degrees and run a Kahn pass. Refusing a cyclic
   // or inconsistent graph *before* running anything keeps task side effects
@@ -160,13 +333,17 @@ bool shackle::runTaskDag(std::size_t NumTasks,
   std::vector<uint32_t> Deg(NumTasks, 0);
   for (std::size_t U = 0; U < NumTasks; ++U)
     for (uint32_t V : Succs[U]) {
-      if (V >= NumTasks)
-        return false;
+      if (V >= NumTasks) {
+        Result.Refused = true;
+        return Result;
+      }
       ++Deg[V];
     }
   for (std::size_t U = 0; U < NumTasks; ++U)
-    if (Deg[U] != InDegree[U])
-      return false;
+    if (Deg[U] != InDegree[U]) {
+      Result.Refused = true;
+      return Result;
+    }
   {
     std::vector<uint32_t> Work = Deg;
     std::vector<uint32_t> Queue;
@@ -178,17 +355,18 @@ bool shackle::runTaskDag(std::size_t NumTasks,
       for (uint32_t V : Succs[Queue[I]])
         if (--Work[V] == 0)
           Queue.push_back(V);
-    if (Queue.size() != NumTasks)
-      return false; // Cycle.
+    if (Queue.size() != NumTasks) {
+      Result.Refused = true; // Cycle.
+      return Result;
+    }
   }
 
   if (NumTasks == 0) {
-    if (Stats)
-      *Stats = DagRunStats{};
-    return true;
+    Result.Completed = true;
+    return Result;
   }
 
-  unsigned NumWorkers = NumThreads == 0 ? 1 : NumThreads;
+  unsigned NumWorkers = Opts.NumThreads == 0 ? 1 : Opts.NumThreads;
   if (static_cast<std::size_t>(NumWorkers) > NumTasks)
     NumWorkers = static_cast<unsigned>(NumTasks);
 
@@ -198,13 +376,21 @@ bool shackle::runTaskDag(std::size_t NumTasks,
 
   // Seed the deques round-robin with the initially ready tasks (before any
   // worker starts, so plain pushes are safe and every worker begins with
-  // a fair share of the first wavefront).
+  // a fair share of the first wavefront). pushReady keeps even a seeding
+  // allocation failure from losing a task.
   unsigned Next = 0;
   for (std::size_t U = 0; U < NumTasks; ++U)
     if (Deg[U] == 0) {
-      Run.Deques[Next]->push(static_cast<uint32_t>(U));
+      Run.pushReady(Next, static_cast<uint32_t>(U));
       Next = (Next + 1) % NumWorkers;
     }
+
+  std::thread Watchdog;
+  bool HasWatchdog = Opts.DeadlineMs != 0 || Opts.StallTimeoutMs != 0;
+  if (HasWatchdog)
+    Watchdog = std::thread([&Run, &Opts] {
+      Run.watchdogLoop(Opts.DeadlineMs, Opts.StallTimeoutMs);
+    });
 
   std::vector<std::thread> Threads;
   Threads.reserve(NumWorkers - 1);
@@ -213,12 +399,49 @@ bool shackle::runTaskDag(std::size_t NumTasks,
   Run.workerLoop(0);
   for (std::thread &Th : Threads)
     Th.join();
+  if (HasWatchdog)
+    Watchdog.join();
 
-  if (Stats) {
-    Stats->ThreadsUsed = NumWorkers;
-    Stats->TasksRun = Run.TotalRun.load(std::memory_order_relaxed);
-    Stats->Steals = Run.TotalSteals.load(std::memory_order_relaxed);
-    Stats->Parks = Run.TotalParks.load(std::memory_order_relaxed);
-  }
-  return true;
+  Result.TaskDone.resize(NumTasks, 0);
+  uint64_t NumDone = 0;
+  for (std::size_t U = 0; U < NumTasks; ++U)
+    if (Run.TaskDone[U].load(std::memory_order_relaxed)) {
+      Result.TaskDone[U] = 1;
+      ++NumDone;
+    }
+  Result.Completed = NumDone == NumTasks;
+
+  Result.Stats.ThreadsUsed = NumWorkers;
+  Result.Stats.TasksRun = Run.TotalRun.load(std::memory_order_relaxed);
+  Result.Stats.Steals = Run.TotalSteals.load(std::memory_order_relaxed);
+  Result.Stats.Parks = Run.TotalParks.load(std::memory_order_relaxed);
+  Result.Stats.TaskFailures =
+      Run.TotalFailures.load(std::memory_order_relaxed);
+  Result.Stats.OverflowPushes =
+      Run.OverflowPushes.load(std::memory_order_relaxed);
+  Result.Stats.StalledWorkers =
+      Run.StalledWorkers.load(std::memory_order_relaxed);
+  Result.Stats.Abort = Result.Completed
+                           ? DagAbort::None
+                           : static_cast<DagAbort>(Run.AbortWhy.load(
+                                 std::memory_order_relaxed));
+  return Result;
+}
+
+bool shackle::runTaskDag(std::size_t NumTasks,
+                         const std::vector<std::vector<uint32_t>> &Succs,
+                         const std::vector<uint32_t> &InDegree,
+                         unsigned NumThreads, const TaskBody &Body,
+                         DagRunStats *Stats) {
+  DagRunOptions Opts;
+  Opts.NumThreads = NumThreads;
+  DagRunResult R = runTaskDagPartial(
+      NumTasks, Succs, InDegree, Opts,
+      [&Body](uint32_t T, unsigned W) {
+        Body(T, W);
+        return true;
+      });
+  if (Stats)
+    *Stats = R.Stats;
+  return !R.Refused && R.Completed;
 }

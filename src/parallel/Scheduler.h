@@ -14,12 +14,23 @@
 /// condition variable when the whole system looks empty, so a wavefront
 /// that narrows to one task does not spin the other cores.
 ///
-/// The caller must pass an acyclic graph (runTaskDag verifies with a Kahn
-/// pass before touching any task and refuses cyclic inputs). Task bodies
-/// run exactly once; for every edge u -> v, the body of u happens-before
-/// the body of v (the in-degree decrement is acq_rel and the deque provides
+/// The caller must pass an acyclic graph (a Kahn pass verifies before
+/// touching any task and refuses cyclic inputs). Task bodies run at most
+/// once; for every edge u -> v, the body of u happens-before the body of v
+/// (the in-degree decrement is acq_rel and the deque provides
 /// release/acquire hand-off), so data written by u is visible to v without
 /// further synchronization.
+///
+/// runTaskDagPartial adds the failure story: a body may report failure
+/// (return false or throw), a watchdog may observe a deadline or a global
+/// stall, and either event *quiesces* the run — every worker stops at its
+/// next loop iteration, no successor of an unfinished task is ever
+/// released, and the per-task completion map comes back so the caller can
+/// replay exactly the unfinished suffix. Failed or abandoned tasks never
+/// release successors, so everything a completed task wrote is exactly what
+/// a serial prefix of the DAG would have written. Deque overflow (growth
+/// hitting bad_alloc) diverts the hand-off to a mutex-protected overflow
+/// queue instead of losing the task.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,24 +43,72 @@
 
 namespace shackle {
 
+/// Why a partial run stopped early.
+enum class DagAbort {
+  None,       ///< Ran to completion.
+  TaskFailed, ///< A task body returned false or threw.
+  Deadline,   ///< DeadlineMs expired.
+  Stalled,    ///< No task completed for StallTimeoutMs (wedged worker).
+};
+
+const char *dagAbortName(DagAbort A);
+
 /// Counters from one DAG execution (telemetry; not needed for correctness).
 struct DagRunStats {
   unsigned ThreadsUsed = 1;
   uint64_t TasksRun = 0;
-  uint64_t Steals = 0;    ///< Successful steals across all workers.
-  uint64_t Parks = 0;     ///< Times a worker went to sleep empty-handed.
+  uint64_t Steals = 0; ///< Successful steals across all workers.
+  uint64_t Parks = 0;  ///< Times a worker went to sleep empty-handed.
+  uint64_t TaskFailures = 0;   ///< Bodies that returned false or threw.
+  uint64_t OverflowPushes = 0; ///< Hand-offs diverted by deque bad_alloc.
+  unsigned StalledWorkers = 0; ///< Workers without a heartbeat at a stall.
+  DagAbort Abort = DagAbort::None;
 };
 
-/// Task body: called exactly once per task, with the task id and the index
+/// Task body: called at most once per task, with the task id and the index
 /// of the worker executing it.
 using TaskBody = std::function<void(uint32_t Task, unsigned Worker)>;
 
+/// Failable task body: returns false (or throws anything) to report that
+/// the task did not complete; its successors are then never released and
+/// the run aborts with DagAbort::TaskFailed.
+using FailableTaskBody = std::function<bool(uint32_t Task, unsigned Worker)>;
+
+struct DagRunOptions {
+  unsigned NumThreads = 1;
+  /// Abort the run this many ms after it starts (0 = no deadline).
+  uint64_t DeadlineMs = 0;
+  /// Abort when no task completes for this many ms (0 = no stall watch).
+  /// This is the watchdog that catches wedged or dead workers: parked
+  /// workers keep heartbeating, so only a genuinely stuck run trips it.
+  uint64_t StallTimeoutMs = 0;
+};
+
+struct DagRunResult {
+  /// The graph was cyclic or inconsistent; nothing ran.
+  bool Refused = false;
+  /// Every task completed successfully.
+  bool Completed = false;
+  /// Per-task completion map (1 = body ran and returned true). Valid when
+  /// !Refused; the caller replays the zero entries in topological order.
+  std::vector<uint8_t> TaskDone;
+  DagRunStats Stats;
+};
+
 /// Executes tasks 0..NumTasks-1 respecting the edges Succs (task u lists
 /// every v that must wait for u); InDegree[v] must equal the number of
-/// predecessors of v. Spawns NumThreads-1 workers and uses the calling
-/// thread as worker 0 (NumThreads == 1 runs everything inline).
-///
-/// Returns false - without running anything - if the graph is cyclic or
+/// predecessors of v. Spawns NumThreads-1 workers plus (when a deadline or
+/// stall timeout is set) one watchdog thread, and uses the calling thread
+/// as worker 0. Never throws and never hangs: failures and timeouts
+/// quiesce the pool and report partial completion instead.
+DagRunResult runTaskDagPartial(std::size_t NumTasks,
+                               const std::vector<std::vector<uint32_t>> &Succs,
+                               const std::vector<uint32_t> &InDegree,
+                               const DagRunOptions &Opts,
+                               const FailableTaskBody &Body);
+
+/// All-or-nothing convenience wrapper (the pre-fault-tolerance interface):
+/// returns false — without running anything — if the graph is cyclic or
 /// InDegree is inconsistent with Succs; returns true after all tasks ran.
 bool runTaskDag(std::size_t NumTasks,
                 const std::vector<std::vector<uint32_t>> &Succs,

@@ -1,0 +1,40 @@
+//===- UndoLog.cpp - Block write-footprint snapshots -------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/UndoLog.h"
+
+#include <algorithm>
+
+using namespace shackle;
+
+BlockUndoLog shackle::captureBlockUndo(const LoopNest &Nest,
+                                       const BlockTask &Task,
+                                       const ProgramInstance &Inst) {
+  std::vector<std::pair<unsigned, int64_t>> Footprint;
+  WriteSink Sink = [&Footprint](unsigned ArrayId, int64_t Offset) {
+    Footprint.emplace_back(ArrayId, Offset);
+  };
+  for (const BlockTask::Segment &Seg : Task.Segments)
+    collectSubtreeWrites(Nest, *Seg.Node, Seg.DimValues, Inst, Sink);
+  std::sort(Footprint.begin(), Footprint.end());
+  Footprint.erase(std::unique(Footprint.begin(), Footprint.end()),
+                  Footprint.end());
+
+  BlockUndoLog Log;
+  Log.Entries.reserve(Footprint.size());
+  for (const auto &[ArrayId, Offset] : Footprint)
+    Log.Entries.push_back(
+        {ArrayId, Offset,
+         Inst.buffer(ArrayId)[static_cast<std::size_t>(Offset)]});
+  return Log;
+}
+
+void shackle::restoreBlockUndo(const BlockUndoLog &Log,
+                               ProgramInstance &Inst) {
+  for (const BlockUndoLog::Entry &E : Log.Entries)
+    Inst.buffer(E.ArrayId)[static_cast<std::size_t>(E.Offset)] = E.Value;
+}

@@ -71,6 +71,7 @@ MultiPassResult shackle::runMultiPassShackled(const Program &P,
 
   std::vector<Instance> Insts = enumerateInstances(P, Inst);
   Result.TotalInstances = Insts.size();
+  Result.Progress.TotalUnits = Insts.size();
 
   // Block coordinates of each instance's shackled reference.
   std::vector<int64_t> VarValues(P.getNumVars(), 0);
@@ -161,6 +162,7 @@ MultiPassResult shackle::runMultiPassShackled(const Program &P,
     }
     Result.Instances += ExecutedThisPass;
     Result.ExecutedPerPass.push_back(ExecutedThisPass);
+    Result.Progress.recordAttempt(ExecutedThisPass);
     if (OldestBefore < Insts.size() && !Done[OldestBefore])
       Result.OldestRetiredEachPass = false;
     if (ExecutedThisPass == 0)

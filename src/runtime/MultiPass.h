@@ -31,6 +31,7 @@
 #include "core/DataShackle.h"
 #include "interp/Interpreter.h"
 #include "ir/Program.h"
+#include "support/Progress.h"
 
 #include <cstdint>
 #include <vector>
@@ -56,6 +57,10 @@ struct MultiPassResult {
   /// False if MaxPasses was exhausted with work pending (cannot happen for
   /// well-formed programs given enough passes: see OldestRetiredEachPass).
   bool Completed = false;
+  /// The same counters as Instances/TotalInstances/ExecutedPerPass in the
+  /// shared partial-progress shape (one attempt per sweep) that the
+  /// parallel executor's replay bookkeeping also uses.
+  ProgressLog Progress;
 };
 
 /// Executes \p P on \p Inst under the multi-pass block traversal induced by

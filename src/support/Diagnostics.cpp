@@ -29,6 +29,10 @@ const char *shackle::diagCodeName(DiagCode Code) {
     return "usage-error";
   case DiagCode::ParallelFallback:
     return "parallel-fallback";
+  case DiagCode::ParallelFault:
+    return "parallel-fault";
+  case DiagCode::ParallelDegrade:
+    return "parallel-degrade";
   }
   return "unknown";
 }

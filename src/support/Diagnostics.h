@@ -63,6 +63,16 @@ enum class DiagCode {
   /// could not be partitioned by block. Always a warning; results are
   /// still correct.
   ParallelFallback,
+  /// A fault hit the parallel runtime at execution time: a block task threw,
+  /// a worker stalled past the watchdog timeout or died, a deadline expired,
+  /// or a deque growth allocation failed. A warning when the runtime
+  /// recovered (undo + retry, overflow queue, or serial replay); an error
+  /// when a block could not be re-executed and results are unreliable.
+  ParallelFault,
+  /// The parallel phase was quiesced mid-run and the remaining blocks were
+  /// replayed serially in dependence order. Always a warning; results are
+  /// still bitwise-identical to serial execution.
+  ParallelDegrade,
 };
 
 /// Renders the code's stable spelling, e.g. "parse-error".

@@ -1,0 +1,298 @@
+//===- FaultInjector.cpp - Deterministic fault injection ---------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+using namespace shackle;
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector FI;
+  return FI;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: the same mixer ProgramInstance::fillRandom uses,
+/// so rate-based decisions are deterministic across platforms.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Atomically consumes one unit of a fire budget; false when exhausted.
+bool takeBudget(std::atomic<int64_t> &Budget) {
+  int64_t Cur = Budget.load(std::memory_order_relaxed);
+  while (Cur > 0)
+    if (Budget.compare_exchange_weak(Cur, Cur - 1,
+                                     std::memory_order_relaxed))
+      return true;
+  return false;
+}
+
+std::string trim(const std::string &S) {
+  std::size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  std::size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::size_t Pos = 0;
+  while (Pos <= S.size()) {
+    std::size_t Next = S.find(Sep, Pos);
+    if (Next == std::string::npos)
+      Next = S.size();
+    std::string Piece = trim(S.substr(Pos, Next - Pos));
+    if (!Piece.empty())
+      Out.push_back(std::move(Piece));
+    Pos = Next + 1;
+  }
+  return Out;
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseRate(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (errno != 0 || End != S.c_str() + S.size() || V < 0.0 || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+Status badSpec(const std::string &Clause, const char *Why) {
+  Diagnostic D(DiagCode::UsageError,
+               "malformed injection spec clause '" + Clause + "'");
+  D.addNote(Why);
+  D.addNote("grammar: seed=S; throw@block=K|any|rate=R[,count=C]; "
+            "stall@worker=W[,ms=M][,count=C]; die@worker=W[,count=C]; "
+            "alloc-fail@grow=N[,count=C]; solver-unknown@query=N[,count=C]");
+  return Status::error(std::move(D));
+}
+
+} // namespace
+
+void FaultInjector::disarm() {
+  Armed.store(false, std::memory_order_relaxed);
+  Seed = 0;
+  ThrowBlock = -1;
+  ThrowThreshold = 0;
+  ThrowBudget.store(0, std::memory_order_relaxed);
+  StallWorker = -1;
+  StallMs = 10000;
+  StallBudget.store(0, std::memory_order_relaxed);
+  DeathWorker = -1;
+  DeathBudget.store(0, std::memory_order_relaxed);
+  AllocFailAt = 0;
+  AllocFailCount = 0;
+  GrowOccurrence.store(0, std::memory_order_relaxed);
+  SolverAt = 0;
+  SolverCount = 0;
+  QueryOccurrence.store(0, std::memory_order_relaxed);
+  NumTaskThrows.store(0, std::memory_order_relaxed);
+  NumWorkerStalls.store(0, std::memory_order_relaxed);
+  NumWorkerDeaths.store(0, std::memory_order_relaxed);
+  NumAllocFails.store(0, std::memory_order_relaxed);
+  NumSolverUnknowns.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::configure(const std::string &Spec) {
+  if (!FaultInjectionCompiledIn)
+    return Status::error(
+        DiagCode::UsageError,
+        "fault injection is not compiled into this build "
+        "(configure with -DSHACKLE_ENABLE_FAULT_INJECTION=ON)");
+  disarm();
+
+  std::vector<std::string> Clauses = splitOn(Spec, ';');
+  if (Clauses.empty())
+    return badSpec(Spec, "spec is empty");
+
+  for (const std::string &Clause : Clauses) {
+    if (Clause.rfind("seed=", 0) == 0) {
+      if (!parseU64(Clause.substr(5), Seed))
+        return badSpec(Clause, "seed must be a decimal integer");
+      continue;
+    }
+    std::size_t At = Clause.find('@');
+    if (At == std::string::npos)
+      return badSpec(Clause, "expected site@selector");
+    std::string Site = Clause.substr(0, At);
+    std::vector<std::string> Keys = splitOn(Clause.substr(At + 1), ',');
+    if (Keys.empty())
+      return badSpec(Clause, "missing selector after '@'");
+
+    uint64_t Count = 1;
+    auto takeKey = [&Keys](const char *Name, std::string &Value) {
+      std::string Prefix = std::string(Name) + "=";
+      for (std::size_t I = 0; I < Keys.size(); ++I)
+        if (Keys[I].rfind(Prefix, 0) == 0) {
+          Value = Keys[I].substr(Prefix.size());
+          Keys.erase(Keys.begin() + I);
+          return true;
+        }
+      return false;
+    };
+    std::string V;
+    if (takeKey("count", V) && (!parseU64(V, Count) || Count == 0))
+      return badSpec(Clause, "count must be a positive integer");
+
+    if (Site == "throw") {
+      ThrowBudget.store(static_cast<int64_t>(Count),
+                        std::memory_order_relaxed);
+      if (takeKey("block", V)) {
+        uint64_t K;
+        if (!parseU64(V, K))
+          return badSpec(Clause, "block must be a block id");
+        ThrowBlock = static_cast<int64_t>(K);
+      } else if (takeKey("rate", V)) {
+        double R;
+        if (!parseRate(V, R))
+          return badSpec(Clause, "rate must be in [0, 1]");
+        ThrowBlock = -3;
+        ThrowThreshold = R >= 1.0 ? ~0ULL
+                                  : static_cast<uint64_t>(
+                                        R * 18446744073709551616.0);
+      } else if (!Keys.empty() && Keys[0] == "any") {
+        Keys.erase(Keys.begin());
+        ThrowBlock = -2;
+      } else {
+        return badSpec(Clause, "throw needs block=K, any, or rate=R");
+      }
+    } else if (Site == "stall") {
+      if (!takeKey("worker", V))
+        return badSpec(Clause, "stall needs worker=W");
+      uint64_t W;
+      if (!parseU64(V, W))
+        return badSpec(Clause, "worker must be a worker index");
+      StallWorker = static_cast<int64_t>(W);
+      StallBudget.store(static_cast<int64_t>(Count),
+                        std::memory_order_relaxed);
+      if (takeKey("ms", V) && !parseU64(V, StallMs))
+        return badSpec(Clause, "ms must be a duration in milliseconds");
+    } else if (Site == "die") {
+      if (!takeKey("worker", V))
+        return badSpec(Clause, "die needs worker=W");
+      uint64_t W;
+      if (!parseU64(V, W))
+        return badSpec(Clause, "worker must be a worker index");
+      DeathWorker = static_cast<int64_t>(W);
+      DeathBudget.store(static_cast<int64_t>(Count),
+                        std::memory_order_relaxed);
+    } else if (Site == "alloc-fail") {
+      if (!takeKey("grow", V))
+        return badSpec(Clause, "alloc-fail needs grow=N (1-based)");
+      if (!parseU64(V, AllocFailAt) || AllocFailAt == 0)
+        return badSpec(Clause, "grow must be a positive occurrence index");
+      AllocFailCount = Count;
+    } else if (Site == "solver-unknown") {
+      if (!takeKey("query", V))
+        return badSpec(Clause, "solver-unknown needs query=N (1-based)");
+      if (!parseU64(V, SolverAt) || SolverAt == 0)
+        return badSpec(Clause, "query must be a positive occurrence index");
+      SolverCount = Count;
+    } else {
+      return badSpec(Clause, "unknown site (throw, stall, die, alloc-fail, "
+                             "solver-unknown)");
+    }
+    if (!Keys.empty())
+      return badSpec(Clause, ("unexpected token '" + Keys[0] + "'").c_str());
+  }
+
+  Armed.store(true, std::memory_order_relaxed);
+  return Status::success();
+}
+
+bool FaultInjector::fireTaskThrow(uint64_t Block) {
+  bool Match;
+  switch (ThrowBlock) {
+  case -1:
+    return false;
+  case -2:
+    Match = true;
+    break;
+  case -3:
+    Match = mix64(Seed ^ (Block + 1) * 0x9e3779b97f4a7c15ULL) <
+            ThrowThreshold;
+    break;
+  default:
+    Match = static_cast<int64_t>(Block) == ThrowBlock;
+    break;
+  }
+  if (!Match || !takeBudget(ThrowBudget))
+    return false;
+  NumTaskThrows.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::fireWorkerStall(unsigned Worker) {
+  if (StallWorker < 0 || static_cast<int64_t>(Worker) != StallWorker ||
+      !takeBudget(StallBudget))
+    return 0;
+  NumWorkerStalls.fetch_add(1, std::memory_order_relaxed);
+  return StallMs;
+}
+
+bool FaultInjector::fireWorkerDeath(unsigned Worker) {
+  if (DeathWorker < 0 || static_cast<int64_t>(Worker) != DeathWorker ||
+      !takeBudget(DeathBudget))
+    return false;
+  NumWorkerDeaths.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::fireAllocFail() {
+  if (AllocFailAt == 0)
+    return false;
+  uint64_t Occ = GrowOccurrence.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Occ < AllocFailAt || Occ >= AllocFailAt + AllocFailCount)
+    return false;
+  NumAllocFails.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::fireSolverUnknown() {
+  if (SolverAt == 0)
+    return false;
+  uint64_t Occ = QueryOccurrence.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Occ < SolverAt || Occ >= SolverAt + SolverCount)
+    return false;
+  NumSolverUnknowns.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters C;
+  C.TaskThrows = NumTaskThrows.load(std::memory_order_relaxed);
+  C.WorkerStalls = NumWorkerStalls.load(std::memory_order_relaxed);
+  C.WorkerDeaths = NumWorkerDeaths.load(std::memory_order_relaxed);
+  C.AllocFails = NumAllocFails.load(std::memory_order_relaxed);
+  C.SolverUnknowns = NumSolverUnknowns.load(std::memory_order_relaxed);
+  return C;
+}

@@ -1,0 +1,184 @@
+//===- FaultInjector.h - Deterministic fault injection ----------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seed-driven fault injection for chaos-testing the parallel
+/// runtime. A process-wide injector is configured from a spec string and
+/// consulted by cheap inline hooks at four kinds of sites:
+///
+///   task exception     injectTaskThrow(block)      before a block body runs
+///   worker stall/death injectWorkerStall(worker) / injectWorkerDeath(worker)
+///                                                  after a worker claims a task
+///   allocation failure injectAllocFail()           in ChaseLevDeque growth
+///   solver exhaustion  injectSolverUnknown()       per BlockDepGraph query
+///
+/// Spec grammar (clauses separated by ';'):
+///
+///   seed=S                       PRNG seed for rate-based clauses
+///   throw@block=K[,count=C]      throw before block K runs, C times (default 1)
+///   throw@any[,count=C]          throw before whichever block asks first
+///   throw@rate=R[,count=C]       throw on blocks hashed under rate R in [0,1]
+///   stall@worker=W[,ms=M][,count=C]   worker W freezes for M ms (default 10000)
+///   die@worker=W[,count=C]       worker W exits, losing its claimed task
+///   alloc-fail@grow=N[,count=C]  the Nth deque growth (1-based) and the C-1
+///                                following ones throw bad_alloc
+///   solver-unknown@query=N[,count=C]  the Nth sign-pattern feasibility query
+///                                and the C-1 following ones report Unknown
+///
+/// Every clause has a finite fire budget, so a recovery path that retries
+/// eventually gets a clean run — the property chaos tests rely on. All
+/// decisions are pure functions of the spec, the seed, and per-site
+/// occurrence counters: the same spec injects the same faults on every run.
+///
+/// The hooks compile to constant-false when SHACKLE_ENABLE_FAULT_INJECTION
+/// is not defined (CMake option of the same name, default ON), so release
+/// builds can strip the whole mechanism; configure() then reports an error
+/// instead of silently arming nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_FAULTINJECTOR_H
+#define SHACKLE_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Diagnostics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace shackle {
+
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+inline constexpr bool FaultInjectionCompiledIn = true;
+#else
+inline constexpr bool FaultInjectionCompiledIn = false;
+#endif
+
+/// Faults actually delivered since the last configure()/disarm().
+struct FaultCounters {
+  uint64_t TaskThrows = 0;
+  uint64_t WorkerStalls = 0;
+  uint64_t WorkerDeaths = 0;
+  uint64_t AllocFails = 0;
+  uint64_t SolverUnknowns = 0;
+
+  uint64_t total() const {
+    return TaskThrows + WorkerStalls + WorkerDeaths + AllocFails +
+           SolverUnknowns;
+  }
+};
+
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Parses \p Spec and arms the injector (replacing any previous plan and
+  /// zeroing the delivered-fault counters). Errors with UsageError on a
+  /// malformed spec or when injection is not compiled in.
+  Status configure(const std::string &Spec);
+
+  /// Drops the plan; all hooks return "no fault" until the next configure.
+  void disarm();
+
+  /// Fast path for the inline hooks: relaxed load, no fences.
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  // Site hooks (called via the inject* wrappers below). Each consumes one
+  // unit of the matching clause's fire budget when it fires.
+  bool fireTaskThrow(uint64_t Block);
+  /// Returns the stall duration in ms, or 0 when no fault fires.
+  uint64_t fireWorkerStall(unsigned Worker);
+  bool fireWorkerDeath(unsigned Worker);
+  bool fireAllocFail();
+  bool fireSolverUnknown();
+
+  FaultCounters counters() const;
+
+private:
+  FaultInjector() = default;
+
+  std::atomic<bool> Armed{false};
+
+  // Plan (written by configure under no concurrency; read by hooks).
+  uint64_t Seed = 0;
+  int64_t ThrowBlock = -1;     ///< Block id; -1 disabled, -2 any, -3 rate.
+  uint64_t ThrowThreshold = 0; ///< Rate mode: fire iff hash < threshold.
+  std::atomic<int64_t> ThrowBudget{0};
+  int64_t StallWorker = -1;
+  uint64_t StallMs = 10000;
+  std::atomic<int64_t> StallBudget{0};
+  int64_t DeathWorker = -1;
+  std::atomic<int64_t> DeathBudget{0};
+  uint64_t AllocFailAt = 0; ///< 1-based growth occurrence; 0 disabled.
+  uint64_t AllocFailCount = 0;
+  std::atomic<uint64_t> GrowOccurrence{0};
+  uint64_t SolverAt = 0; ///< 1-based query occurrence; 0 disabled.
+  uint64_t SolverCount = 0;
+  std::atomic<uint64_t> QueryOccurrence{0};
+
+  // Delivered-fault counters.
+  std::atomic<uint64_t> NumTaskThrows{0};
+  std::atomic<uint64_t> NumWorkerStalls{0};
+  std::atomic<uint64_t> NumWorkerDeaths{0};
+  std::atomic<uint64_t> NumAllocFails{0};
+  std::atomic<uint64_t> NumSolverUnknowns{0};
+};
+
+// Inline call-site wrappers: one relaxed atomic load on the common path,
+// constant false when the feature is compiled out.
+
+inline bool injectTaskThrow(uint64_t Block) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireTaskThrow(Block);
+#else
+  (void)Block;
+  return false;
+#endif
+}
+
+inline uint64_t injectWorkerStall(unsigned Worker) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() ? FI.fireWorkerStall(Worker) : 0;
+#else
+  (void)Worker;
+  return 0;
+#endif
+}
+
+inline bool injectWorkerDeath(unsigned Worker) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireWorkerDeath(Worker);
+#else
+  (void)Worker;
+  return false;
+#endif
+}
+
+inline bool injectAllocFail() {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireAllocFail();
+#else
+  return false;
+#endif
+}
+
+inline bool injectSolverUnknown() {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireSolverUnknown();
+#else
+  return false;
+#endif
+}
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_FAULTINJECTOR_H

@@ -1,0 +1,56 @@
+//===- Progress.h - Partial-progress accounting -----------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny shared ledger for runtimes that may need more than one attempt to
+/// finish their work. The multi-pass relaxation runtime (Section 8 of the
+/// paper) already tracks "instances executed per sweep"; the self-healing
+/// parallel executor needs the same shape of bookkeeping for its
+/// degradation ladder (blocks completed in the parallel phase, then blocks
+/// replayed serially after a quiesce). Both record one entry per attempt so
+/// callers can see not just *whether* a run completed but *how* — in one
+/// clean pass, or limping across several.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_PROGRESS_H
+#define SHACKLE_SUPPORT_PROGRESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// Units completed per attempt, against a known total. A "unit" is whatever
+/// the runtime retires atomically: a statement instance for the multi-pass
+/// runtime, a block for the parallel executor.
+struct ProgressLog {
+  uint64_t TotalUnits = 0;
+  uint64_t DoneUnits = 0;
+  /// Units retired by each attempt, in attempt order.
+  std::vector<uint64_t> PerAttempt;
+
+  void recordAttempt(uint64_t Units) {
+    PerAttempt.push_back(Units);
+    DoneUnits += Units;
+  }
+
+  bool complete() const { return DoneUnits == TotalUnits; }
+
+  /// "12/16 in 2 attempt(s)".
+  std::string str() const {
+    std::string S = std::to_string(DoneUnits) + "/" +
+                    std::to_string(TotalUnits) + " in " +
+                    std::to_string(PerAttempt.size()) + " attempt(s)";
+    return S;
+  }
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_PROGRESS_H

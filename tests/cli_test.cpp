@@ -75,6 +75,33 @@ TEST(Cli, UnknownBenchmarkFailsWithMessage) {
   EXPECT_NE(Out.find("unknown benchmark"), std::string::npos);
 }
 
+TEST(Cli, RunVerifiesParallelExecutionBitwise) {
+  auto [Rc, Out] = runCli("run matmul c --params=24 --block=8 --threads=4 "
+                          "--verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("mode=parallel"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
+TEST(Cli, RunStrictRefusesSerialFallbackWithExit1) {
+  // Seidel's shackle is illegal, so the plan is never parallel-ready;
+  // --strict turns the silent fallback into a refusal.
+  auto [Rc, Out] =
+      runCli("run seidel blocks --params=24,3 --threads=4 --strict");
+  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_NE(Out.find("[parallel-fallback]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("refusing serial fallback"), std::string::npos) << Out;
+}
+
+TEST(Cli, RunSolverBudgetFallbackStillExecutesWithExit0) {
+  auto [Rc, Out] = runCli("run cholesky-right stores --params=16 --block=4 "
+                          "--threads=4 --solver-budget=5 --verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("[parallel-fallback]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("mode=serial-fallback"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
 class CliFile : public ::testing::Test {
 protected:
   void SetUp() override {

@@ -26,7 +26,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <stdexcept>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -105,6 +107,41 @@ TEST(ChaseLevDeque, ConcurrentStealersGetEveryItemOnce) {
   while (D.pop(V))
     Taken[V].fetch_add(1);
   // Let thieves drain what is left (pop can lose the final-element race).
+  for (int Spin = 0; Spin < 1000000 && D.sizeEstimate() > 0; ++Spin)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &T : Thieves)
+    T.join();
+
+  for (int I = 0; I < NumItems; ++I)
+    EXPECT_EQ(Taken[I].load(), 1) << "item " << I;
+}
+
+TEST(ChaseLevDeque, GrowthMidStealKeepsEveryItemExactlyOnce) {
+  // TSan stress: a capacity-2 deque grows many times while thieves race the
+  // owner, so steals repeatedly read ring pointers that growth is retiring.
+  const int NumItems = 20000;
+  const int NumThieves = 3;
+  ChaseLevDeque<int> D(2);
+  std::atomic<bool> Stop{false};
+  std::vector<std::atomic<uint8_t>> Taken(NumItems);
+  for (auto &T : Taken)
+    T.store(0);
+
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&]() {
+      int V = -1;
+      while (!Stop.load(std::memory_order_acquire))
+        if (D.steal(V))
+          Taken[V].fetch_add(1);
+    });
+
+  for (int I = 0; I < NumItems; ++I)
+    ASSERT_TRUE(D.push(I));
+  int V = -1;
+  while (D.pop(V))
+    Taken[V].fetch_add(1);
   for (int Spin = 0; Spin < 1000000 && D.sizeEstimate() > 0; ++Spin)
     std::this_thread::yield();
   Stop.store(true, std::memory_order_release);
@@ -229,6 +266,142 @@ TEST(Scheduler, RefusesInconsistentInDegrees) {
   EXPECT_FALSE(runTaskDag(2, Succs, Wrong, 2,
                           [&](uint32_t, unsigned) { Ran.fetch_add(1); }));
   EXPECT_EQ(Ran.load(), 0);
+}
+
+TEST(Scheduler, WideFanOutForcesDequeGrowthUnderContention) {
+  // TSan stress: one root releases 4096 successors in a single completion,
+  // overflowing the finishing worker's deque capacity (N/workers + 64) and
+  // forcing growth while seven other workers steal from it.
+  const std::size_t N = 4097;
+  std::vector<std::vector<uint32_t>> Succs(N);
+  for (uint32_t V = 1; V < N; ++V)
+    Succs[0].push_back(V);
+  std::vector<std::atomic<uint32_t>> Ran(N);
+  for (auto &R : Ran)
+    R.store(0);
+  DagRunStats Stats;
+  ASSERT_TRUE(runTaskDag(
+      N, Succs, inDegreesOf(N, Succs), 8,
+      [&](uint32_t T, unsigned) { Ran[T].fetch_add(1); }, &Stats));
+  EXPECT_EQ(Stats.TasksRun, N);
+  for (std::size_t T = 0; T < N; ++T)
+    ASSERT_EQ(Ran[T].load(), 1u) << "task " << T;
+}
+
+TEST(Scheduler, WavefrontNarrowWideAlternationParksAndWakesCleanly) {
+  // TSan stress: layers alternate between 1 task (every other worker must
+  // park) and 8 tasks (one per worker), hammering the park/wake protocol.
+  const unsigned Layers = 40;
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<uint32_t> LayerStart;
+  uint32_t Next = 0;
+  for (unsigned L = 0; L < Layers; ++L) {
+    LayerStart.push_back(Next);
+    Next += (L % 2 == 0) ? 1 : 8;
+  }
+  const std::size_t N = Next;
+  Succs.resize(N);
+  for (unsigned L = 0; L + 1 < Layers; ++L) {
+    uint32_t W = (L % 2 == 0) ? 1 : 8;
+    uint32_t WN = ((L + 1) % 2 == 0) ? 1 : 8;
+    for (uint32_t A = 0; A < W; ++A)
+      for (uint32_t B = 0; B < WN; ++B)
+        Succs[LayerStart[L] + A].push_back(LayerStart[L + 1] + B);
+  }
+  OrderRecorder R;
+  DagRunStats Stats;
+  ASSERT_TRUE(runTaskDag(
+      N, Succs, inDegreesOf(N, Succs), 8,
+      [&](uint32_t T, unsigned) { R.record(T); }, &Stats));
+  EXPECT_EQ(R.Order.size(), N);
+  EXPECT_TRUE(R.respects(Succs));
+}
+
+TEST(Scheduler, PartialRunReportsExactlyTheUnfinishedSuffix) {
+  // Chain 0->1->2->3->4; task 2 fails. Tasks 0 and 1 complete, 2 fails,
+  // 3 and 4 are never released — the completion map says exactly that.
+  const std::size_t N = 5;
+  std::vector<std::vector<uint32_t>> Succs(N);
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    Succs[I].push_back(I + 1);
+  std::atomic<uint32_t> Ran{0};
+  DagRunOptions Opts;
+  Opts.NumThreads = 4;
+  DagRunResult Result = runTaskDagPartial(
+      N, Succs, inDegreesOf(N, Succs), Opts, [&](uint32_t T, unsigned) {
+        Ran.fetch_add(1);
+        return T != 2;
+      });
+  ASSERT_FALSE(Result.Refused);
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_EQ(Result.Stats.Abort, DagAbort::TaskFailed);
+  EXPECT_EQ(Result.Stats.TaskFailures, 1u);
+  ASSERT_EQ(Result.TaskDone.size(), N);
+  EXPECT_TRUE(Result.TaskDone[0]);
+  EXPECT_TRUE(Result.TaskDone[1]);
+  EXPECT_FALSE(Result.TaskDone[2]);
+  EXPECT_FALSE(Result.TaskDone[3]);
+  EXPECT_FALSE(Result.TaskDone[4]);
+  EXPECT_EQ(Ran.load(), 3u); // 0, 1, and the failing 2; never 3 or 4.
+}
+
+TEST(Scheduler, PartialRunThrownExceptionQuiescesLikeAFailure) {
+  std::vector<std::vector<uint32_t>> Succs = {{1}, {}};
+  DagRunOptions Opts;
+  Opts.NumThreads = 2;
+  DagRunResult Result = runTaskDagPartial(
+      2, Succs, inDegreesOf(2, Succs), Opts,
+      [&](uint32_t, unsigned) -> bool { throw std::runtime_error("boom"); });
+  ASSERT_FALSE(Result.Refused);
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_EQ(Result.Stats.Abort, DagAbort::TaskFailed);
+  EXPECT_FALSE(Result.TaskDone[0]);
+  EXPECT_FALSE(Result.TaskDone[1]);
+}
+
+TEST(Scheduler, PartialRunRefusesCyclesLikeTheStrictWrapper) {
+  std::vector<std::vector<uint32_t>> Succs = {{1}, {2}, {0}};
+  DagRunOptions Opts;
+  Opts.NumThreads = 2;
+  std::atomic<int> Ran{0};
+  DagRunResult Result =
+      runTaskDagPartial(3, Succs, inDegreesOf(3, Succs), Opts,
+                        [&](uint32_t, unsigned) {
+                          Ran.fetch_add(1);
+                          return true;
+                        });
+  EXPECT_TRUE(Result.Refused);
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_EQ(Ran.load(), 0);
+}
+
+TEST(Scheduler, DeadlineAbortsARunThatCannotFinishInTime) {
+  // A chain of tasks that each sleep: the deadline fires mid-run and the
+  // completion map records a strict prefix.
+  const std::size_t N = 64;
+  std::vector<std::vector<uint32_t>> Succs(N);
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    Succs[I].push_back(I + 1);
+  DagRunOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.DeadlineMs = 40;
+  DagRunResult Result = runTaskDagPartial(
+      N, Succs, inDegreesOf(N, Succs), Opts, [&](uint32_t, unsigned) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return true;
+      });
+  ASSERT_FALSE(Result.Refused);
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_EQ(Result.Stats.Abort, DagAbort::Deadline);
+  uint64_t Done = 0;
+  for (uint8_t D : Result.TaskDone)
+    Done += D;
+  EXPECT_GT(Done, 0u);
+  EXPECT_LT(Done, N);
+  // Chain: completion must be a prefix (failed tasks release no successors).
+  for (std::size_t T = 1; T < N; ++T)
+    if (Result.TaskDone[T])
+      EXPECT_TRUE(Result.TaskDone[T - 1]) << "task " << T;
 }
 
 TEST(Scheduler, HandlesEmptyAndSingletonDags) {
@@ -372,6 +545,13 @@ TEST(BlockPartition, SerialSegmentReplayMatchesFullNest) {
 // ParallelPlan: end-to-end determinism
 //===----------------------------------------------------------------------===//
 
+bool hasParallelFallbackDiag(const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags)
+    if (D.Code == DiagCode::ParallelFallback)
+      return true;
+  return false;
+}
+
 /// Runs Spec's Chain in parallel with every thread count and checks the
 /// result is bitwise-identical to the serial shackled execution.
 void expectDeterministic(const BenchSpec &Spec, const ShackleChain &Chain,
@@ -464,6 +644,55 @@ TEST(ParallelPlan, IllegalShackleFallsBackToSerialAndStaysCorrect) {
   Par.buffer(0) = Ref.buffer(0);
   runLoopNest(generateOriginalCode(P), Ref);
   ParallelRunStats Stats = Plan.run(Par, 8);
+  EXPECT_EQ(Stats.Mode, ParallelMode::SerialFallback);
+  EXPECT_TRUE(Ref.bitwiseEqual(Par));
+}
+
+TEST(ParallelPlan, TinySolverBudgetFallsBackAcrossTheTierBoundary) {
+  // With a starved solver the legality check cannot prove the shackle, so
+  // the plan crosses the tier boundary down to Original code, diagnoses
+  // the fallback, and still computes the right answer serially.
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ParallelPlanOptions Opts;
+  Opts.Budget.MaxWorkUnits = 5;
+  ParallelPlan Plan =
+      ParallelPlan::build(P, choleskyShackleStores(P, 4), {16}, Opts);
+  EXPECT_FALSE(Plan.parallelReady());
+  EXPECT_TRUE(hasParallelFallbackDiag(Plan.diags())) << Plan.summary();
+
+  ProgramInstance Ref(P, {16}), Par(P, {16});
+  Ref.fillRandom(5, 0.5, 1.5);
+  for (double &V : Ref.buffer(0))
+    V += 1.0;
+  Par.buffer(0) = Ref.buffer(0);
+  runLoopNest(generateOriginalCode(P), Ref);
+  ParallelRunStats Stats = Plan.run(Par, 4);
+  EXPECT_EQ(Stats.Mode, ParallelMode::SerialFallback);
+  EXPECT_TRUE(Ref.bitwiseEqual(Par));
+}
+
+TEST(ParallelPlan, EdgeCapHitKeepsTheProvenTierButRunsSerially) {
+  // MaxEdges=1 makes the DAG unusable (EdgeCapHit -> not acyclic), but the
+  // shackle itself is proven legal: the plan keeps the shackled nest and
+  // runs it serially in traversal order, bitwise-equal to runSerial.
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ParallelPlanOptions Opts;
+  Opts.MaxEdges = 1;
+  ParallelPlan Plan =
+      ParallelPlan::build(P, choleskyShackleStores(P, 4), {16}, Opts);
+  EXPECT_FALSE(Plan.parallelReady());
+  EXPECT_EQ(Plan.tier(), CodegenTier::Shackled);
+  EXPECT_TRUE(hasParallelFallbackDiag(Plan.diags())) << Plan.summary();
+
+  ProgramInstance Ref(P, {16}), Par(P, {16});
+  Ref.fillRandom(5, 0.5, 1.5);
+  for (double &V : Ref.buffer(0))
+    V += 1.0;
+  Par.buffer(0) = Ref.buffer(0);
+  Plan.runSerial(Ref);
+  ParallelRunStats Stats = Plan.run(Par, 4);
   EXPECT_EQ(Stats.Mode, ParallelMode::SerialFallback);
   EXPECT_TRUE(Ref.bitwiseEqual(Par));
 }

@@ -29,6 +29,7 @@
 #include "parallel/ParallelExecutor.h"
 #include "programs/Benchmarks.h"
 #include "runtime/MultiPass.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <chrono>
@@ -129,6 +130,9 @@ int usage() {
       "--params=N[,bw]\n"
       "  shackle run      <benchmark> <config> [--block=N] --params=N[,..]\n"
       "      [--threads=N] [--verify]   (parallel block execution)\n"
+      "      [--max-retries=N] [--deadline-ms=N] [--stall-ms=N]\n"
+      "      [--inject=SPEC]            (chaos: deterministic faults;\n"
+      "       e.g. --inject='throw@block=2;seed=7', see docs/CLI.md)\n"
       "  shackle file <path> print\n"
       "  shackle file <path> {legality|codegen|emit} --array=NAME\n"
       "      [--block=B1[,B2...]] [--order=colblocks] [--reversed] "
@@ -159,6 +163,8 @@ int exitCodeFor(const Diagnostic &D) {
   case DiagCode::ScanFailed:
   case DiagCode::UsageError:
   case DiagCode::ParallelFallback:
+  case DiagCode::ParallelFault:
+  case DiagCode::ParallelDegrade:
     return 1;
   }
   return 1;
@@ -191,6 +197,15 @@ int64_t flagValue(int Argc, char **Argv, const char *Name, int64_t Default) {
   for (int I = 0; I < Argc; ++I)
     if (std::strncmp(Argv[I], Prefix.c_str(), Prefix.size()) == 0)
       return std::atoll(Argv[I] + Prefix.size());
+  return Default;
+}
+
+std::string flagString(int Argc, char **Argv, const char *Name,
+                       const char *Default = "") {
+  std::string Prefix = std::string("--") + Name + "=";
+  for (int I = 0; I < Argc; ++I)
+    if (std::strncmp(Argv[I], Prefix.c_str(), Prefix.size()) == 0)
+      return Argv[I] + Prefix.size();
   return Default;
 }
 
@@ -568,6 +583,28 @@ int main(int Argc, char **Argv) {
     }
     unsigned Threads = static_cast<unsigned>(
         std::max<int64_t>(1, flagValue(Argc, Argv, "threads", 1)));
+
+    // Chaos flags. The injector must be armed before the plan is built so
+    // that solver-unknown faults can hit the dependence analysis.
+    std::string InjectSpec = flagString(Argc, Argv, "inject");
+    if (!InjectSpec.empty()) {
+      Status S = FaultInjector::instance().configure(InjectSpec);
+      if (!S.ok()) {
+        std::fprintf(stderr, "%s\n", S.diagnostic().str().c_str());
+        return exitCodeFor(S.diagnostic());
+      }
+    }
+    ParallelRunOptions RunOpts;
+    RunOpts.NumThreads = Threads;
+    RunOpts.MaxRetries = static_cast<unsigned>(
+        std::max<int64_t>(0, flagValue(Argc, Argv, "max-retries", 2)));
+    RunOpts.DeadlineMs = static_cast<uint64_t>(
+        std::max<int64_t>(0, flagValue(Argc, Argv, "deadline-ms", 0)));
+    // Default a stall watchdog on whenever faults are armed, so that an
+    // injected worker stall or death degrades instead of hanging the run.
+    RunOpts.StallTimeoutMs = static_cast<uint64_t>(std::max<int64_t>(
+        0, flagValue(Argc, Argv, "stall-ms", InjectSpec.empty() ? 0 : 250)));
+
     ParallelPlanOptions Opts;
     Opts.Budget = budgetFromFlags(Argc, Argv);
     ParallelPlan Plan = ParallelPlan::build(P, Chain, Params, Opts);
@@ -583,15 +620,33 @@ int main(int Argc, char **Argv) {
     ProgramInstance Inst(P, Params);
     Inst.fillRandom(1, 0.5, 1.5);
     auto Start = std::chrono::steady_clock::now();
-    ParallelRunStats Stats = Plan.run(Inst, Threads);
+    ParallelRunStats Stats = Plan.run(Inst, RunOpts);
     auto End = std::chrono::steady_clock::now();
     double Ms =
         std::chrono::duration<double, std::milli>(End - Start).count();
+    for (const Diagnostic &D : Stats.Diags)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
     std::printf("ran %llu block task(s) on %u thread(s) in %.2f ms "
                 "(mode=%s, steals=%llu)\n",
                 static_cast<unsigned long long>(Stats.BlocksRun),
                 Stats.ThreadsUsed, Ms, parallelModeName(Stats.Mode),
                 static_cast<unsigned long long>(Stats.Steals));
+    if (Stats.Faults || Stats.Retries || Stats.ReplayedSerially)
+      std::printf("faults=%llu retries=%llu replayed-serially=%llu "
+                  "progress=%s\n",
+                  static_cast<unsigned long long>(Stats.Faults),
+                  static_cast<unsigned long long>(Stats.Retries),
+                  static_cast<unsigned long long>(Stats.ReplayedSerially),
+                  Stats.Progress.str().c_str());
+    for (std::size_t B = 0; B < Stats.RetriesPerBlock.size(); ++B)
+      if (Stats.RetriesPerBlock[B])
+        std::printf("  block #%zu: %u retr%s\n", B, Stats.RetriesPerBlock[B],
+                    Stats.RetriesPerBlock[B] == 1 ? "y" : "ies");
+    if (Stats.Failed) {
+      std::fprintf(stderr, "run: a block failed every recovery attempt; "
+                           "results are unreliable\n");
+      return 1;
+    }
     if (Spec.Flops)
       std::printf("%.1f MFlops\n", Spec.Flops(Params) / (Ms * 1e3));
     if (hasFlag(Argc, Argv, "verify")) {
