@@ -145,6 +145,18 @@ inline void setBenchMeta(benchmark::State &St, int64_t N, int64_t Block,
   St.counters["threads"] = benchmark::Counter(static_cast<double>(Threads));
 }
 
+/// Tags a parallel-plan benchmark with its dependence-DAG shape and build
+/// cost: node count (tasks), edge count, and the DAG construction time in
+/// milliseconds. The JSON sink emits these per record, so flat vs
+/// hierarchical coarsening (nodes ratio, build-time ratio) can be diffed
+/// directly from the sweep output.
+inline void setDagStats(benchmark::State &St, double Nodes, double Edges,
+                        double DagBuildMs) {
+  St.counters["nodes"] = benchmark::Counter(Nodes);
+  St.counters["edges"] = benchmark::Counter(Edges);
+  St.counters["dag_build_ms"] = benchmark::Counter(DagBuildMs);
+}
+
 /// A ConsoleReporter that also collects one record per completed run, for
 /// the --json flag. Aggregates (mean/median of repetitions) are skipped;
 /// each raw run is one record.
@@ -154,6 +166,10 @@ public:
     std::string Name;
     int64_t N = 0, Block = 0, Threads = 0;
     double NsPerIter = 0.0;
+    /// Dependence-DAG shape for parallel-plan benchmarks (0 when the
+    /// benchmark does not set them via setDagStats).
+    int64_t Nodes = 0, Edges = 0;
+    double DagBuildMs = 0.0;
   };
   std::vector<Record> Records;
 
@@ -173,6 +189,12 @@ public:
       Rec.N = Counter("n");
       Rec.Block = Counter("block");
       Rec.Threads = Counter("threads");
+      Rec.Nodes = Counter("nodes");
+      Rec.Edges = Counter("edges");
+      {
+        auto It = R.counters.find("dag_build_ms");
+        Rec.DagBuildMs = It == R.counters.end() ? 0.0 : It->second.value;
+      }
       Rec.NsPerIter = R.real_accumulated_time /
                       static_cast<double>(R.iterations) * 1e9;
       Records.push_back(std::move(Rec));
@@ -201,11 +223,15 @@ inline bool writeJsonRecords(const char *Path,
   for (size_t I = 0; I < Rs.size(); ++I)
     std::fprintf(F,
                  "  {\"name\": \"%s\", \"n\": %lld, \"block\": %lld, "
-                 "\"threads\": %lld, \"ns_per_iter\": %.3f}%s\n",
+                 "\"threads\": %lld, \"ns_per_iter\": %.3f, "
+                 "\"nodes\": %lld, \"edges\": %lld, "
+                 "\"dag_build_ms\": %.3f}%s\n",
                  jsonEscape(Rs[I].Name).c_str(),
                  static_cast<long long>(Rs[I].N),
                  static_cast<long long>(Rs[I].Block),
                  static_cast<long long>(Rs[I].Threads), Rs[I].NsPerIter,
+                 static_cast<long long>(Rs[I].Nodes),
+                 static_cast<long long>(Rs[I].Edges), Rs[I].DagBuildMs,
                  I + 1 < Rs.size() ? "," : "");
   std::fprintf(F, "]\n");
   std::fclose(F);

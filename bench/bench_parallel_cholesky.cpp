@@ -66,6 +66,8 @@ void BM_ParallelCholesky(benchmark::State &St) {
   St.counters["critical-path"] = benchmark::Counter(
       static_cast<double>(Plan.graph().criticalPathLength()));
   setBenchMeta(St, N, Block, Threads);
+  setDagStats(St, static_cast<double>(Plan.graph().numBlocks()),
+              static_cast<double>(Plan.graph().NumEdges), Plan.dagBuildMs());
 }
 
 void ThreadSweep(benchmark::internal::Benchmark *B) {

@@ -61,6 +61,8 @@ void BM_ParallelMMM(benchmark::State &St) {
   St.counters["MFlop/s"] = benchmark::Counter(
       mmmFlops(N) * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
   setBenchMeta(St, N, Block, Threads);
+  setDagStats(St, static_cast<double>(Plan.graph().numBlocks()),
+              static_cast<double>(Plan.graph().NumEdges), Plan.dagBuildMs());
 }
 
 void ThreadSweep(benchmark::internal::Benchmark *B) {

@@ -1,0 +1,146 @@
+//===- bench_parallel_mmm_multilevel.cpp - Hierarchical task graphs ------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the DAG-coarsening win of hierarchical task graphs on the
+// paper's two-level MMM chain (Figure 10: (C x A)@Outer x (C x A)@Inner).
+//
+// BM_MultilevelPlanBuild times ParallelPlan::build at task levels 0 (flat:
+// one task per innermost block, the DAG ranges over all 8 block
+// coordinates) and 2 (hierarchical: one task per *outer* block, inner
+// levels replayed serially inside the task) and reports nodes / edges /
+// dag_build_ms per configuration, so the coarsening ratio is measured from
+// the JSON records rather than asserted. At {N=1024, Outer=256, Inner=64}
+// the flat partition has 4096 tasks and the level-2 partition 64 - the
+// acceptance bar is a >= 8x node reduction.
+//
+// BM_MultilevelExec times execution (plan built outside the timed region)
+// flat vs hierarchical across a thread sweep at a small interpreter-
+// friendly size, showing that coarsening does not cost execution-side
+// parallelism when tasks >> threads.
+//
+// `--json out.json` records {name, n, block, threads, ns_per_iter, nodes,
+// edges, dag_build_ms}; `block` carries the outer block size and the task
+// level is in the benchmark name (third argument).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "interp/Interpreter.h"
+#include "parallel/ParallelExecutor.h"
+#include "programs/Benchmarks.h"
+
+using namespace shackle;
+using namespace shackle_bench;
+
+namespace {
+
+double mmmFlops(int64_t N) {
+  double Nd = static_cast<double>(N);
+  return 2.0 * Nd * Nd * Nd;
+}
+
+/// Args: {N, Outer, TaskLevel}; Inner is Outer/4 (clamped to >= 2) so every
+/// outer block splits into a 4x4 grid of inner blocks.
+void BM_MultilevelPlanBuild(benchmark::State &St) {
+  int64_t N = St.range(0);
+  int64_t Outer = St.range(1);
+  unsigned Level = static_cast<unsigned>(St.range(2));
+  int64_t Inner = Outer >= 8 ? Outer / 4 : 2;
+
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = mmmShackleTwoLevel(P, Outer, Inner);
+
+  ParallelPlanOptions Opts;
+  Opts.TaskLevel = Level;
+  ParallelPlan Last = ParallelPlan::build(P, Chain, {N}, Opts);
+  for (auto _ : St) {
+    ParallelPlan Plan = ParallelPlan::build(P, Chain, {N}, Opts);
+    benchmark::DoNotOptimize(Plan.parallelReady());
+    Last = std::move(Plan);
+  }
+  if (!Last.parallelReady()) {
+    St.SkipWithError("plan not parallel-ready");
+    return;
+  }
+  setBenchMeta(St, N, Outer, /*Threads=*/0);
+  setDagStats(St, static_cast<double>(Last.graph().numBlocks()),
+              static_cast<double>(Last.graph().NumEdges), Last.dagBuildMs());
+}
+
+/// Args: {N, Outer, TaskLevel, Threads}. Plan built once outside the timed
+/// region; the timed region is pure (interpreted) block execution.
+void BM_MultilevelExec(benchmark::State &St) {
+  int64_t N = St.range(0);
+  int64_t Outer = St.range(1);
+  unsigned Level = static_cast<unsigned>(St.range(2));
+  unsigned Threads = static_cast<unsigned>(St.range(3));
+  int64_t Inner = Outer >= 8 ? Outer / 4 : 2;
+
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlanOptions Opts;
+  Opts.TaskLevel = Level;
+  ParallelPlan Plan =
+      ParallelPlan::build(P, mmmShackleTwoLevel(P, Outer, Inner), {N}, Opts);
+  if (!Plan.parallelReady()) {
+    St.SkipWithError("plan not parallel-ready");
+    return;
+  }
+
+  ProgramInstance Init(P, {N});
+  Init.fillRandom(41, 0.5, 1.5);
+  ProgramInstance Inst = Init;
+  for (auto _ : St) {
+    St.PauseTiming();
+    for (unsigned A = 0; A < P.getNumArrays(); ++A)
+      Inst.buffer(A) = Init.buffer(A);
+    St.ResumeTiming();
+    Plan.run(Inst, Threads);
+    benchmark::ClobberMemory();
+  }
+  St.counters["MFlop/s"] = benchmark::Counter(
+      mmmFlops(N) * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+  setBenchMeta(St, N, Outer, Threads);
+  setDagStats(St, static_cast<double>(Plan.graph().numBlocks()),
+              static_cast<double>(Plan.graph().NumEdges), Plan.dagBuildMs());
+}
+
+void PlanSweep(benchmark::internal::Benchmark *B) {
+  for (int64_t Level : {0, 1, 2}) {
+    B->Args({256, 64, Level});
+    B->Args({512, 128, Level});
+    // The acceptance configuration: flat = 4096 tasks over 8 block
+    // coordinates, level 2 = 64 outer tasks (a 64x node reduction).
+    B->Args({1024, 256, Level});
+  }
+}
+
+void ExecSweep(benchmark::internal::Benchmark *B) {
+  for (int64_t Threads : {1, 2, 4, 8})
+    for (int64_t Level : {0, 2})
+      B->Args({64, 16, Level, Threads});
+}
+
+} // namespace
+
+BENCHMARK(BM_MultilevelPlanBuild)
+    ->Apply(PlanSweep)
+    ->MinTime(0.01)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+BENCHMARK(BM_MultilevelExec)
+    ->Apply(ExecSweep)
+    ->MinTime(0.01)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+SHACKLE_BENCH_MAIN()

@@ -87,6 +87,15 @@ unsigned ShackleChain::numBlockDims() const {
   return Total;
 }
 
+unsigned ShackleChain::numBlockDimsPrefix(unsigned NumFactors) const {
+  if (NumFactors == 0 || NumFactors > Factors.size())
+    NumFactors = Factors.size();
+  unsigned Total = 0;
+  for (unsigned I = 0; I < NumFactors; ++I)
+    Total += Factors[I].Blocking.Planes.size();
+  return Total;
+}
+
 std::vector<std::string> ShackleChain::blockDimNames() const {
   std::vector<std::string> Names;
   for (unsigned I = 0, E = numBlockDims(); I < E; ++I)

@@ -82,6 +82,11 @@ struct ShackleChain {
   /// Total number of block coordinates contributed by all factors.
   unsigned numBlockDims() const;
 
+  /// Block coordinates contributed by the first \p NumFactors factors -
+  /// the task-level prefix of a hierarchical chain. 0 (or any value past
+  /// the chain length) means the whole chain, i.e. numBlockDims().
+  unsigned numBlockDimsPrefix(unsigned NumFactors) const;
+
   /// Names for the block coordinate dimensions: b1, b2, ...
   std::vector<std::string> blockDimNames() const;
 };

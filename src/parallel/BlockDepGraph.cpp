@@ -18,7 +18,7 @@
 using namespace shackle;
 
 bool BlockDepGraph::acyclic() const {
-  if (EdgeCapHit)
+  if (EdgeCapHit || WorkCapHit)
     return false;
   std::vector<uint32_t> Deg = InDegree;
   std::vector<uint32_t> Queue;
@@ -111,11 +111,18 @@ struct SignSearch {
 std::vector<std::vector<int>>
 shackle::blockDependenceSigns(const Program &P, const ShackleChain &Chain,
                               const std::vector<int64_t> &ParamValues,
-                              const SolverBudget &Budget, bool *SawUnknown) {
+                              const SolverBudget &Budget, bool *SawUnknown,
+                              unsigned NumFactors) {
   assert(!Chain.Factors.empty() && "empty shackle chain");
   assert(ParamValues.size() == P.getNumParams() &&
          "one value per program parameter");
-  unsigned M = Chain.numBlockDims();
+  if (NumFactors == 0 || NumFactors > Chain.Factors.size())
+    NumFactors = static_cast<unsigned>(Chain.Factors.size());
+  // Hierarchical projection: only the first NumFactors factors' block
+  // coordinates enter the problem. Each omitted inner coordinate is
+  // functionally determined by variables that remain, so leaving out its
+  // defining constraints is an exact projection (see the header comment).
+  unsigned M = Chain.numBlockDimsPrefix(NumFactors);
   std::set<std::vector<int>> Found;
   bool Unknown = false;
 
@@ -142,7 +149,8 @@ shackle::blockDependenceSigns(const Program &P, const ShackleChain &Chain,
       DstMap[Dst.LoopVars[K]] = static_cast<int>(DP.DstOffset + K);
 
     unsigned Z = 0;
-    for (const DataShackle &F : Chain.Factors) {
+    for (unsigned FI = 0; FI < NumFactors; ++FI) {
+      const DataShackle &F = Chain.Factors[FI];
       for (unsigned Pl = 0; Pl < F.Blocking.Planes.size(); ++Pl, ++Z) {
         addBlockLinkConstraints(Poly, P, F, Pl, DP.SrcStmt, ZSrc[Z], SrcMap);
         addBlockLinkConstraints(Poly, P, F, Pl, DP.DstStmt, ZDst[Z], DstMap);
@@ -188,14 +196,16 @@ shackle::buildBlockDepGraph(const Program &P, const ShackleChain &Chain,
                             const std::vector<std::vector<int64_t>> &Blocks,
                             const BlockDepGraphOptions &Opts) {
   BlockDepGraph G;
-  G.NumBlockDims = Chain.numBlockDims();
+  G.NumBlockDims = Chain.numBlockDimsPrefix(Opts.TaskFactors);
   G.Coords = Blocks;
   G.Succs.assign(Blocks.size(), {});
   G.InDegree.assign(Blocks.size(), 0);
   assert(G.NumBlockDims <= 32 && "sign packing supports up to 32 block dims");
+  assert((Blocks.empty() || Blocks.front().size() == G.NumBlockDims) &&
+         "block tuples must match the selected factor prefix");
 
   G.SignPatterns = blockDependenceSigns(P, Chain, ParamValues, Opts.Budget,
-                                        &G.Conservative);
+                                        &G.Conservative, Opts.TaskFactors);
   if (G.SignPatterns.empty() || Blocks.empty())
     return G; // Fully parallel: every block is independent.
 
@@ -205,8 +215,13 @@ shackle::buildBlockDepGraph(const Program &P, const ShackleChain &Chain,
 
   unsigned M = G.NumBlockDims;
   std::vector<int> Diff(M), NegDiff(M);
-  for (std::size_t U = 0; U < Blocks.size() && !G.EdgeCapHit; ++U) {
+  for (std::size_t U = 0;
+       U < Blocks.size() && !G.EdgeCapHit && !G.WorkCapHit; ++U) {
     for (std::size_t V = U + 1; V < Blocks.size(); ++V) {
+      if (++G.PairVisits > Opts.MaxPairVisits) {
+        G.WorkCapHit = true;
+        break;
+      }
       for (unsigned D = 0; D < M; ++D) {
         int S = signOf(Blocks[V][D] - Blocks[U][D]);
         Diff[D] = S;

@@ -31,6 +31,21 @@
 /// can only arise from Unknown verdicts or unchecked shackles; callers must
 /// test acyclic() and fall back to serial execution.
 ///
+/// Hierarchical chains build the DAG over the *outer* factors only
+/// (TaskFactors): the inner factors' block coordinates are projected away
+/// before the sign-pattern search by simply not appending their variables
+/// or block-link constraints. The projection is exact - each omitted
+/// coordinate is functionally determined (z = floor(e / B)) by variables
+/// that stay in the problem, so dropping its defining constraints never
+/// changes which outer-coordinate patterns are feasible. Every feasible
+/// full-chain pattern therefore projects to a feasible prefix pattern:
+/// coarsening loses no dependence (edges between tasks survive; a
+/// dependence whose outer signs are all zero stays inside one task, where
+/// the serially replayed inner levels honor it by program order). Prefixes
+/// of lexicographically non-negative vectors are lexicographically
+/// non-negative or all-zero, so the hierarchical DAG of a proven-legal
+/// chain is acyclic by the same Theorem 1 argument.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHACKLE_PARALLEL_BLOCKDEPGRAPH_H
@@ -51,6 +66,15 @@ struct BlockDepGraphOptions {
   /// Edge-count ceiling: a graph too dense to be worth scheduling (the
   /// worst case is quadratic in blocks) stops early with EdgeCapHit set.
   uint64_t MaxEdges = 8ull << 20;
+  /// Number of leading chain factors whose block coordinates form the
+  /// graph's nodes. 0 = all factors (the flat graph). The supplied Blocks
+  /// tuples must have exactly that many coordinates.
+  unsigned TaskFactors = 0;
+  /// Work ceiling on the quadratic pair scan (same philosophy as the
+  /// SolverBudget): construction stops with WorkCapHit set once this many
+  /// block pairs have been examined, so a flat partition of a deep chain
+  /// degrades to serial execution instead of scanning for minutes.
+  uint64_t MaxPairVisits = 1ull << 30;
 };
 
 /// Dependence DAG over the touched blocks of one shackled execution.
@@ -74,10 +98,15 @@ struct BlockDepGraph {
   /// True when MaxEdges tripped; Succs/InDegree are then incomplete and
   /// the graph must not be used for scheduling.
   bool EdgeCapHit = false;
+  /// True when MaxPairVisits tripped; like EdgeCapHit, the graph is
+  /// incomplete and must not be used for scheduling.
+  bool WorkCapHit = false;
+  /// Block pairs examined by the edge scan (work accounting).
+  uint64_t PairVisits = 0;
 
   std::size_t numBlocks() const { return Coords.size(); }
 
-  /// Kahn check. An EdgeCapHit graph reports false (unusable).
+  /// Kahn check. An EdgeCapHit or WorkCapHit graph reports false (unusable).
   bool acyclic() const;
 
   /// Length of the longest path + 1 (the critical-path lower bound on
@@ -87,15 +116,19 @@ struct BlockDepGraph {
 
 /// Computes the feasible sign patterns of the block-coordinate difference
 /// for every dependence of \p P under shackle chain \p Chain, with the
-/// program parameters pinned to \p ParamValues. Exposed separately for
-/// testing; buildBlockDepGraph calls it.
+/// program parameters pinned to \p ParamValues. A nonzero \p NumFactors
+/// restricts the search to the first NumFactors factors' coordinates (the
+/// hierarchical projection described in the file comment). Exposed
+/// separately for testing; buildBlockDepGraph calls it.
 std::vector<std::vector<int>>
 blockDependenceSigns(const Program &P, const ShackleChain &Chain,
                      const std::vector<int64_t> &ParamValues,
-                     const SolverBudget &Budget, bool *SawUnknown = nullptr);
+                     const SolverBudget &Budget, bool *SawUnknown = nullptr,
+                     unsigned NumFactors = 0);
 
 /// Builds the dependence DAG over \p Blocks (the touched block coordinate
-/// tuples in traversal order, e.g. from partitionLoopNestByBlocks).
+/// tuples in traversal order, e.g. from partitionLoopNestByBlocks; outer
+/// prefix tuples when Opts.TaskFactors selects a hierarchical level).
 BlockDepGraph
 buildBlockDepGraph(const Program &P, const ShackleChain &Chain,
                    const std::vector<int64_t> &ParamValues,

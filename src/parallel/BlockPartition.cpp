@@ -19,6 +19,7 @@ struct Walker {
   const LoopNest &Nest;
   unsigned BlockBase;  ///< First block dim (== Nest.NumParams).
   unsigned SchedBase;  ///< First intra-block dim (== BlockBase + M).
+  uint64_t MaxTasks;   ///< 0 = unbounded.
   BlockPartition &Out;
 
   std::vector<int64_t> DimValues;
@@ -30,9 +31,11 @@ struct Walker {
 
   bool Failed = false;
 
-  Walker(const LoopNest &Nest, unsigned M, BlockPartition &Out)
+  Walker(const LoopNest &Nest, unsigned M, uint64_t MaxTasks,
+         BlockPartition &Out)
       : Nest(Nest), BlockBase(Nest.NumParams), SchedBase(Nest.NumParams + M),
-        Out(Out), DimValues(Nest.NumDims, 0), Bound(Nest.NumDims, false) {}
+        MaxTasks(MaxTasks), Out(Out), DimValues(Nest.NumDims, 0),
+        Bound(Nest.NumDims, false) {}
 
   void fail(const std::string &Why) {
     if (!Failed) {
@@ -77,6 +80,12 @@ struct Walker {
     auto [It, Inserted] =
         TaskIndex.try_emplace(std::move(Coords), Out.Tasks.size());
     if (Inserted) {
+      if (MaxTasks && Out.Tasks.size() >= MaxTasks) {
+        fail("block task count exceeds the cap of " +
+             std::to_string(MaxTasks) +
+             " (partition too fine; coarsen with a higher task level)");
+        return;
+      }
       Out.Tasks.emplace_back();
       Out.Tasks.back().Coords.assign(DimValues.begin() + BlockBase,
                                      DimValues.begin() + SchedBase);
@@ -161,7 +170,8 @@ struct Walker {
 
 BlockPartition
 shackle::partitionLoopNestByBlocks(const LoopNest &Nest, unsigned NumBlockDims,
-                                   const std::vector<int64_t> &ParamValues) {
+                                   const std::vector<int64_t> &ParamValues,
+                                   uint64_t MaxTasks) {
   BlockPartition Out;
   Out.NumBlockDims = NumBlockDims;
   if (ParamValues.size() != Nest.NumParams) {
@@ -172,7 +182,7 @@ shackle::partitionLoopNestByBlocks(const LoopNest &Nest, unsigned NumBlockDims,
     Out.FailReason = "nest has fewer dims than params + block dims";
     return Out;
   }
-  Walker W(Nest, NumBlockDims, Out);
+  Walker W(Nest, NumBlockDims, MaxTasks, Out);
   for (unsigned V = 0; V < Nest.NumParams; ++V)
     W.DimValues[V] = ParamValues[V];
   for (const ASTNodePtr &N : Nest.Roots) {

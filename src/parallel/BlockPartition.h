@@ -16,6 +16,13 @@
 /// block's segments can come from different subtrees; they are recorded in
 /// serial execution order and must run in that order within the block.
 ///
+/// Hierarchical chains partition the same way with a *prefix* of the block
+/// dimensions: passing the outer factors' dimension count makes the inner
+/// factors' block loops part of the recorded segments, so one task covers a
+/// whole outer block and replays its inner shackle levels serially in the
+/// original shackled order. Nothing else changes - the walk only binds the
+/// dimensions it is told are task coordinates.
+///
 /// The walk is purely structural: it never executes statements and never
 /// touches array storage, so the resulting partition is immutable shared
 /// input for any number of concurrent workers (each worker re-executes a
@@ -28,6 +35,7 @@
 
 #include "codegen/LoopAST.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -55,6 +63,8 @@ struct BlockPartition {
   bool OK = false;
   /// Why partitioning failed (structure not recognized); empty when OK.
   std::string FailReason;
+  /// Dimensions the nest was partitioned on - the full chain when flat, or
+  /// an outer-factor prefix when hierarchical.
   unsigned NumBlockDims = 0;
   /// Tasks in block traversal order (first-visit order of the serial nest).
   std::vector<BlockTask> Tasks;
@@ -67,16 +77,37 @@ struct BlockPartition {
       C.push_back(T.Coords);
     return C;
   }
+
+  /// Task-granularity stats: total code segments across all tasks, and the
+  /// largest single task. A hierarchical partition has fewer tasks but the
+  /// same total segment work, so segments/task measures the coarsening.
+  uint64_t totalSegments() const {
+    uint64_t Total = 0;
+    for (const BlockTask &T : Tasks)
+      Total += T.Segments.size();
+    return Total;
+  }
+  std::size_t maxSegmentsPerTask() const {
+    std::size_t Max = 0;
+    for (const BlockTask &T : Tasks)
+      Max = std::max(Max, T.Segments.size());
+    return Max;
+  }
 };
 
 /// Partitions \p Nest (a shackled or naive-shackled LoopNest whose dims
 /// NumParams..NumParams+NumBlockDims-1 are the block coordinates) by block,
 /// for the concrete \p ParamValues. Returns OK == false when the nest does
 /// not have the expected block-loops-outside shape; callers then run the
-/// nest serially instead.
+/// nest serially instead. \p NumBlockDims may be a prefix of the nest's
+/// block dimensions (hierarchical mode; see the file comment). A nonzero
+/// \p MaxTasks bounds the walk: partitioning fails once the task count
+/// exceeds it, so a pathologically fine flat partition degrades to serial
+/// execution instead of exhausting memory.
 BlockPartition partitionLoopNestByBlocks(const LoopNest &Nest,
                                          unsigned NumBlockDims,
-                                         const std::vector<int64_t> &ParamValues);
+                                         const std::vector<int64_t> &ParamValues,
+                                         uint64_t MaxTasks = 0);
 
 } // namespace shackle
 

@@ -10,8 +10,11 @@
 #include "parallel/UndoLog.h"
 #include "support/FaultInjector.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <stdexcept>
 
@@ -36,6 +39,8 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
   Plan.Params = std::move(ParamValues);
   assert(Plan.Params.size() == P.getNumParams() &&
          "one value per program parameter");
+  Plan.TotalFactors = static_cast<unsigned>(Chain.Factors.size());
+  Plan.TaskFactors = Plan.TotalFactors;
 
   // Tier 1: the fault-tolerant codegen pipeline. An Illegal/Unknown shackle
   // lands on the Original tier, which has no block structure to extract.
@@ -50,10 +55,53 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
     return Plan;
   }
 
-  // Tier 2: slice the blocked nest into per-block tasks.
-  Plan.Partition =
-      partitionLoopNestByBlocks(Plan.CG.Nest, Chain.numBlockDims(),
-                                Plan.Params);
+  // Tier 2: slice the blocked nest into tasks. The task granularity is a
+  // prefix of the chain's factors: all of them (flat), a fixed TaskLevel,
+  // or - under AutoTaskLevel - the coarsest prefix that still feeds the
+  // requested worker count. Partitioning on a prefix makes the inner
+  // factors' block loops part of the task segments, so each task replays
+  // its inner shackle levels serially in original shackled order.
+  using Clock = std::chrono::steady_clock;
+  auto partitionAt = [&](unsigned NumFactors) {
+    return partitionLoopNestByBlocks(Plan.CG.Nest,
+                                     Chain.numBlockDimsPrefix(NumFactors),
+                                     Plan.Params, Opts.MaxTasks);
+  };
+
+  auto PartStart = Clock::now();
+  if (Opts.AutoTaskLevel && Plan.TotalFactors > 1) {
+    unsigned Hint = Opts.ThreadsHint ? Opts.ThreadsHint : 8;
+    std::size_t MinTasks = std::max<std::size_t>(16, 4 * std::size_t(Hint));
+    unsigned BestLevel = 0;
+    BlockPartition Best;
+    for (unsigned K = 1; K <= Plan.TotalFactors; ++K) {
+      BlockPartition Part = partitionAt(K);
+      if (!Part.OK)
+        continue; // A finer level may still partition (or the flat one).
+      bool Enough = Part.Tasks.size() >= MinTasks;
+      BestLevel = K;
+      Best = std::move(Part);
+      if (Enough)
+        break; // Coarsest prefix with enough parallelism.
+    }
+    if (BestLevel == 0) {
+      // Every level failed; report the flat attempt's reason.
+      Plan.Partition = partitionAt(Plan.TotalFactors);
+      Plan.TaskFactors = Plan.TotalFactors;
+    } else {
+      Plan.Partition = std::move(Best);
+      Plan.TaskFactors = BestLevel;
+    }
+  } else {
+    Plan.TaskFactors =
+        (Opts.TaskLevel == 0 || Opts.TaskLevel > Plan.TotalFactors)
+            ? Plan.TotalFactors
+            : Opts.TaskLevel;
+    Plan.Partition = partitionAt(Plan.TaskFactors);
+  }
+  Plan.PartitionMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - PartStart)
+          .count();
   if (!Plan.Partition.OK) {
     Diagnostic D(DiagCode::ParallelFallback,
                  "cannot partition generated code by block; executing the "
@@ -64,17 +112,30 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
     return Plan;
   }
 
-  // Tier 3: the block dependence DAG under the solver budget.
+  // Tier 3: the block dependence DAG under the solver budget, over the
+  // selected factor prefix's coordinates (inner coordinates projected away
+  // before the sign-pattern search).
   BlockDepGraphOptions GOpts;
   GOpts.Budget = Opts.Budget;
   GOpts.MaxEdges = Opts.MaxEdges;
+  GOpts.MaxPairVisits = Opts.MaxPairVisits;
+  GOpts.TaskFactors = Plan.TaskFactors;
+  auto DagStart = Clock::now();
   Plan.Graph = buildBlockDepGraph(P, Chain, Plan.Params,
                                   Plan.Partition.coords(), GOpts);
-  if (Plan.Graph.EdgeCapHit) {
+  Plan.DagBuildMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - DagStart)
+          .count();
+  if (Plan.Graph.EdgeCapHit || Plan.Graph.WorkCapHit) {
     Diagnostic D(DiagCode::ParallelFallback,
-                 "block dependence graph exceeds the edge cap; executing "
-                 "the blocked nest serially",
+                 std::string("block dependence graph exceeds the ") +
+                     (Plan.Graph.EdgeCapHit ? "edge cap" : "pair-scan work "
+                                                           "cap") +
+                     "; executing the blocked nest serially",
                  {}, Severity::Warning);
+    if (Plan.TaskFactors == Plan.TotalFactors && Plan.TotalFactors > 1)
+      D.addNote("a coarser task level (--task-level) would shrink the "
+                "graph");
     Plan.Diags.push_back(std::move(D));
     return Plan;
   }
@@ -120,11 +181,14 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   assert(Inst.paramValues() == Params &&
          "instance parameters must match the plan");
   ParallelRunStats S;
+  S.TaskFactors = TaskFactors;
+  S.TotalFactors = TotalFactors;
   if (!Ready) {
     runSerial(Inst);
     S.Mode = ParallelMode::SerialFallback;
     S.ThreadsUsed = 1;
     S.BlocksRun = Partition.OK ? Partition.Tasks.size() : 0;
+    S.SegmentsRun = Partition.OK ? Partition.totalSegments() : 0;
     S.Progress.TotalUnits = 1; // Unit = the whole nest, run in one piece.
     S.Progress.recordAttempt(1);
     return S;
@@ -140,6 +204,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   // the diagnostic list takes a mutex.
   std::vector<uint32_t> RetryCount(N, 0);
   std::atomic<uint64_t> Faults{0};
+  std::atomic<uint64_t> SegmentsDone{0};
   std::atomic<bool> Poisoned{false};
   std::mutex DiagM;
   std::vector<Diagnostic> FaultDiags;
@@ -148,8 +213,13 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
     FaultDiags.push_back(std::move(D));
   };
 
+  // Diagnostics name the scheduling unit: outer tasks for hierarchical
+  // plans (each one rolls back and retries as a whole), plain blocks
+  // otherwise.
   auto blockName = [&](uint32_t T) {
-    std::string Name = "block #" + std::to_string(T) + " (";
+    std::string Name =
+        (hierarchical() ? "outer task #" : "block #") + std::to_string(T) +
+        " (";
     for (std::size_t I = 0; I < Tasks[T].Coords.size(); ++I) {
       if (I)
         Name += ",";
@@ -159,12 +229,19 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   };
 
   // One execution attempt of one block; failures come back as a message.
-  auto tryRunBlock = [&](uint32_t T, std::string &Err) {
+  // The executing worker's trace sink (if any) sees every program access
+  // the attempt performs, in that worker's execution order.
+  auto tryRunBlock = [&](uint32_t T, unsigned Worker, std::string &Err) {
+    const TraceFn *Trace = nullptr;
+    if (Opts.WorkerTraces && Worker < Opts.WorkerTraces->size())
+      Trace = &(*Opts.WorkerTraces)[Worker];
     try {
       if (injectTaskThrow(T))
         throw std::runtime_error("injected task fault");
       for (const BlockTask::Segment &Seg : Tasks[T].Segments)
-        runLoopNestSubtree(CG.Nest, *Seg.Node, Seg.DimValues, Inst);
+        runLoopNestSubtree(CG.Nest, *Seg.Node, Seg.DimValues, Inst, Trace);
+      SegmentsDone.fetch_add(Tasks[T].Segments.size(),
+                             std::memory_order_relaxed);
       return true;
     } catch (const std::exception &E) {
       Err = E.what();
@@ -177,15 +254,18 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   // Snapshot + first attempt + up to MaxRetries rollback-and-retry rounds.
   // On false the block's footprint has been restored to its pre-attempt
   // state (or Poisoned is set when undo logging is off), so the caller can
-  // replay it later without recapturing anything else.
-  auto attemptBlock = [&](uint32_t T) {
+  // replay it later without recapturing anything else. With a hierarchical
+  // plan the rollback granularity is the whole outer block: the undo log
+  // snapshots every element the task's segments (all inner levels
+  // included) can write, and a retry re-runs all of them.
+  auto attemptBlock = [&](uint32_t T, unsigned Worker) {
     BlockUndoLog Undo;
     if (Opts.UndoLog)
       Undo = captureBlockUndo(CG.Nest, Tasks[T], Inst);
     const unsigned Attempts = 1 + (Opts.UndoLog ? Opts.MaxRetries : 0);
     for (unsigned A = 0; A < Attempts; ++A) {
       std::string Err;
-      if (tryRunBlock(T, Err)) {
+      if (tryRunBlock(T, Worker, Err)) {
         if (A > 0)
           noteDiag(Diagnostic(
               DiagCode::ParallelFault,
@@ -233,7 +313,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
 
   DagRunResult R = runTaskDagPartial(
       N, Graph.Succs, Graph.InDegree, DOpts,
-      [&](uint32_t T, unsigned) { return attemptBlock(T); });
+      [&](uint32_t T, unsigned Worker) { return attemptBlock(T, Worker); });
   if (R.Refused) {
     // Defensive: runTaskDagPartial re-validates and refuses without side
     // effects, so the serial path is still a clean first execution.
@@ -241,6 +321,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
     S.Mode = ParallelMode::SerialFallback;
     S.ThreadsUsed = 1;
     S.BlocksRun = N;
+    S.SegmentsRun = Partition.totalSegments();
     S.Progress.recordAttempt(N);
     return S;
   }
@@ -263,6 +344,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
 
   auto finalize = [&] {
     S.Faults = Faults.load(std::memory_order_relaxed);
+    S.SegmentsRun = SegmentsDone.load(std::memory_order_relaxed);
     uint64_t TotalRetries = 0;
     bool AnyRetry = false;
     for (uint32_t C : RetryCount) {
@@ -334,7 +416,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   for (uint32_t T : Topo) {
     if (R.TaskDone[T])
       continue;
-    if (attemptBlock(T)) {
+    if (attemptBlock(T, /*Worker=*/0)) {
       ++Replayed;
       continue;
     }
@@ -357,10 +439,17 @@ std::string ParallelPlan::summary() const {
   S += " mode=";
   S += Ready ? "parallel" : "serial-fallback";
   if (Partition.OK) {
-    S += " blocks=" + std::to_string(Partition.Tasks.size());
+    S += " task-level=" + std::to_string(TaskFactors) + "/" +
+         std::to_string(TotalFactors);
+    S += " tasks=" + std::to_string(Partition.Tasks.size());
+    S += " segments=" + std::to_string(Partition.totalSegments());
     S += " edges=" + std::to_string(Graph.NumEdges);
     if (Ready)
       S += " critical-path=" + std::to_string(Graph.criticalPathLength());
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2f", DagBuildMs);
+    S += " dag-build-ms=";
+    S += Buf;
   }
   if (Graph.Conservative)
     S += " (conservative)";

@@ -17,6 +17,17 @@
 ///   2. the per-block task list (partitionLoopNestByBlocks);
 ///   3. the block dependence DAG (buildBlockDepGraph).
 ///
+/// Hierarchical chains (one factor group per memory level, Figure 10) can
+/// schedule at a coarser granularity: ParallelPlanOptions::TaskLevel picks
+/// how many leading factors define the tasks, the partition binds only
+/// those factors' block dimensions (inner block loops become part of the
+/// task segments, replayed serially in original shackled order), and the
+/// DAG is built over the projected outer coordinates. Every runtime
+/// guarantee - determinism, undo-log rollback, degraded replay - holds
+/// unchanged at the outer-task granularity: a task's undo footprint is the
+/// whole outer block, and a retry or serial replay re-runs the outer block
+/// including all inner levels.
+///
 /// run() executes ready blocks as tasks on the work-stealing scheduler,
 /// releasing successors as in-degrees drop to zero. Whenever any stage
 /// degrades - shackle not proven legal, unpartitionable nest, cyclic or
@@ -64,6 +75,27 @@ struct ParallelPlanOptions {
   SolverBudget Budget;
   /// Passed through to buildBlockDepGraph.
   uint64_t MaxEdges = 8ull << 20;
+  /// Task granularity for hierarchical chains: the number of leading chain
+  /// factors whose block coordinates define the schedulable tasks. 0 (or
+  /// any value >= the chain length) is the flat mode - one task per
+  /// innermost block of the full chain. For a two-level chain (Figure 10),
+  /// TaskLevel = <number of outer-level factors> makes each task one outer
+  /// block that replays its inner shackle levels serially in the original
+  /// shackled order - far fewer DAG nodes at large N.
+  unsigned TaskLevel = 0;
+  /// Pick the task level automatically: the coarsest factor prefix whose
+  /// partition still yields at least max(16, 4 * ThreadsHint) tasks, so
+  /// the DAG stays as small as the thread count allows. Overrides
+  /// TaskLevel.
+  bool AutoTaskLevel = false;
+  /// Worker-count hint for AutoTaskLevel (0: assume 8).
+  unsigned ThreadsHint = 0;
+  /// Task-count ceiling for the partition walk: a partition finer than
+  /// this fails (serial fallback) instead of exhausting memory. 0 = off.
+  uint64_t MaxTasks = 1ull << 20;
+  /// Work ceiling for the DAG's quadratic pair scan; see
+  /// BlockDepGraphOptions::MaxPairVisits.
+  uint64_t MaxPairVisits = 1ull << 30;
 };
 
 /// How one execution actually ran.
@@ -92,12 +124,31 @@ struct ParallelRunOptions {
   /// conservative default is applied so injected stalls/deaths cannot hang
   /// the run.
   uint64_t StallTimeoutMs = 0;
+  /// Per-worker memory-trace sinks, for cache simulation of the parallel
+  /// traversal order: when non-null, segments executed by worker W trace
+  /// into (*WorkerTraces)[W] (entries past the vector's size are silently
+  /// untraced), and the degraded serial replay traces into entry 0. Each
+  /// worker writes only its own sink, so plain (unsynchronized) sinks are
+  /// race-free. Undo-log snapshots do not trace - they are runtime
+  /// bookkeeping, not program accesses.
+  std::vector<TraceFn> *WorkerTraces = nullptr;
 };
 
 struct ParallelRunStats {
   ParallelMode Mode = ParallelMode::SerialFallback;
   unsigned ThreadsUsed = 1;
+  /// Tasks completed. With a hierarchical plan these are *outer* tasks
+  /// (TaskFactors < TotalFactors), not inner block visits; every progress
+  /// and retry counter below shares that granularity.
   uint64_t BlocksRun = 0;
+  /// Task granularity of the plan that ran: tasks cover the blocks of the
+  /// first TaskFactors of TotalFactors chain factors.
+  unsigned TaskFactors = 0;
+  unsigned TotalFactors = 0;
+  /// Code segments executed across completed tasks - the inner-level work
+  /// a hierarchical task amortizes (equals BlocksRun for flat plans with
+  /// unsplit blocks).
+  uint64_t SegmentsRun = 0;
   uint64_t Steals = 0;
   /// Block-body failures caught (each rolled back via the undo log).
   uint64_t Faults = 0;
@@ -140,6 +191,18 @@ public:
   const std::vector<Diagnostic> &diags() const { return Diags; }
   const std::vector<int64_t> &paramValues() const { return Params; }
 
+  /// Task granularity: tasks are the blocks of the first taskFactors() of
+  /// totalFactors() chain factors; hierarchical() when that is a proper
+  /// prefix (inner levels replayed serially inside each task).
+  unsigned taskFactors() const { return TaskFactors; }
+  unsigned totalFactors() const { return TotalFactors; }
+  bool hierarchical() const { return TaskFactors < TotalFactors; }
+
+  /// Plan-construction cost split: the partition walk(s) and the DAG
+  /// build (sign-pattern search + pair scan), in milliseconds.
+  double partitionMs() const { return PartitionMs; }
+  double dagBuildMs() const { return DagBuildMs; }
+
   /// Executes the plan on \p Inst (whose parameter values must match) under
   /// \p Opts: undo-logged blocks, rollback-and-retry on failure, watchdog
   /// and deadline aborts, serial replay of the unfinished suffix after a
@@ -156,7 +219,8 @@ public:
   /// Serial reference execution of the same nest (always available).
   void runSerial(ProgramInstance &Inst) const { runLoopNest(CG.Nest, Inst); }
 
-  /// One-line human-readable summary (blocks, edges, critical path, mode).
+  /// One-line human-readable summary (task level, tasks, edges, critical
+  /// path, DAG build time, mode).
   std::string summary() const;
 
 private:
@@ -165,6 +229,10 @@ private:
   BlockDepGraph Graph;
   std::vector<Diagnostic> Diags;
   std::vector<int64_t> Params;
+  unsigned TaskFactors = 0;
+  unsigned TotalFactors = 0;
+  double PartitionMs = 0.0;
+  double DagBuildMs = 0.0;
   bool Ready = false;
 };
 

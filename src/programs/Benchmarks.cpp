@@ -714,6 +714,38 @@ ShackleChain shackle::adiShackle(const Program &P) {
   return Chain;
 }
 
+ShackleChain shackle::adiShackleTwoLevel(const Program &P, int64_t ColGroup) {
+  assert(ColGroup >= 1 && "column group must be at least 1");
+  // Outer factor: ColGroup-wide column panels of B, shackled through the
+  // same B[i-1,k] reference the 1x1 inner factor uses. The panel coordinate
+  // is floor(k / ColGroup), so outer tasks sweep the panels left to right
+  // and the inner adiShackle factor replays its fused column-major
+  // traversal within each panel.
+  DataBlocking Blocking;
+  Blocking.ArrayId = 0;
+  CuttingPlaneSet Cols;
+  Cols.Normal = {0, 1};
+  Cols.BlockSize = ColGroup;
+  Blocking.Planes.push_back(std::move(Cols));
+
+  DataShackle Outer;
+  Outer.Blocking = std::move(Blocking);
+  Outer.ShackledRefs.resize(P.getNumStmts());
+  for (unsigned Id = 0; Id < P.getNumStmts(); ++Id) {
+    const Stmt &S = P.getStmt(Id);
+    ArrayRef R;
+    R.ArrayId = 0;
+    R.Indices = {P.v(S.LoopVars[0]) - 1, P.v(S.LoopVars[1])};
+    Outer.ShackledRefs[Id] = std::move(R);
+  }
+
+  ShackleChain Chain;
+  Chain.Factors.push_back(std::move(Outer));
+  ShackleChain Inner = adiShackle(P);
+  Chain.Factors.push_back(std::move(Inner.Factors[0]));
+  return Chain;
+}
+
 ShackleChain shackle::gmtryShackleStores(const Program &P, int64_t Bsz) {
   ShackleChain Chain;
   Chain.Factors.push_back(DataShackle::onStores(

@@ -148,6 +148,12 @@ ShackleChain qrColumnShackle(const Program &P, int64_t Bsz);
 /// B[i-1,k] in both statements -> loop fusion + interchange (Figure 14(ii)).
 ShackleChain adiShackle(const Program &P);
 
+/// ADI: two-level chain for hierarchical scheduling - an outer factor that
+/// groups B's columns into ColGroup-wide panels (same shackled reference
+/// B[i-1,k]) followed by the adiShackle factor, so outer tasks are column
+/// panels whose 1x1 inner blocks replay serially. ColGroup must be >= 1.
+ShackleChain adiShackleTwoLevel(const Program &P, int64_t ColGroup);
+
 /// GMTRY: 2-D blocking of A through the stores, like Cholesky.
 ShackleChain gmtryShackleStores(const Program &P, int64_t Bsz);
 

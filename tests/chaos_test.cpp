@@ -17,6 +17,7 @@
 #include "parallel/ChaseLevDeque.h"
 #include "parallel/ParallelExecutor.h"
 #include "parallel/Scheduler.h"
+#include "parallel/UndoLog.h"
 #include "programs/Benchmarks.h"
 #include "support/FaultInjector.h"
 
@@ -80,9 +81,11 @@ bool hasDiag(const std::vector<Diagnostic> &Diags, DiagCode Code) {
 ParallelRunStats runExpectBitwise(const BenchSpec &Spec,
                                   const ShackleChain &Chain,
                                   std::vector<int64_t> Params,
-                                  const ParallelRunOptions &Opts) {
+                                  const ParallelRunOptions &Opts,
+                                  const ParallelPlanOptions &PlanOpts =
+                                      ParallelPlanOptions()) {
   const Program &P = *Spec.Prog;
-  ParallelPlan Plan = ParallelPlan::build(P, Chain, Params);
+  ParallelPlan Plan = ParallelPlan::build(P, Chain, Params, PlanOpts);
   EXPECT_TRUE(Plan.parallelReady()) << Plan.summary();
 
   ProgramInstance Ref(P, Params);
@@ -283,6 +286,112 @@ TEST_F(ChaosTest, DeadlineExpiryDegradesAndStillFinishesExactly) {
 }
 
 //===----------------------------------------------------------------------===//
+// Hierarchical outer tasks under injection
+//===----------------------------------------------------------------------===//
+
+/// True when some diag's message contains \p MsgSub and one of that diag's
+/// notes contains \p NoteSub.
+bool diagNoteContains(const std::vector<Diagnostic> &Diags,
+                      const std::string &MsgSub, const std::string &NoteSub) {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(MsgSub) != std::string::npos)
+      for (const Diagnostic &Note : D.Notes)
+        if (Note.Message.find(NoteSub) != std::string::npos)
+          return true;
+  return false;
+}
+
+TEST(HierarchicalUndo, FootprintIsTheWholeOuterBlock) {
+  // The rollback granularity of a hierarchical plan is the outer block:
+  // the undo log snapshots every element the task's segments (all inner
+  // levels included) can write, not one inner block.
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = mmmShackleTwoLevel(P, 8, 4);
+  ProgramInstance Inst(P, {16});
+  Inst.fillRandom(3, 0.0, 1.0);
+
+  ParallelPlanOptions Hier;
+  Hier.TaskLevel = 2;
+  ParallelPlan HPlan = ParallelPlan::build(P, Chain, {16}, Hier);
+  ASSERT_TRUE(HPlan.parallelReady());
+  BlockUndoLog HUndo =
+      captureBlockUndo(HPlan.nest(), HPlan.partition().Tasks[0], Inst);
+  EXPECT_EQ(HUndo.Entries.size(), 64u); // One 8x8 outer block of C.
+
+  ParallelPlan FPlan = ParallelPlan::build(P, Chain, {16});
+  ASSERT_TRUE(FPlan.parallelReady());
+  BlockUndoLog FUndo =
+      captureBlockUndo(FPlan.nest(), FPlan.partition().Tasks[0], Inst);
+  EXPECT_EQ(FUndo.Entries.size(), 16u); // One 4x4 inner block of C.
+}
+
+TEST_F(ChaosTest, HierarchicalThrowRollsBackTheWholeOuterTask) {
+  arm("seed=5;throw@block=1,count=1");
+  BenchSpec Spec = makeMatMul();
+  ParallelPlanOptions PlanOpts;
+  PlanOpts.TaskLevel = 2;
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  ParallelRunStats Stats = runExpectBitwise(
+      Spec, mmmShackleTwoLevel(*Spec.Prog, 8, 4), {16}, Opts, PlanOpts);
+  EXPECT_EQ(Stats.Mode, ParallelMode::Parallel);
+  EXPECT_GE(Stats.Faults, 1u);
+  EXPECT_GE(Stats.Retries, 1u);
+  EXPECT_TRUE(hasDiag(Stats.Diags, DiagCode::ParallelFault));
+  // Stats count outer tasks: 8 at N=16 (4 C outer blocks x 2 A column
+  // groups), each replaying several inner segments serially.
+  EXPECT_EQ(Stats.TaskFactors, 2u);
+  EXPECT_EQ(Stats.TotalFactors, 4u);
+  EXPECT_EQ(Stats.BlocksRun, 8u);
+  EXPECT_GE(Stats.SegmentsRun, Stats.BlocksRun);
+  ASSERT_EQ(Stats.RetriesPerBlock.size(), 8u);
+  EXPECT_GE(Stats.RetriesPerBlock[1], 1u);
+  // The rollback restored the outer task's whole footprint - the full 8x8
+  // outer block of C (64 elements), not one 4x4 inner block.
+  EXPECT_TRUE(diagNoteContains(Stats.Diags, "outer task #1",
+                               "rolled back (64 element(s))"))
+      << "no outer-granularity rollback note found";
+}
+
+TEST_F(ChaosTest, HierarchicalStallDegradesToBitwiseSerialReplay) {
+  // One worker so worker 0 is guaranteed to claim an outer task and hit
+  // the stall; the watchdog quiesces and the unfinished outer tasks are
+  // replayed serially - still bitwise-identical.
+  arm("seed=3;stall@worker=0,ms=30000");
+  BenchSpec Spec = makeCholeskyRight();
+  ParallelPlanOptions PlanOpts;
+  PlanOpts.TaskLevel = 1;
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 1;
+  Opts.StallTimeoutMs = 100;
+  ParallelRunStats Stats =
+      runExpectBitwise(Spec, choleskyShackleProduct(*Spec.Prog, 4, true),
+                       {20}, Opts, PlanOpts);
+  EXPECT_EQ(Stats.Mode, ParallelMode::Degraded);
+  EXPECT_EQ(Stats.Abort, DagAbort::Stalled);
+  EXPECT_GT(Stats.ReplayedSerially, 0u);
+  EXPECT_EQ(Stats.TaskFactors, 1u);
+  EXPECT_EQ(Stats.TotalFactors, 2u);
+  EXPECT_TRUE(hasDiag(Stats.Diags, DiagCode::ParallelDegrade));
+}
+
+TEST_F(ChaosTest, HierarchicalDeadlineDegradesBitwise) {
+  arm("seed=3;stall@worker=0,ms=30000");
+  BenchSpec Spec = makeMatMul();
+  ParallelPlanOptions PlanOpts;
+  PlanOpts.TaskLevel = 2;
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 1; // Worker 0 must claim; see the stall test above.
+  Opts.DeadlineMs = 80;
+  ParallelRunStats Stats = runExpectBitwise(
+      Spec, mmmShackleTwoLevel(*Spec.Prog, 8, 4), {16}, Opts, PlanOpts);
+  EXPECT_EQ(Stats.Mode, ParallelMode::Degraded);
+  EXPECT_EQ(Stats.Abort, DagAbort::Deadline);
+  EXPECT_TRUE(hasDiag(Stats.Diags, DiagCode::ParallelDegrade));
+}
+
+//===----------------------------------------------------------------------===//
 // Allocation failure in deque growth
 //===----------------------------------------------------------------------===//
 
@@ -430,6 +539,20 @@ TEST_F(ChaosTest, CliChaosDegradeStillExitsZeroAndVerifies) {
   EXPECT_EQ(Rc, 0) << Out;
   EXPECT_NE(Out.find("[parallel-degrade]"), std::string::npos) << Out;
   EXPECT_NE(Out.find("mode=degraded"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
+TEST_F(ChaosTest, CliHierarchicalChaosRunRecoversAtOuterGranularity) {
+  auto [Rc, Out] =
+      runCli("run matmul two-level --params=16 --block=8 --threads=4 "
+             "--task-level=2 --inject='seed=7;throw@block=1,count=1' "
+             "--verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("[parallel-fault]"), std::string::npos) << Out;
+  // Diagnostics and retry stats speak in outer tasks, not inner blocks.
+  EXPECT_NE(Out.find("outer task"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("block #"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("recovered"), std::string::npos) << Out;
   EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
 }
 

@@ -102,6 +102,50 @@ TEST(Cli, RunSolverBudgetFallbackStillExecutesWithExit0) {
   EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
 }
 
+TEST(Cli, RunTaskLevelReportsOuterTasksNotInnerBlocks) {
+  auto [Rc, Out] = runCli("run matmul two-level --params=16 --block=8 "
+                          "--threads=4 --task-level=2 --verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  // The plan summary and run report speak in outer tasks (the rollback /
+  // retry / progress unit), never inner block visits.
+  EXPECT_NE(Out.find("task-level=2/4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("outer task(s) over 2 of 4 chain factor(s)"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("ran 8 outer task(s) [task-level 2/4"),
+            std::string::npos)
+      << Out;
+  EXPECT_EQ(Out.find("block task(s)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
+TEST(Cli, RunTaskLevelAutoPicksACoarseLevel) {
+  auto [Rc, Out] = runCli("run matmul two-level --params=32 --block=8 "
+                          "--threads=4 --task-level=auto --verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  // Auto stops at level 1: C's outer blocks alone already give 16 tasks,
+  // enough for 4 threads.
+  EXPECT_NE(Out.find("task-level=1/4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("outer task(s)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
+TEST(Cli, RunFlatKeepsBlockTaskWording) {
+  auto [Rc, Out] =
+      runCli("run matmul c --params=24 --block=8 --threads=4 --verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("block task(s)"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("outer task"), std::string::npos) << Out;
+}
+
+TEST(Cli, RunRejectsMalformedTaskLevel) {
+  auto [Rc, Out] =
+      runCli("run matmul two-level --params=16 --task-level=banana");
+  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_NE(Out.find("usage-error"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("--task-level"), std::string::npos) << Out;
+}
+
 class CliFile : public ::testing::Test {
 protected:
   void SetUp() override {

@@ -83,7 +83,11 @@ const std::map<std::string, BenchEntry> &registry() {
       {"qr", {makeQRHouseholder, {{"cols", qrColumnShackle}}, 32}},
       {"adi",
        {makeADI,
-        {{"fused", [](const Program &P, int64_t) { return adiShackle(P); }}},
+        {{"fused", [](const Program &P, int64_t) { return adiShackle(P); }},
+         {"two-level",
+          [](const Program &P, int64_t B) {
+            return adiShackleTwoLevel(P, B < 2 ? 8 : B);
+          }}},
         1}},
       {"gmtry", {makeGmtry, {{"stores", gmtryShackleStores}}, 64}},
       {"banded",
@@ -129,7 +133,9 @@ int usage() {
       "  shackle simulate <benchmark> <config> [--block=N] "
       "--params=N[,bw]\n"
       "  shackle run      <benchmark> <config> [--block=N] --params=N[,..]\n"
-      "      [--threads=N] [--verify]   (parallel block execution)\n"
+      "      [--threads=N] [--task-level=K|auto] [--verify]\n"
+      "      (parallel block execution; task-level schedules the first K\n"
+      "       chain factors as outer tasks, inner levels serial per task)\n"
       "      [--max-retries=N] [--deadline-ms=N] [--stall-ms=N]\n"
       "      [--inject=SPEC]            (chaos: deterministic faults;\n"
       "       e.g. --inject='throw@block=2;seed=7', see docs/CLI.md)\n"
@@ -607,10 +613,47 @@ int main(int Argc, char **Argv) {
 
     ParallelPlanOptions Opts;
     Opts.Budget = budgetFromFlags(Argc, Argv);
+    Opts.ThreadsHint = Threads;
+    std::string LevelStr = flagString(Argc, Argv, "task-level");
+    if (!LevelStr.empty()) {
+      if (LevelStr == "auto") {
+        Opts.AutoTaskLevel = true;
+      } else {
+        char *End = nullptr;
+        long L = std::strtol(LevelStr.c_str(), &End, 10);
+        if (End == LevelStr.c_str() || *End || L < 0) {
+          std::fprintf(stderr,
+                       "error: [usage-error] --task-level expects a factor "
+                       "count (0 = flat) or 'auto', got '%s'\n",
+                       LevelStr.c_str());
+          return 1;
+        }
+        Opts.TaskLevel = static_cast<unsigned>(L);
+      }
+    }
     ParallelPlan Plan = ParallelPlan::build(P, Chain, Params, Opts);
     for (const Diagnostic &D : Plan.diags())
       std::fprintf(stderr, "%s\n", D.str().c_str());
     std::printf("plan: %s\n", Plan.summary().c_str());
+    if (Plan.partition().OK) {
+      // Task-granularity stats: how coarse the DAG is relative to the full
+      // chain, and what each task amortizes.
+      const BlockPartition &Part = Plan.partition();
+      double AvgSegs =
+          Part.Tasks.empty()
+              ? 0.0
+              : static_cast<double>(Part.totalSegments()) /
+                    static_cast<double>(Part.Tasks.size());
+      std::printf("task graph: %zu %s over %u of %u chain factor(s); "
+                  "%llu segment(s), avg %.1f max %zu per task; "
+                  "dag-build %.2f ms (partition %.2f ms)\n",
+                  Part.Tasks.size(),
+                  Plan.hierarchical() ? "outer task(s)" : "block task(s)",
+                  Plan.taskFactors(), Plan.totalFactors(),
+                  static_cast<unsigned long long>(Part.totalSegments()),
+                  AvgSegs, Part.maxSegmentsPerTask(), Plan.dagBuildMs(),
+                  Plan.partitionMs());
+    }
     if (hasFlag(Argc, Argv, "strict") && !Plan.parallelReady()) {
       std::fprintf(stderr,
                    "--strict: refusing serial fallback execution\n");
@@ -626,11 +669,24 @@ int main(int Argc, char **Argv) {
         std::chrono::duration<double, std::milli>(End - Start).count();
     for (const Diagnostic &D : Stats.Diags)
       std::fprintf(stderr, "%s\n", D.str().c_str());
-    std::printf("ran %llu block task(s) on %u thread(s) in %.2f ms "
-                "(mode=%s, steals=%llu)\n",
-                static_cast<unsigned long long>(Stats.BlocksRun),
-                Stats.ThreadsUsed, Ms, parallelModeName(Stats.Mode),
-                static_cast<unsigned long long>(Stats.Steals));
+    // Level-aware accounting: with a hierarchical plan the counters report
+    // outer tasks (the rollback/retry/progress unit), not inner block
+    // visits; the segment count carries the inner-level volume.
+    if (Stats.TaskFactors < Stats.TotalFactors)
+      std::printf("ran %llu outer task(s) [task-level %u/%u, %llu inner "
+                  "segment(s)] on %u thread(s) in %.2f ms (mode=%s, "
+                  "steals=%llu)\n",
+                  static_cast<unsigned long long>(Stats.BlocksRun),
+                  Stats.TaskFactors, Stats.TotalFactors,
+                  static_cast<unsigned long long>(Stats.SegmentsRun),
+                  Stats.ThreadsUsed, Ms, parallelModeName(Stats.Mode),
+                  static_cast<unsigned long long>(Stats.Steals));
+    else
+      std::printf("ran %llu block task(s) on %u thread(s) in %.2f ms "
+                  "(mode=%s, steals=%llu)\n",
+                  static_cast<unsigned long long>(Stats.BlocksRun),
+                  Stats.ThreadsUsed, Ms, parallelModeName(Stats.Mode),
+                  static_cast<unsigned long long>(Stats.Steals));
     if (Stats.Faults || Stats.Retries || Stats.ReplayedSerially)
       std::printf("faults=%llu retries=%llu replayed-serially=%llu "
                   "progress=%s\n",
@@ -640,7 +696,10 @@ int main(int Argc, char **Argv) {
                   Stats.Progress.str().c_str());
     for (std::size_t B = 0; B < Stats.RetriesPerBlock.size(); ++B)
       if (Stats.RetriesPerBlock[B])
-        std::printf("  block #%zu: %u retr%s\n", B, Stats.RetriesPerBlock[B],
+        std::printf("  %s #%zu: %u retr%s\n",
+                    Stats.TaskFactors < Stats.TotalFactors ? "outer task"
+                                                           : "block",
+                    B, Stats.RetriesPerBlock[B],
                     Stats.RetriesPerBlock[B] == 1 ? "y" : "ies");
     if (Stats.Failed) {
       std::fprintf(stderr, "run: a block failed every recovery attempt; "
