@@ -157,6 +157,28 @@ inline void setDagStats(benchmark::State &St, double Nodes, double Edges,
   St.counters["dag_build_ms"] = benchmark::Counter(DagBuildMs);
 }
 
+/// Tags a parallel-run benchmark with its steal-locality telemetry so the
+/// JSON sink records how well the placement policy kept blocks on their
+/// home workers: total/local/remote steal counts, the fraction of tasks
+/// that executed on their affinity home, and the estimated bytes of block
+/// footprint dragged across locality domains.
+inline void setLocalityStats(benchmark::State &St, double Steals,
+                             double LocalSteals, double HomeHitPct,
+                             double BytesMigrated) {
+  St.counters["steals"] = benchmark::Counter(Steals);
+  St.counters["local_steals"] = benchmark::Counter(LocalSteals);
+  St.counters["home_hit_pct"] = benchmark::Counter(HomeHitPct);
+  St.counters["bytes_migrated"] = benchmark::Counter(BytesMigrated);
+}
+
+/// Tags a benchmark with cache-simulation miss counts accumulated over the
+/// per-worker traces of a parallel run (see WorkerTraces).
+inline void setWorkerMissStats(benchmark::State &St, double L1Misses,
+                               double L2Misses) {
+  St.counters["l1_misses"] = benchmark::Counter(L1Misses);
+  St.counters["l2_misses"] = benchmark::Counter(L2Misses);
+}
+
 /// A ConsoleReporter that also collects one record per completed run, for
 /// the --json flag. Aggregates (mean/median of repetitions) are skipped;
 /// each raw run is one record.
@@ -170,6 +192,12 @@ public:
     /// benchmark does not set them via setDagStats).
     int64_t Nodes = 0, Edges = 0;
     double DagBuildMs = 0.0;
+    /// Steal-locality telemetry (0 unless set via setLocalityStats /
+    /// setWorkerMissStats).
+    int64_t Steals = 0, LocalSteals = 0;
+    double HomeHitPct = 0.0;
+    int64_t BytesMigrated = 0;
+    int64_t L1Misses = 0, L2Misses = 0;
   };
   std::vector<Record> Records;
 
@@ -195,6 +223,15 @@ public:
         auto It = R.counters.find("dag_build_ms");
         Rec.DagBuildMs = It == R.counters.end() ? 0.0 : It->second.value;
       }
+      Rec.Steals = Counter("steals");
+      Rec.LocalSteals = Counter("local_steals");
+      {
+        auto It = R.counters.find("home_hit_pct");
+        Rec.HomeHitPct = It == R.counters.end() ? 0.0 : It->second.value;
+      }
+      Rec.BytesMigrated = Counter("bytes_migrated");
+      Rec.L1Misses = Counter("l1_misses");
+      Rec.L2Misses = Counter("l2_misses");
       Rec.NsPerIter = R.real_accumulated_time /
                       static_cast<double>(R.iterations) * 1e9;
       Records.push_back(std::move(Rec));
@@ -225,13 +262,21 @@ inline bool writeJsonRecords(const char *Path,
                  "  {\"name\": \"%s\", \"n\": %lld, \"block\": %lld, "
                  "\"threads\": %lld, \"ns_per_iter\": %.3f, "
                  "\"nodes\": %lld, \"edges\": %lld, "
-                 "\"dag_build_ms\": %.3f}%s\n",
+                 "\"dag_build_ms\": %.3f, "
+                 "\"steals\": %lld, \"local_steals\": %lld, "
+                 "\"home_hit_pct\": %.1f, \"bytes_migrated\": %lld, "
+                 "\"l1_misses\": %lld, \"l2_misses\": %lld}%s\n",
                  jsonEscape(Rs[I].Name).c_str(),
                  static_cast<long long>(Rs[I].N),
                  static_cast<long long>(Rs[I].Block),
                  static_cast<long long>(Rs[I].Threads), Rs[I].NsPerIter,
                  static_cast<long long>(Rs[I].Nodes),
                  static_cast<long long>(Rs[I].Edges), Rs[I].DagBuildMs,
+                 static_cast<long long>(Rs[I].Steals),
+                 static_cast<long long>(Rs[I].LocalSteals), Rs[I].HomeHitPct,
+                 static_cast<long long>(Rs[I].BytesMigrated),
+                 static_cast<long long>(Rs[I].L1Misses),
+                 static_cast<long long>(Rs[I].L2Misses),
                  I + 1 < Rs.size() ? "," : "");
   std::fprintf(F, "]\n");
   std::fclose(F);

@@ -1,0 +1,90 @@
+//===- Affinity.cpp - Locality-aware task placement --------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Affinity.h"
+
+#include "parallel/BlockPartition.h"
+
+#include <algorithm>
+
+#ifdef __linux__
+#include <cstdio>
+#include <sys/stat.h>
+#endif
+
+using namespace shackle;
+
+AffinityMap shackle::buildAffinityMap(std::size_t NumTasks,
+                                      const std::vector<uint64_t> &Weights,
+                                      unsigned NumWorkers) {
+  AffinityMap Map;
+  Map.NumWorkers = NumWorkers == 0 ? 1 : NumWorkers;
+  Map.Home.assign(NumTasks, 0);
+  Map.RangeBegin.assign(Map.NumWorkers + 1, 0);
+  Map.RangeBegin[Map.NumWorkers] = static_cast<uint32_t>(NumTasks);
+  if (NumTasks == 0 || Map.NumWorkers == 1)
+    return Map;
+
+  // Prefix weights over the lexicographic task order (zero-weight tasks
+  // still count 1, so every task moves a cut eventually).
+  std::vector<uint64_t> Prefix(NumTasks + 1, 0);
+  for (std::size_t T = 0; T < NumTasks; ++T) {
+    uint64_t W = T < Weights.size() && Weights[T] > 0 ? Weights[T] : 1;
+    Prefix[T + 1] = Prefix[T] + W;
+  }
+  uint64_t Total = Prefix[NumTasks];
+
+  // Cut before worker W at the prefix boundary nearest W/NumWorkers of the
+  // total weight (rounding toward the nearer side keeps a single heavy
+  // task on the worker whose share it fills, instead of starving that
+  // worker). Targets grow with W and the rounding is monotone in the
+  // target, so cuts never cross: the ranges are contiguous and tile
+  // [0, NumTasks) exactly.
+  uint32_t Cut = 0;
+  for (unsigned W = 1; W < Map.NumWorkers; ++W) {
+    uint64_t Target = (Total * W) / Map.NumWorkers;
+    while (Cut < NumTasks && Prefix[Cut + 1] <= Target)
+      ++Cut;
+    if (Cut < NumTasks && Target - Prefix[Cut] > Prefix[Cut + 1] - Target)
+      ++Cut;
+    Map.RangeBegin[W] = Cut;
+  }
+  for (unsigned W = 0; W < Map.NumWorkers; ++W)
+    for (uint32_t T = Map.RangeBegin[W]; T < Map.RangeBegin[W + 1]; ++T)
+      Map.Home[T] = W;
+  return Map;
+}
+
+AffinityMap shackle::buildAffinityMap(const BlockPartition &Part,
+                                      unsigned NumWorkers) {
+  std::vector<uint64_t> Weights;
+  Weights.reserve(Part.Tasks.size());
+  for (const BlockTask &T : Part.Tasks)
+    Weights.push_back(T.Segments.empty() ? 1 : T.Segments.size());
+  return buildAffinityMap(Part.Tasks.size(), Weights, NumWorkers);
+}
+
+unsigned shackle::detectDomainSize(unsigned NumWorkers) {
+  if (NumWorkers == 0)
+    return 1;
+#ifdef __linux__
+  unsigned Nodes = 0;
+  for (unsigned I = 0; I < 256; ++I) {
+    char Path[64];
+    std::snprintf(Path, sizeof(Path), "/sys/devices/system/node/node%u", I);
+    struct stat St;
+    if (::stat(Path, &St) != 0 || !S_ISDIR(St.st_mode))
+      break;
+    ++Nodes;
+  }
+  if (Nodes > 1) {
+    unsigned D = (NumWorkers + Nodes - 1) / Nodes;
+    return D == 0 ? 1 : D;
+  }
+#endif
+  return NumWorkers; // One domain: the pre-hierarchical behavior.
+}

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 using namespace shackle;
 
@@ -198,6 +199,26 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   const std::size_t N = Tasks.size();
   S.Progress.TotalUnits = N;
 
+  // Placement: clamp the worker count exactly as the scheduler will, then
+  // (under affinity placement) split the lexicographic task order into one
+  // segment-weighted contiguous range per effective worker. Neighboring
+  // blocks share panel reuse by the data-centric construction, so a
+  // contiguous range is also a cache-coherent one.
+  const unsigned ReqThreads = Opts.NumThreads == 0 ? 1 : Opts.NumThreads;
+  const unsigned EffWorkers = static_cast<unsigned>(
+      std::min<std::size_t>(ReqThreads, N == 0 ? 1 : N));
+  const bool UseAffinity = Opts.Placement == TaskPlacement::Affinity;
+  AffinityMap AMap;
+  if (UseAffinity)
+    AMap = buildAffinityMap(Partition, EffWorkers);
+  const unsigned DomainSizeOpt =
+      Opts.DomainSize == 0 ? detectDomainSize(EffWorkers) : Opts.DomainSize;
+  const unsigned DomSize = (DomainSizeOpt == 0 || DomainSizeOpt > EffWorkers)
+                               ? EffWorkers
+                               : DomainSizeOpt;
+  auto domainOf = [DomSize](unsigned W) { return W / DomSize; };
+  std::atomic<uint64_t> BytesMigrated{0};
+
   // Shared bookkeeping. RetryCount's per-block slots are only written by
   // the worker currently executing that block (DAG edges order any two
   // conflicting executions of a block), so a plain vector is race-free;
@@ -262,6 +283,13 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
     BlockUndoLog Undo;
     if (Opts.UndoLog)
       Undo = captureBlockUndo(CG.Nest, Tasks[T], Inst);
+    // The undo snapshot is exactly the block's write footprint, so it
+    // doubles as the migration estimate: executing outside the home
+    // worker's domain drags that many elements across domains.
+    if (Opts.UndoLog && UseAffinity &&
+        domainOf(Worker) != domainOf(AMap.Home[T]))
+      BytesMigrated.fetch_add(Undo.Entries.size() * sizeof(double),
+                              std::memory_order_relaxed);
     const unsigned Attempts = 1 + (Opts.UndoLog ? Opts.MaxRetries : 0);
     for (unsigned A = 0; A < Attempts; ++A) {
       std::string Err;
@@ -300,10 +328,45 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
     return false;
   };
 
+  // First-touch warming: each home worker reads its own range's write
+  // footprints once before the run, so first-touch NUMA policies place
+  // those pages on the worker's node. Strictly read-only — footprints of
+  // neighboring tasks may overlap, so a writing pass would race.
+  uint64_t FirstTouchElems = 0;
+  if (Opts.FirstTouch && UseAffinity && N > 0) {
+    std::atomic<uint64_t> Touched{0};
+    auto warmRange = [&](unsigned W) {
+      volatile double Acc = 0.0;
+      uint64_t Count = 0;
+      for (uint32_t T = AMap.RangeBegin[W]; T < AMap.RangeBegin[W + 1]; ++T)
+        for (const BlockTask::Segment &Seg : Tasks[T].Segments)
+          collectSubtreeWrites(CG.Nest, *Seg.Node, Seg.DimValues, Inst,
+                               [&](unsigned ArrayId, int64_t Offset) {
+                                 Acc = Acc + Inst.buffer(ArrayId)[Offset];
+                                 ++Count;
+                               });
+      Touched.fetch_add(Count, std::memory_order_relaxed);
+    };
+    std::vector<std::thread> Warmers;
+    Warmers.reserve(EffWorkers - 1);
+    for (unsigned W = 1; W < EffWorkers; ++W)
+      Warmers.emplace_back(warmRange, W);
+    warmRange(0);
+    for (std::thread &Th : Warmers)
+      Th.join();
+    FirstTouchElems = Touched.load(std::memory_order_relaxed);
+  }
+
   DagRunOptions DOpts;
   DOpts.NumThreads = Opts.NumThreads == 0 ? 1 : Opts.NumThreads;
   DOpts.DeadlineMs = Opts.DeadlineMs;
   DOpts.StallTimeoutMs = Opts.StallTimeoutMs;
+  if (UseAffinity)
+    DOpts.Affinity = &AMap.Home;
+  DOpts.DomainSize = DomSize;
+  DOpts.StealRemoteAfter = Opts.StealRemoteAfter;
+  DOpts.RandomVictim = Opts.RandomSteal;
+  DOpts.StealSeed = Opts.StealSeed;
 #ifdef SHACKLE_ENABLE_FAULT_INJECTION
   // Injected stalls and deaths wedge the pool on purpose; without a
   // watchdog they would hang the run forever, so chaos runs always get one.
@@ -328,6 +391,13 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
 
   S.ThreadsUsed = R.Stats.ThreadsUsed;
   S.Steals = R.Stats.Steals;
+  S.LocalSteals = R.Stats.LocalSteals;
+  S.RemoteSteals = R.Stats.RemoteSteals;
+  S.HomeHits = R.Stats.HomeHits;
+  S.MailboxPushes = R.Stats.MailboxPushes;
+  S.MailboxFallbacks = R.Stats.MailboxFallbacks;
+  S.NumDomains = R.Stats.NumDomains;
+  S.DomainSize = R.Stats.DomainSizeUsed;
   S.Abort = R.Stats.Abort;
   uint64_t ParallelDone = 0;
   for (uint8_t D : R.TaskDone)
@@ -345,6 +415,8 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   auto finalize = [&] {
     S.Faults = Faults.load(std::memory_order_relaxed);
     S.SegmentsRun = SegmentsDone.load(std::memory_order_relaxed);
+    S.BytesMigrated = BytesMigrated.load(std::memory_order_relaxed);
+    S.FirstTouchElems = FirstTouchElems;
     uint64_t TotalRetries = 0;
     bool AnyRetry = false;
     for (uint32_t C : RetryCount) {
@@ -432,6 +504,14 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   S.BlocksRun = ParallelDone + Replayed;
   finalize();
   return S;
+}
+
+AffinityMap ParallelPlan::affinityMap(unsigned NumThreads) const {
+  const std::size_t N = Partition.OK ? Partition.Tasks.size() : 0;
+  const unsigned Req = NumThreads == 0 ? 1 : NumThreads;
+  const unsigned Eff =
+      static_cast<unsigned>(std::min<std::size_t>(Req, N == 0 ? 1 : N));
+  return buildAffinityMap(Partition, Eff);
 }
 
 std::string ParallelPlan::summary() const {

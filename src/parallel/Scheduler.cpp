@@ -10,6 +10,7 @@
 #include "parallel/ChaseLevDeque.h"
 #include "support/FaultInjector.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -43,12 +44,42 @@ uint64_t msBetween(Clock::time_point From, Clock::time_point To) {
           .count());
 }
 
+/// SplitMix64 finalizer: seeds the RandomVictim scan offsets so that the
+/// "random" baseline is still a pure function of (seed, worker, attempt).
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Per-worker loop state: run/steal tallies plus the consecutive-empty-
+/// local-scan counter that gates cross-domain stealing.
+struct WorkerCtx {
+  uint64_t Ran = 0, Steals = 0, LocalSteals = 0, RemoteSteals = 0;
+  uint64_t Parks = 0, HomeHits = 0;
+  unsigned FailedLocalScans = 0;
+  uint64_t StealNonce = 0; ///< RandomVictim attempt counter.
+};
+
 /// Shared state of one runTaskDagPartial invocation.
 struct DagRun {
   std::size_t NumTasks;
   const std::vector<std::vector<uint32_t>> &Succs;
   const FailableTaskBody &Body;
   unsigned NumWorkers;
+  /// Normalized options (Affinity null unless it covers every task;
+  /// DomainSize clamped to [1, NumWorkers]).
+  const std::vector<uint32_t> *Affinity;
+  unsigned DomainSize;
+  unsigned NumDomains;
+  unsigned StealRemoteAfter;
+  bool RandomVictim;
+  uint64_t StealSeed;
+  /// Stealing fully disabled (DomainSize == 1 domains-of-one plus no
+  /// remote phase): mailbox delivery must then block, never fall back,
+  /// so every task runs on its home worker.
+  bool NoSteal;
 
   std::unique_ptr<std::atomic<uint32_t>[]> Deg;
   /// 1 after a task's body ran and returned true. Read post-join by the
@@ -77,6 +108,20 @@ struct DagRun {
   std::vector<uint32_t> Overflow;
   std::atomic<uint64_t> OverflowPushes{0};
 
+  /// Per-worker mailbox for affinity hand-offs: Chase-Lev pushes are
+  /// owner-only, so a finisher routing a ready task to a *different* home
+  /// worker must go through this mutex-protected box instead. Size mirrors
+  /// Q.size() with seq_cst updates so the parking Dekker pattern (and the
+  /// empty-check fast path) works without taking the lock.
+  struct Mailbox {
+    std::mutex M;
+    std::vector<uint32_t> Q;
+    std::atomic<uint32_t> Size{0};
+  };
+  std::unique_ptr<Mailbox[]> Mailboxes;
+  std::atomic<uint64_t> MailboxPushes{0};
+  std::atomic<uint64_t> MailboxFallbacks{0};
+
   // Parking. Epoch/NumParked are mutex-protected; a parker registers under
   // the lock, rescans every deque once, and only then waits, so a pusher
   // that sees NumParked == 0 is guaranteed its task is visible to that
@@ -88,17 +133,30 @@ struct DagRun {
   std::atomic<int> NumParked{0};
 
   std::atomic<uint64_t> TotalRun{0}, TotalSteals{0}, TotalParks{0};
+  std::atomic<uint64_t> TotalLocalSteals{0}, TotalRemoteSteals{0};
+  std::atomic<uint64_t> TotalHomeHits{0};
   std::atomic<uint64_t> TotalFailures{0};
   std::atomic<unsigned> StalledWorkers{0};
 
   DagRun(std::size_t NumTasks,
          const std::vector<std::vector<uint32_t>> &Succs,
-         const FailableTaskBody &Body, unsigned NumWorkers)
+         const FailableTaskBody &Body, unsigned NumWorkers,
+         const DagRunOptions &Opts)
       : NumTasks(NumTasks), Succs(Succs), Body(Body), NumWorkers(NumWorkers),
+        Affinity(Opts.Affinity && Opts.Affinity->size() == NumTasks
+                     ? Opts.Affinity
+                     : nullptr),
+        DomainSize(Opts.DomainSize == 0 || Opts.DomainSize > NumWorkers
+                       ? NumWorkers
+                       : Opts.DomainSize),
+        NumDomains((NumWorkers + DomainSize - 1) / DomainSize),
+        StealRemoteAfter(Opts.StealRemoteAfter),
+        RandomVictim(Opts.RandomVictim), StealSeed(Opts.StealSeed),
+        NoSteal(DomainSize == 1 && StealRemoteAfter == 0 && !RandomVictim),
         Deg(new std::atomic<uint32_t>[NumTasks ? NumTasks : 1]),
         TaskDone(new std::atomic<uint8_t>[NumTasks ? NumTasks : 1]),
         Heartbeat(new std::atomic<uint64_t>[NumWorkers]),
-        Remaining(NumTasks) {
+        Remaining(NumTasks), Mailboxes(new Mailbox[NumWorkers]) {
     for (std::size_t U = 0; U < NumTasks; ++U)
       TaskDone[U].store(0, std::memory_order_relaxed);
     for (unsigned W = 0; W < NumWorkers; ++W) {
@@ -107,6 +165,9 @@ struct DagRun {
           static_cast<int64_t>(NumTasks / NumWorkers + 64)));
     }
   }
+
+  unsigned homeOf(uint32_t T) const { return (*Affinity)[T] % NumWorkers; }
+  unsigned domainOf(unsigned W) const { return W / DomainSize; }
 
   bool stopping() const {
     return Done.load(std::memory_order_acquire) ||
@@ -136,8 +197,8 @@ struct DagRun {
       wakeAll();
   }
 
-  /// Hands a ready task to worker \p Me; never loses it (deque growth
-  /// failure diverts to the overflow queue).
+  /// Hands a ready task to worker \p Me's deque; never loses it (deque
+  /// growth failure diverts to the overflow queue).
   void pushReady(unsigned Me, uint32_t V) {
     if (Deques[Me]->push(V))
       return;
@@ -146,6 +207,57 @@ struct DagRun {
       Overflow.push_back(V);
     }
     OverflowPushes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Routes a released successor to the most local runnable place: the
+  /// finisher's own deque when it is the task's home (or no affinity is
+  /// set), otherwise the home worker's mailbox. A contended mailbox falls
+  /// back to the finisher's deque — the task stays runnable, just less
+  /// local — except under NoSteal, where nothing would ever move it back,
+  /// so delivery takes the lock unconditionally.
+  void routeReady(unsigned Me, uint32_t V) {
+    unsigned Home;
+    if (!Affinity || (Home = homeOf(V)) == Me) {
+      pushReady(Me, V);
+      return;
+    }
+    Mailbox &MB = Mailboxes[Home];
+    std::unique_lock<std::mutex> L(MB.M, std::defer_lock);
+    if (NoSteal)
+      L.lock();
+    else
+      (void)L.try_lock();
+    if (L.owns_lock()) {
+      try {
+        MB.Q.push_back(V);
+        MB.Size.fetch_add(1, std::memory_order_seq_cst);
+        MailboxPushes.fetch_add(1, std::memory_order_relaxed);
+        return;
+      } catch (...) {
+        // push_back allocation failure: fall through to the local deque
+        // (whose own failure path is the overflow queue). Never lost.
+        L.unlock();
+      }
+    }
+    MailboxFallbacks.fetch_add(1, std::memory_order_relaxed);
+    pushReady(Me, V);
+  }
+
+  /// Takes one task from worker \p W's mailbox. Callable by any worker:
+  /// the owner drains its own box ahead of stealing, and the desperate
+  /// phase of popOrSteal raids foreign boxes so tasks homed to a dead
+  /// worker (or a dead domain) are still picked up.
+  bool popMailbox(unsigned W, uint32_t &T) {
+    Mailbox &MB = Mailboxes[W];
+    if (MB.Size.load(std::memory_order_seq_cst) == 0)
+      return false;
+    std::lock_guard<std::mutex> L(MB.M);
+    if (MB.Q.empty())
+      return false;
+    T = MB.Q.back();
+    MB.Q.pop_back();
+    MB.Size.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
   }
 
   bool popOverflow(uint32_t &T) {
@@ -157,22 +269,79 @@ struct DagRun {
     return true;
   }
 
-  bool popOrSteal(unsigned Me, uint32_t &T, uint64_t &Steals) {
-    if (Deques[Me]->pop(T))
+  void countSteal(unsigned Me, unsigned Victim, WorkerCtx &C) {
+    ++C.Steals;
+    if (domainOf(Victim) == domainOf(Me))
+      ++C.LocalSteals;
+    else
+      ++C.RemoteSteals;
+    C.FailedLocalScans = 0;
+  }
+
+  bool popOrSteal(unsigned Me, uint32_t &T, WorkerCtx &C) {
+    if (Deques[Me]->pop(T) || popMailbox(Me, T) || popOverflow(T)) {
+      C.FailedLocalScans = 0;
       return true;
-    if (popOverflow(T))
-      return true;
-    for (unsigned I = 1; I < NumWorkers; ++I) {
-      unsigned Victim = (Me + I) % NumWorkers;
+    }
+
+    if (RandomVictim) {
+      // Baseline mode: full ring scan from a seeded pseudo-random start,
+      // domains ignored. (R + I) % (NumWorkers - 1) visits every other
+      // worker exactly once, so nothing is missed — only the order varies.
+      if (NumWorkers > 1) {
+        uint64_t R = mix64(StealSeed ^ (static_cast<uint64_t>(Me) << 32) ^
+                           ++C.StealNonce);
+        for (unsigned I = 0; I < NumWorkers - 1; ++I) {
+          unsigned Victim =
+              (Me + 1 + static_cast<unsigned>((R + I) % (NumWorkers - 1))) %
+              NumWorkers;
+          if (Deques[Victim]->steal(T) || popMailbox(Victim, T)) {
+            countSteal(Me, Victim, C);
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+
+    // Hierarchical scan: same-domain victims first, deterministic ring
+    // order from Me so chaos runs stay reproducible.
+    unsigned DomBegin = domainOf(Me) * DomainSize;
+    unsigned DomCount = std::min(DomainSize, NumWorkers - DomBegin);
+    for (unsigned I = 1; I < DomCount; ++I) {
+      unsigned Victim = DomBegin + (Me - DomBegin + I) % DomCount;
       if (Deques[Victim]->steal(T)) {
-        ++Steals;
+        countSteal(Me, Victim, C);
         return true;
       }
     }
+    // Desperate phase, entered only after StealRemoteAfter consecutive
+    // empty local scans: remote deques first, then every foreign mailbox
+    // (including same-domain ones, so a dead owner's deliveries are
+    // recovered even in a single-domain pool).
+    if (StealRemoteAfter > 0 && C.FailedLocalScans >= StealRemoteAfter) {
+      for (unsigned I = 1; I < NumWorkers; ++I) {
+        unsigned Victim = (Me + I) % NumWorkers;
+        if (Victim >= DomBegin && Victim < DomBegin + DomCount)
+          continue; // Local deques already scanned above.
+        if (Deques[Victim]->steal(T)) {
+          countSteal(Me, Victim, C);
+          return true;
+        }
+      }
+      for (unsigned I = 1; I < NumWorkers; ++I) {
+        unsigned Victim = (Me + I) % NumWorkers;
+        if (popMailbox(Victim, T)) {
+          countSteal(Me, Victim, C);
+          return true;
+        }
+      }
+    }
+    ++C.FailedLocalScans;
     return false;
   }
 
-  void execute(uint32_t T, unsigned Me, uint64_t &Ran) {
+  void execute(uint32_t T, unsigned Me, WorkerCtx &C) {
     bool OK = false;
     try {
       OK = Body(T, Me);
@@ -188,11 +357,13 @@ struct DagRun {
       return;
     }
     TaskDone[T].store(1, std::memory_order_relaxed);
-    ++Ran;
+    ++C.Ran;
+    if (Affinity && homeOf(T) == Me)
+      ++C.HomeHits;
     unsigned Pushed = 0;
     for (uint32_t V : Succs[T])
       if (Deg[V].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        pushReady(Me, V);
+        routeReady(Me, V);
         ++Pushed;
       }
     if (Pushed > 0)
@@ -213,19 +384,19 @@ struct DagRun {
   }
 
   void workerLoop(unsigned Me) {
-    uint64_t Ran = 0, Steals = 0, Parks = 0;
+    WorkerCtx C;
     uint32_t T = 0;
     while (!stopping()) {
       Heartbeat[Me].fetch_add(1, std::memory_order_relaxed);
-      if (popOrSteal(Me, T, Steals)) {
-        if (injectWorkerDeath(Me))
+      if (popOrSteal(Me, T, C)) {
+        if (injectWorkerDeath(Me) || injectDomainDeath(domainOf(Me)))
           break; // Dies holding T; only the watchdog can notice.
         if (uint64_t Ms = injectWorkerStall(Me)) {
           stallFor(Ms);
           if (stopping())
             break; // Quiesced mid-wedge; T stays not-done for replay.
         }
-        execute(T, Me, Ran);
+        execute(T, Me, C);
         continue;
       }
       // Nothing visible: register as parked, rescan once, then sleep. The
@@ -237,10 +408,10 @@ struct DagRun {
         E = Epoch;
       }
       NumParked.fetch_add(1, std::memory_order_seq_cst);
-      bool GotTask = !stopping() && popOrSteal(Me, T, Steals);
+      bool GotTask = !stopping() && popOrSteal(Me, T, C);
       if (GotTask) {
         NumParked.fetch_sub(1, std::memory_order_relaxed);
-        execute(T, Me, Ran);
+        execute(T, Me, C);
         continue;
       }
       if (stopping()) {
@@ -249,15 +420,18 @@ struct DagRun {
       }
       {
         std::unique_lock<std::mutex> L(M);
-        ++Parks;
+        ++C.Parks;
         CV.wait_for(L, std::chrono::milliseconds(1),
                     [&] { return Epoch != E || stopping(); });
       }
       NumParked.fetch_sub(1, std::memory_order_relaxed);
     }
-    TotalRun.fetch_add(Ran, std::memory_order_relaxed);
-    TotalSteals.fetch_add(Steals, std::memory_order_relaxed);
-    TotalParks.fetch_add(Parks, std::memory_order_relaxed);
+    TotalRun.fetch_add(C.Ran, std::memory_order_relaxed);
+    TotalSteals.fetch_add(C.Steals, std::memory_order_relaxed);
+    TotalLocalSteals.fetch_add(C.LocalSteals, std::memory_order_relaxed);
+    TotalRemoteSteals.fetch_add(C.RemoteSteals, std::memory_order_relaxed);
+    TotalHomeHits.fetch_add(C.HomeHits, std::memory_order_relaxed);
+    TotalParks.fetch_add(C.Parks, std::memory_order_relaxed);
   }
 
   /// Watchdog: detects deadline expiry and global stalls. Stall detection
@@ -370,19 +544,25 @@ DagRunResult shackle::runTaskDagPartial(
   if (static_cast<std::size_t>(NumWorkers) > NumTasks)
     NumWorkers = static_cast<unsigned>(NumTasks);
 
-  DagRun Run(NumTasks, Succs, Body, NumWorkers);
+  DagRun Run(NumTasks, Succs, Body, NumWorkers, Opts);
   for (std::size_t U = 0; U < NumTasks; ++U)
     Run.Deg[U].store(Deg[U], std::memory_order_relaxed);
 
-  // Seed the deques round-robin with the initially ready tasks (before any
-  // worker starts, so plain pushes are safe and every worker begins with
-  // a fair share of the first wavefront). pushReady keeps even a seeding
-  // allocation failure from losing a task.
+  // Seed the deques with the initially ready tasks (before any worker
+  // starts, so plain pushes are safe): each to its affinity home when a
+  // map is set — owner-computes placement — or round-robin otherwise, so
+  // every worker begins with a fair share of the first wavefront.
+  // pushReady keeps even a seeding allocation failure from losing a task.
   unsigned Next = 0;
   for (std::size_t U = 0; U < NumTasks; ++U)
     if (Deg[U] == 0) {
-      Run.pushReady(Next, static_cast<uint32_t>(U));
-      Next = (Next + 1) % NumWorkers;
+      if (Run.Affinity) {
+        Run.pushReady(Run.homeOf(static_cast<uint32_t>(U)),
+                      static_cast<uint32_t>(U));
+      } else {
+        Run.pushReady(Next, static_cast<uint32_t>(U));
+        Next = (Next + 1) % NumWorkers;
+      }
     }
 
   std::thread Watchdog;
@@ -414,6 +594,17 @@ DagRunResult shackle::runTaskDagPartial(
   Result.Stats.ThreadsUsed = NumWorkers;
   Result.Stats.TasksRun = Run.TotalRun.load(std::memory_order_relaxed);
   Result.Stats.Steals = Run.TotalSteals.load(std::memory_order_relaxed);
+  Result.Stats.LocalSteals =
+      Run.TotalLocalSteals.load(std::memory_order_relaxed);
+  Result.Stats.RemoteSteals =
+      Run.TotalRemoteSteals.load(std::memory_order_relaxed);
+  Result.Stats.MailboxPushes =
+      Run.MailboxPushes.load(std::memory_order_relaxed);
+  Result.Stats.MailboxFallbacks =
+      Run.MailboxFallbacks.load(std::memory_order_relaxed);
+  Result.Stats.HomeHits = Run.TotalHomeHits.load(std::memory_order_relaxed);
+  Result.Stats.NumDomains = Run.NumDomains;
+  Result.Stats.DomainSizeUsed = Run.DomainSize;
   Result.Stats.Parks = Run.TotalParks.load(std::memory_order_relaxed);
   Result.Stats.TaskFailures =
       Run.TotalFailures.load(std::memory_order_relaxed);

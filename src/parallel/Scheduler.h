@@ -7,12 +7,25 @@
 ///
 /// \file
 /// Executes a dependence DAG of tasks on a pool of worker threads. Each
-/// worker owns a Chase–Lev deque; completed tasks decrement the in-degree
-/// of their successors and push the ones that drop to zero onto the
-/// finishing worker's deque (locality: a block's successors usually touch
-/// adjacent data). Idle workers steal from random victims and park on a
-/// condition variable when the whole system looks empty, so a wavefront
-/// that narrows to one task does not spin the other cores.
+/// worker owns a Chase–Lev deque plus a mutex-protected mailbox (Chase–Lev
+/// pushes are owner-only, so a foreign hand-off needs the mailbox).
+/// Completed tasks decrement the in-degree of their successors; a released
+/// successor goes to the finishing worker's own deque, or — when an
+/// affinity map names a different home worker — to that home's mailbox,
+/// falling back to the local deque if the mailbox is contended, so a block
+/// stays with the worker whose cache holds its panels.
+///
+/// Idle workers scan victims deterministically, not randomly: first the
+/// other deques of their own locality domain (a contiguous group of
+/// DomainSize workers) in ring order (Me + I) % DomainSize, then — only
+/// after StealRemoteAfter consecutive empty local scans — every remote
+/// deque and finally every foreign mailbox, so tasks homed to a dead
+/// worker or a dead domain are still picked up. The deterministic ring
+/// keeps chaos runs reproducible; RandomVictim (for locality baselines)
+/// replaces the scan's starting point with a seeded pseudo-random one that
+/// is still a pure function of (StealSeed, worker, attempt). Workers park
+/// on a condition variable when the whole system looks empty, so a
+/// wavefront that narrows to one task does not spin the other cores.
 ///
 /// The caller must pass an acyclic graph (a Kahn pass verifies before
 /// touching any task and refuses cyclic inputs). Task bodies run at most
@@ -63,6 +76,14 @@ struct DagRunStats {
   uint64_t OverflowPushes = 0; ///< Hand-offs diverted by deque bad_alloc.
   unsigned StalledWorkers = 0; ///< Workers without a heartbeat at a stall.
   DagAbort Abort = DagAbort::None;
+  // Steal-locality telemetry. Steals == LocalSteals + RemoteSteals.
+  uint64_t LocalSteals = 0;  ///< Steals from a same-domain victim.
+  uint64_t RemoteSteals = 0; ///< Steals crossing a domain boundary.
+  uint64_t MailboxPushes = 0;    ///< Hand-offs delivered to a home mailbox.
+  uint64_t MailboxFallbacks = 0; ///< Contended mailboxes; kept locally.
+  uint64_t HomeHits = 0; ///< Tasks executed on their affinity home worker.
+  unsigned NumDomains = 1;      ///< Locality domains the pool was split into.
+  unsigned DomainSizeUsed = 0;  ///< Workers per domain after clamping.
 };
 
 /// Task body: called at most once per task, with the task id and the index
@@ -82,6 +103,30 @@ struct DagRunOptions {
   /// This is the watchdog that catches wedged or dead workers: parked
   /// workers keep heartbeating, so only a genuinely stuck run trips it.
   uint64_t StallTimeoutMs = 0;
+  /// Optional task -> home-worker map (size must equal the task count, or
+  /// it is ignored; entries are taken modulo the effective worker count,
+  /// which may be clamped below NumThreads). When set, initially ready
+  /// tasks are seeded to their home's deque and released successors are
+  /// routed to their home's mailbox; when null, seeding is round-robin and
+  /// successors stay with the finishing worker (the legacy policy).
+  const std::vector<uint32_t> *Affinity = nullptr;
+  /// Locality-domain width: workers [0, D), [D, 2D), ... form domains.
+  /// 0 (or any value >= the worker count) puts every worker in one domain,
+  /// which reproduces the pre-hierarchical flat steal scan.
+  unsigned DomainSize = 0;
+  /// Consecutive empty same-domain scans before a worker widens its
+  /// stealing to remote domains (deques, then mailboxes). 0 disables
+  /// cross-domain stealing entirely; combined with DomainSize == 1 it
+  /// disables stealing altogether, and mailbox delivery then blocks
+  /// (instead of falling back locally) so every task still reaches its
+  /// home worker.
+  unsigned StealRemoteAfter = 2;
+  /// Baseline for locality benchmarks: scan victims from a seeded
+  /// pseudo-random starting point (ignoring domains) instead of the
+  /// deterministic local-first ring. Victim order is still a pure function
+  /// of (StealSeed, worker, attempt), so runs remain reproducible.
+  bool RandomVictim = false;
+  uint64_t StealSeed = 0;
 };
 
 struct DagRunResult {

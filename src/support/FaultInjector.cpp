@@ -92,7 +92,8 @@ Status badSpec(const std::string &Clause, const char *Why) {
   D.addNote(Why);
   D.addNote("grammar: seed=S; throw@block=K|any|rate=R[,count=C]; "
             "stall@worker=W[,ms=M][,count=C]; die@worker=W[,count=C]; "
-            "alloc-fail@grow=N[,count=C]; solver-unknown@query=N[,count=C]");
+            "die@domain=D[,count=C]; alloc-fail@grow=N[,count=C]; "
+            "solver-unknown@query=N[,count=C]");
   return Status::error(std::move(D));
 }
 
@@ -109,6 +110,8 @@ void FaultInjector::disarm() {
   StallBudget.store(0, std::memory_order_relaxed);
   DeathWorker = -1;
   DeathBudget.store(0, std::memory_order_relaxed);
+  DeathDomain = -1;
+  DomainDeathBudget.store(0, std::memory_order_relaxed);
   AllocFailAt = 0;
   AllocFailCount = 0;
   GrowOccurrence.store(0, std::memory_order_relaxed);
@@ -118,6 +121,7 @@ void FaultInjector::disarm() {
   NumTaskThrows.store(0, std::memory_order_relaxed);
   NumWorkerStalls.store(0, std::memory_order_relaxed);
   NumWorkerDeaths.store(0, std::memory_order_relaxed);
+  NumDomainDeaths.store(0, std::memory_order_relaxed);
   NumAllocFails.store(0, std::memory_order_relaxed);
   NumSolverUnknowns.store(0, std::memory_order_relaxed);
 }
@@ -197,14 +201,23 @@ Status FaultInjector::configure(const std::string &Spec) {
       if (takeKey("ms", V) && !parseU64(V, StallMs))
         return badSpec(Clause, "ms must be a duration in milliseconds");
     } else if (Site == "die") {
-      if (!takeKey("worker", V))
-        return badSpec(Clause, "die needs worker=W");
-      uint64_t W;
-      if (!parseU64(V, W))
-        return badSpec(Clause, "worker must be a worker index");
-      DeathWorker = static_cast<int64_t>(W);
-      DeathBudget.store(static_cast<int64_t>(Count),
-                        std::memory_order_relaxed);
+      if (takeKey("worker", V)) {
+        uint64_t W;
+        if (!parseU64(V, W))
+          return badSpec(Clause, "worker must be a worker index");
+        DeathWorker = static_cast<int64_t>(W);
+        DeathBudget.store(static_cast<int64_t>(Count),
+                          std::memory_order_relaxed);
+      } else if (takeKey("domain", V)) {
+        uint64_t D;
+        if (!parseU64(V, D))
+          return badSpec(Clause, "domain must be a domain index");
+        DeathDomain = static_cast<int64_t>(D);
+        DomainDeathBudget.store(static_cast<int64_t>(Count),
+                                std::memory_order_relaxed);
+      } else {
+        return badSpec(Clause, "die needs worker=W or domain=D");
+      }
     } else if (Site == "alloc-fail") {
       if (!takeKey("grow", V))
         return badSpec(Clause, "alloc-fail needs grow=N (1-based)");
@@ -267,6 +280,14 @@ bool FaultInjector::fireWorkerDeath(unsigned Worker) {
   return true;
 }
 
+bool FaultInjector::fireDomainDeath(unsigned Domain) {
+  if (DeathDomain < 0 || static_cast<int64_t>(Domain) != DeathDomain ||
+      !takeBudget(DomainDeathBudget))
+    return false;
+  NumDomainDeaths.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 bool FaultInjector::fireAllocFail() {
   if (AllocFailAt == 0)
     return false;
@@ -292,6 +313,7 @@ FaultCounters FaultInjector::counters() const {
   C.TaskThrows = NumTaskThrows.load(std::memory_order_relaxed);
   C.WorkerStalls = NumWorkerStalls.load(std::memory_order_relaxed);
   C.WorkerDeaths = NumWorkerDeaths.load(std::memory_order_relaxed);
+  C.DomainDeaths = NumDomainDeaths.load(std::memory_order_relaxed);
   C.AllocFails = NumAllocFails.load(std::memory_order_relaxed);
   C.SolverUnknowns = NumSolverUnknowns.load(std::memory_order_relaxed);
   return C;

@@ -24,6 +24,10 @@
 ///   throw@rate=R[,count=C]       throw on blocks hashed under rate R in [0,1]
 ///   stall@worker=W[,ms=M][,count=C]   worker W freezes for M ms (default 10000)
 ///   die@worker=W[,count=C]       worker W exits, losing its claimed task
+///   die@domain=D[,count=C]       any worker of locality domain D exits on
+///                                claiming a task; count=C (default 1) kills
+///                                up to C workers — set it to the domain
+///                                size to take the whole domain down
 ///   alloc-fail@grow=N[,count=C]  the Nth deque growth (1-based) and the C-1
 ///                                following ones throw bad_alloc
 ///   solver-unknown@query=N[,count=C]  the Nth sign-pattern feasibility query
@@ -63,12 +67,13 @@ struct FaultCounters {
   uint64_t TaskThrows = 0;
   uint64_t WorkerStalls = 0;
   uint64_t WorkerDeaths = 0;
+  uint64_t DomainDeaths = 0;
   uint64_t AllocFails = 0;
   uint64_t SolverUnknowns = 0;
 
   uint64_t total() const {
-    return TaskThrows + WorkerStalls + WorkerDeaths + AllocFails +
-           SolverUnknowns;
+    return TaskThrows + WorkerStalls + WorkerDeaths + DomainDeaths +
+           AllocFails + SolverUnknowns;
   }
 };
 
@@ -93,6 +98,7 @@ public:
   /// Returns the stall duration in ms, or 0 when no fault fires.
   uint64_t fireWorkerStall(unsigned Worker);
   bool fireWorkerDeath(unsigned Worker);
+  bool fireDomainDeath(unsigned Domain);
   bool fireAllocFail();
   bool fireSolverUnknown();
 
@@ -113,6 +119,8 @@ private:
   std::atomic<int64_t> StallBudget{0};
   int64_t DeathWorker = -1;
   std::atomic<int64_t> DeathBudget{0};
+  int64_t DeathDomain = -1;
+  std::atomic<int64_t> DomainDeathBudget{0};
   uint64_t AllocFailAt = 0; ///< 1-based growth occurrence; 0 disabled.
   uint64_t AllocFailCount = 0;
   std::atomic<uint64_t> GrowOccurrence{0};
@@ -124,6 +132,7 @@ private:
   std::atomic<uint64_t> NumTaskThrows{0};
   std::atomic<uint64_t> NumWorkerStalls{0};
   std::atomic<uint64_t> NumWorkerDeaths{0};
+  std::atomic<uint64_t> NumDomainDeaths{0};
   std::atomic<uint64_t> NumAllocFails{0};
   std::atomic<uint64_t> NumSolverUnknowns{0};
 };
@@ -157,6 +166,16 @@ inline bool injectWorkerDeath(unsigned Worker) {
   return FI.armed() && FI.fireWorkerDeath(Worker);
 #else
   (void)Worker;
+  return false;
+#endif
+}
+
+inline bool injectDomainDeath(unsigned Domain) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireDomainDeath(Domain);
+#else
+  (void)Domain;
   return false;
 #endif
 }

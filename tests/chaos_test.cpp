@@ -112,7 +112,8 @@ TEST_F(ChaosTest, MalformedSpecsAreUsageErrors) {
   FaultInjector &FI = FaultInjector::instance();
   for (const char *Bad :
        {"bogus@spec=1", "throw@block", "throw@block=x", "stall@worker=1,ms=",
-        "throw@rate=2.5", "seed", ";;throw@block=1=2"}) {
+        "throw@rate=2.5", "seed", ";;throw@block=1=2", "die@domain=x",
+        "die@ms=1"}) {
     Status S = FI.configure(Bad);
     ASSERT_FALSE(S.ok()) << Bad;
     EXPECT_EQ(S.diagnostic().Code, DiagCode::UsageError) << Bad;
@@ -268,6 +269,47 @@ TEST_F(ChaosTest, DeadWorkerLosesItsTaskButTheRunRecovers) {
   EXPECT_EQ(Stats.Mode, ParallelMode::Degraded);
   EXPECT_EQ(Stats.Abort, DagAbort::Stalled);
   EXPECT_EQ(FaultInjector::instance().counters().WorkerDeaths, 1u);
+}
+
+TEST_F(ChaosTest, DomainDeathClauseParsesAndHasAFiniteBudget) {
+  arm("seed=1;die@domain=1,count=2");
+  EXPECT_FALSE(injectDomainDeath(0)); // Only the named domain dies.
+  EXPECT_FALSE(injectWorkerDeath(0)); // Distinct clause, distinct hook.
+  EXPECT_TRUE(injectDomainDeath(1));
+  EXPECT_TRUE(injectDomainDeath(1));
+  EXPECT_FALSE(injectDomainDeath(1)); // Budget exhausted.
+  EXPECT_EQ(FaultInjector::instance().counters().DomainDeaths, 2u);
+}
+
+TEST_F(ChaosTest, DeadDomainIsDrainedByRemoteStealsAndRecovers) {
+  // Kill locality domain 0 (workers 0 and 1 at DomainSize = 2): each dies
+  // on its first claim, losing that task. ADI's outer column panels are
+  // fully independent (every task initially ready, seeded to its home
+  // deque), so domain 0's remaining tasks can only be executed by domain 1
+  // workers raiding the dead workers' deques and mailboxes across the
+  // domain boundary. The lost claims wedge the pool; the watchdog then
+  // degrades to the bitwise serial replay.
+  arm("seed=3;die@domain=0,count=2");
+  BenchSpec Spec = makeADI();
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.DomainSize = 2;
+  Opts.StallTimeoutMs = 150;
+  ParallelPlanOptions PlanOpts;
+  PlanOpts.TaskLevel = 1; // Outer panels only: an edge-free task graph.
+  ParallelRunStats Stats =
+      runExpectBitwise(Spec, adiShackleTwoLevel(*Spec.Prog, 8), {64}, Opts,
+                       PlanOpts);
+  EXPECT_EQ(Stats.Mode, ParallelMode::Degraded);
+  EXPECT_EQ(Stats.Abort, DagAbort::Stalled);
+  EXPECT_EQ(Stats.NumDomains, 2u);
+  // Domain 0 owns a quarter of the panels per worker; at most two are lost
+  // to the deaths and no domain-0 worker can run the rest (a claim kills),
+  // so the survivors must have pulled at least two across the boundary.
+  EXPECT_GE(Stats.RemoteSteals, 2u);
+  EXPECT_GE(FaultInjector::instance().counters().DomainDeaths, 1u);
+  EXPECT_GT(Stats.ReplayedSerially, 0u);
+  EXPECT_TRUE(hasDiag(Stats.Diags, DiagCode::ParallelDegrade));
 }
 
 TEST_F(ChaosTest, DeadlineExpiryDegradesAndStillFinishesExactly) {

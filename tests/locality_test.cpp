@@ -1,0 +1,361 @@
+//===- locality_test.cpp - Locality-aware scheduling --------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The battery for locality-aware scheduling (DESIGN.md §11): affinity
+// placement, locality domains, hierarchical stealing, and the random-victim
+// baseline must all preserve bitwise serial equality at every thread count
+// on MMM, Cholesky, and ADI; the affinity map must partition the task order
+// into exactly one contiguous range per worker; and with stealing disabled
+// every task must execute on its affinity home worker (verified through the
+// per-worker memory traces). Steal telemetry must stay consistent:
+// Steals == LocalSteals + RemoteSteals, and all tasks are home hits when
+// nothing can steal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "parallel/Affinity.h"
+#include "parallel/ParallelExecutor.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+using namespace shackle;
+
+namespace {
+
+ParallelPlan buildAtLevel(const Program &P, const ShackleChain &Chain,
+                          std::vector<int64_t> Params, unsigned Level) {
+  ParallelPlanOptions Opts;
+  Opts.TaskLevel = Level;
+  return ParallelPlan::build(P, Chain, std::move(Params), Opts);
+}
+
+/// Runs \p Plan on a fresh copy of \p Init under \p Opts and checks the
+/// result is bitwise-identical to serial execution of the same nest.
+void expectBitwise(const ParallelPlan &Plan, const ProgramInstance &Init,
+                   const ParallelRunOptions &Opts, const char *What) {
+  ProgramInstance Par = Init, Ser = Init;
+  ParallelRunStats Stats = Plan.run(Par, Opts);
+  Plan.runSerial(Ser);
+  EXPECT_FALSE(Stats.Failed) << What;
+  EXPECT_EQ(Stats.Mode, ParallelMode::Parallel) << What;
+  EXPECT_EQ(Stats.Steals, Stats.LocalSteals + Stats.RemoteSteals) << What;
+  EXPECT_TRUE(Par.bitwiseEqual(Ser)) << What << " " << Plan.summary();
+}
+
+/// The locality configurations every kernel is swept through: default
+/// affinity, explicit small domains, cross-domain stealing disabled,
+/// stealing disabled entirely, the round-robin and random-victim
+/// baselines, and the first-touch warming pass.
+std::vector<std::pair<const char *, ParallelRunOptions>>
+localityConfigs(unsigned Threads) {
+  auto Mk = [Threads] {
+    ParallelRunOptions O;
+    O.NumThreads = Threads;
+    return O;
+  };
+  std::vector<std::pair<const char *, ParallelRunOptions>> Cs;
+  Cs.emplace_back("affinity-default", Mk());
+  {
+    ParallelRunOptions O = Mk();
+    O.DomainSize = 2;
+    Cs.emplace_back("domains-of-2", O);
+  }
+  {
+    ParallelRunOptions O = Mk();
+    O.DomainSize = 2;
+    O.StealRemoteAfter = 0; // Local stealing only.
+    Cs.emplace_back("no-remote-steals", O);
+  }
+  {
+    ParallelRunOptions O = Mk();
+    O.DomainSize = 1;
+    O.StealRemoteAfter = 0; // No stealing at all.
+    Cs.emplace_back("no-steals", O);
+  }
+  {
+    ParallelRunOptions O = Mk();
+    O.Placement = TaskPlacement::RoundRobin;
+    Cs.emplace_back("round-robin", O);
+  }
+  {
+    ParallelRunOptions O = Mk();
+    O.RandomSteal = true;
+    O.StealSeed = 7;
+    Cs.emplace_back("random-victims", O);
+  }
+  {
+    ParallelRunOptions O = Mk();
+    O.FirstTouch = true;
+    Cs.emplace_back("first-touch", O);
+  }
+  return Cs;
+}
+
+void sweepKernel(const ParallelPlan &Plan, const ProgramInstance &Init) {
+  ASSERT_TRUE(Plan.parallelReady()) << Plan.summary();
+  for (unsigned Threads : {1u, 2u, 4u, 8u})
+    for (const auto &[Name, Opts] : localityConfigs(Threads))
+      expectBitwise(Plan, Init, Opts,
+                    (std::string(Name) + " threads=" +
+                     std::to_string(Threads))
+                        .c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Bitwise serial equality under every locality policy
+//===----------------------------------------------------------------------===//
+
+TEST(LocalityBitwise, TwoLevelMMMEveryConfigEveryThreadCount) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = mmmShackleTwoLevel(P, 8, 4);
+  ProgramInstance Init(P, {16});
+  Init.fillRandom(11, 0.5, 1.5);
+  sweepKernel(buildAtLevel(P, Chain, {16}, 2), Init);
+  sweepKernel(buildAtLevel(P, Chain, {16}, 0), Init);
+}
+
+TEST(LocalityBitwise, CholeskyProduct) {
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = choleskyShackleProduct(P, 4, /*WritesFirst=*/true);
+  const int64_t N = 16;
+  ProgramInstance Init(P, {N});
+  Init.fillRandom(23, 0.5, 1.5);
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t Idx[2] = {I, I};
+    Init.buffer(0)[Init.offset(0, Idx)] += 3.0 * static_cast<double>(N);
+  }
+  sweepKernel(buildAtLevel(P, Chain, {N}, 0), Init);
+}
+
+TEST(LocalityBitwise, ADITwoLevelColumnPanels) {
+  BenchSpec Spec = makeADI();
+  const Program &P = *Spec.Prog;
+  ShackleChain Chain = adiShackleTwoLevel(P, 8);
+  ProgramInstance Init(P, {32});
+  Init.fillRandom(37, 0.5, 1.5);
+  sweepKernel(buildAtLevel(P, Chain, {32}, 1), Init);
+}
+
+//===----------------------------------------------------------------------===//
+// Affinity map: a contiguous, exhaustive partition of the task order
+//===----------------------------------------------------------------------===//
+
+/// Checks the partition invariants: NumWorkers + 1 monotone boundaries
+/// tiling [0, NumTasks), and Home agreeing with the range each task falls
+/// into (in particular every task has exactly one home).
+void expectPartition(const AffinityMap &Map, std::size_t NumTasks) {
+  ASSERT_TRUE(Map.valid());
+  ASSERT_EQ(Map.Home.size(), NumTasks);
+  ASSERT_EQ(Map.RangeBegin.size(), Map.NumWorkers + 1u);
+  EXPECT_EQ(Map.RangeBegin.front(), 0u);
+  EXPECT_EQ(Map.RangeBegin.back(), NumTasks);
+  for (unsigned W = 0; W < Map.NumWorkers; ++W) {
+    EXPECT_LE(Map.RangeBegin[W], Map.RangeBegin[W + 1]) << "worker " << W;
+    for (uint32_t T = Map.RangeBegin[W]; T < Map.RangeBegin[W + 1]; ++T)
+      EXPECT_EQ(Map.Home[T], W) << "task " << T;
+  }
+  // Homes are non-decreasing along the lexicographic order - the
+  // "contiguous ranges" property stated directly on Home.
+  for (std::size_t T = 1; T < NumTasks; ++T)
+    EXPECT_LE(Map.Home[T - 1], Map.Home[T]);
+}
+
+TEST(AffinityMap, UniformWeightsSplitEvenly) {
+  AffinityMap Map = buildAffinityMap(12, {}, 4);
+  expectPartition(Map, 12);
+  for (unsigned W = 0; W < 4; ++W)
+    EXPECT_EQ(Map.RangeBegin[W + 1] - Map.RangeBegin[W], 3u) << W;
+}
+
+TEST(AffinityMap, WeightedCutsFollowTheWeight) {
+  // One heavy task up front: it should own worker 0's range alone.
+  AffinityMap Map = buildAffinityMap(5, {100, 1, 1, 1, 1}, 2);
+  expectPartition(Map, 5);
+  EXPECT_EQ(Map.RangeBegin[1], 1u);
+  EXPECT_EQ(Map.Home[0], 0u);
+  for (std::size_t T = 1; T < 5; ++T)
+    EXPECT_EQ(Map.Home[T], 1u);
+}
+
+TEST(AffinityMap, EdgeCases) {
+  // More workers than tasks: trailing ranges are empty, tasks still all
+  // homed.
+  AffinityMap Sparse = buildAffinityMap(3, {}, 8);
+  expectPartition(Sparse, 3);
+  // Zero tasks, zero workers (clamped to 1), zero weights.
+  expectPartition(buildAffinityMap(0, {}, 4), 0);
+  expectPartition(buildAffinityMap(6, {0, 0, 0, 0, 0, 0}, 0), 6);
+  expectPartition(buildAffinityMap(1, {42}, 1), 1);
+}
+
+TEST(AffinityMap, PlanAffinityMatchesSchedulerClamp) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan =
+      buildAtLevel(P, mmmShackleTwoLevel(P, 8, 4), {16}, 2);
+  ASSERT_TRUE(Plan.parallelReady());
+  const std::size_t N = Plan.partition().Tasks.size();
+  // Requesting more threads than tasks clamps the map to the task count -
+  // the same clamp the scheduler applies to its worker pool.
+  AffinityMap Map = Plan.affinityMap(64);
+  EXPECT_EQ(Map.NumWorkers, N);
+  expectPartition(Map, N);
+  expectPartition(Plan.affinityMap(2), N);
+}
+
+TEST(AffinityMap, DetectDomainSizeIsSane) {
+  EXPECT_EQ(detectDomainSize(0), 1u);
+  for (unsigned W : {1u, 2u, 4u, 8u, 64u}) {
+    unsigned D = detectDomainSize(W);
+    EXPECT_GE(D, 1u) << W;
+    EXPECT_LE(D, W) << W;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// With stealing disabled, every task runs on its affinity home
+//===----------------------------------------------------------------------===//
+
+using Access = std::tuple<unsigned, int64_t, bool>;
+
+TEST(LocalityPlacement, NoStealTracesMatchHomeRanges) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan =
+      buildAtLevel(P, mmmShackleTwoLevel(P, 8, 4), {16}, 2);
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Init(P, {16});
+  Init.fillRandom(31, 0.5, 1.5);
+
+  for (unsigned Threads : {2u, 4u}) {
+    AffinityMap Map = Plan.affinityMap(Threads);
+    ASSERT_LE(Map.NumWorkers, Threads);
+
+    // Expected per-home access multisets: serially replay each home's task
+    // range through the interpreter with a private trace.
+    std::vector<std::vector<Access>> Expected(Map.NumWorkers);
+    {
+      ProgramInstance Ser = Init;
+      for (unsigned W = 0; W < Map.NumWorkers; ++W) {
+        TraceFn Trace = [&Expected, W](unsigned ArrayId, int64_t Off,
+                                       bool IsWrite) {
+          Expected[W].emplace_back(ArrayId, Off, IsWrite);
+        };
+        for (uint32_t T = Map.RangeBegin[W]; T < Map.RangeBegin[W + 1]; ++T)
+          for (const BlockTask::Segment &Seg :
+               Plan.partition().Tasks[T].Segments)
+            runLoopNestSubtree(Plan.nest(), *Seg.Node, Seg.DimValues, Ser,
+                               &Trace);
+        std::sort(Expected[W].begin(), Expected[W].end());
+      }
+    }
+
+    // Parallel run with stealing disabled: tasks may only reach their home
+    // worker's deque or mailbox, so worker W's trace must be exactly its
+    // range's accesses (as a multiset - W interleaves its own tasks
+    // freely as dependences release them).
+    std::vector<std::vector<Access>> Got(Map.NumWorkers);
+    std::vector<TraceFn> Sinks;
+    for (unsigned W = 0; W < Map.NumWorkers; ++W)
+      Sinks.push_back([&Got, W](unsigned ArrayId, int64_t Off, bool IsWrite) {
+        Got[W].emplace_back(ArrayId, Off, IsWrite);
+      });
+    ProgramInstance Par = Init;
+    ParallelRunOptions Opts;
+    Opts.NumThreads = Threads;
+    Opts.DomainSize = 1;
+    Opts.StealRemoteAfter = 0;
+    Opts.WorkerTraces = &Sinks;
+    ParallelRunStats Stats = Plan.run(Par, Opts);
+    ASSERT_FALSE(Stats.Failed);
+    ASSERT_EQ(Stats.Mode, ParallelMode::Parallel);
+    EXPECT_EQ(Stats.Steals, 0u) << "stealing was disabled";
+    EXPECT_EQ(Stats.HomeHits, Stats.BlocksRun)
+        << "every task must run at home when nothing can steal";
+    for (unsigned W = 0; W < Map.NumWorkers; ++W) {
+      std::sort(Got[W].begin(), Got[W].end());
+      EXPECT_EQ(Got[W], Expected[W]) << "worker " << W << " threads="
+                                     << Threads;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Steal telemetry consistency
+//===----------------------------------------------------------------------===//
+
+TEST(LocalityTelemetry, DomainSplitAndStealDecomposition) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan =
+      buildAtLevel(P, mmmShackleTwoLevel(P, 8, 4), {16}, 0);
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Init(P, {16});
+  Init.fillRandom(13, 0.5, 1.5);
+
+  ProgramInstance Inst = Init;
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.DomainSize = 2;
+  ParallelRunStats Stats = Plan.run(Inst, Opts);
+  ASSERT_FALSE(Stats.Failed);
+  EXPECT_EQ(Stats.DomainSize, 2u);
+  EXPECT_EQ(Stats.NumDomains, 2u);
+  EXPECT_EQ(Stats.Steals, Stats.LocalSteals + Stats.RemoteSteals);
+  EXPECT_LE(Stats.HomeHits, Stats.BlocksRun);
+
+  // Single worker: its one range is the whole task order, every task is a
+  // home hit, and nothing can be stolen or migrated.
+  ProgramInstance Solo = Init;
+  ParallelRunOptions SoloOpts;
+  SoloOpts.NumThreads = 1;
+  ParallelRunStats SoloStats = Plan.run(Solo, SoloOpts);
+  EXPECT_EQ(SoloStats.HomeHits, SoloStats.BlocksRun);
+  EXPECT_EQ(SoloStats.Steals, 0u);
+  EXPECT_EQ(SoloStats.BytesMigrated, 0u);
+}
+
+TEST(LocalityTelemetry, FirstTouchReadsEveryFootprintOnce) {
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan =
+      buildAtLevel(P, mmmShackleTwoLevel(P, 8, 4), {16}, 2);
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Init(P, {16});
+  Init.fillRandom(17, 0.5, 1.5);
+
+  ProgramInstance Inst = Init;
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.FirstTouch = true;
+  ParallelRunStats Stats = Plan.run(Inst, Opts);
+  ASSERT_FALSE(Stats.Failed);
+  EXPECT_GT(Stats.FirstTouchElems, 0u);
+
+  // The warming pass is read-only: results stay bitwise-identical.
+  ProgramInstance Ser = Init;
+  Plan.runSerial(Ser);
+  EXPECT_TRUE(Inst.bitwiseEqual(Ser));
+
+  // Round-robin placement has no home ranges to warm.
+  ProgramInstance RR = Init;
+  Opts.Placement = TaskPlacement::RoundRobin;
+  ParallelRunStats RRStats = Plan.run(RR, Opts);
+  EXPECT_EQ(RRStats.FirstTouchElems, 0u);
+  EXPECT_EQ(RRStats.HomeHits, 0u) << "no affinity map, no home hits";
+}
+
+} // namespace

@@ -137,6 +137,9 @@ int usage() {
       "      (parallel block execution; task-level schedules the first K\n"
       "       chain factors as outer tasks, inner levels serial per task)\n"
       "      [--max-retries=N] [--deadline-ms=N] [--stall-ms=N]\n"
+      "      [--placement=affinity|round-robin] [--domain-size=N]\n"
+      "      [--steal-remote-after=K] [--random-steal] [--steal-seed=S]\n"
+      "      [--first-touch]            (locality: see docs/CLI.md)\n"
       "      [--inject=SPEC]            (chaos: deterministic faults;\n"
       "       e.g. --inject='throw@block=2;seed=7', see docs/CLI.md)\n"
       "  shackle file <path> print\n"
@@ -610,6 +613,24 @@ int main(int Argc, char **Argv) {
     // injected worker stall or death degrades instead of hanging the run.
     RunOpts.StallTimeoutMs = static_cast<uint64_t>(std::max<int64_t>(
         0, flagValue(Argc, Argv, "stall-ms", InjectSpec.empty() ? 0 : 250)));
+    std::string Placement = flagString(Argc, Argv, "placement", "affinity");
+    if (Placement == "round-robin") {
+      RunOpts.Placement = TaskPlacement::RoundRobin;
+    } else if (Placement != "affinity") {
+      std::fprintf(stderr,
+                   "error: [usage-error] --placement expects 'affinity' or "
+                   "'round-robin', got '%s'\n",
+                   Placement.c_str());
+      return 1;
+    }
+    RunOpts.DomainSize = static_cast<unsigned>(
+        std::max<int64_t>(0, flagValue(Argc, Argv, "domain-size", 0)));
+    RunOpts.StealRemoteAfter = static_cast<unsigned>(std::max<int64_t>(
+        0, flagValue(Argc, Argv, "steal-remote-after", 2)));
+    RunOpts.RandomSteal = hasFlag(Argc, Argv, "random-steal");
+    RunOpts.StealSeed = static_cast<uint64_t>(
+        std::max<int64_t>(0, flagValue(Argc, Argv, "steal-seed", 0)));
+    RunOpts.FirstTouch = hasFlag(Argc, Argv, "first-touch");
 
     ParallelPlanOptions Opts;
     Opts.Budget = budgetFromFlags(Argc, Argv);
@@ -687,6 +708,27 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(Stats.BlocksRun),
                   Stats.ThreadsUsed, Ms, parallelModeName(Stats.Mode),
                   static_cast<unsigned long long>(Stats.Steals));
+    if (Stats.Mode != ParallelMode::SerialFallback) {
+      double HomePct =
+          Stats.BlocksRun == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(Stats.HomeHits) /
+                    static_cast<double>(Stats.BlocksRun);
+      std::printf("locality: domains=%u (x%u workers) home-hits=%llu "
+                  "(%.1f%%) local-steals=%llu remote-steals=%llu "
+                  "mailbox=%llu (+%llu fallback) bytes-migrated=%llu",
+                  Stats.NumDomains, Stats.DomainSize,
+                  static_cast<unsigned long long>(Stats.HomeHits), HomePct,
+                  static_cast<unsigned long long>(Stats.LocalSteals),
+                  static_cast<unsigned long long>(Stats.RemoteSteals),
+                  static_cast<unsigned long long>(Stats.MailboxPushes),
+                  static_cast<unsigned long long>(Stats.MailboxFallbacks),
+                  static_cast<unsigned long long>(Stats.BytesMigrated));
+      if (RunOpts.FirstTouch)
+        std::printf(" first-touch-elems=%llu",
+                    static_cast<unsigned long long>(Stats.FirstTouchElems));
+      std::printf("\n");
+    }
     if (Stats.Faults || Stats.Retries || Stats.ReplayedSerially)
       std::printf("faults=%llu retries=%llu replayed-serially=%llu "
                   "progress=%s\n",
