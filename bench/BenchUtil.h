@@ -171,6 +171,18 @@ inline void setLocalityStats(benchmark::State &St, double Steals,
   St.counters["bytes_migrated"] = benchmark::Counter(BytesMigrated);
 }
 
+/// Tags a parallel-run benchmark with its fault-tolerance telemetry so
+/// corruption sweeps are diffable from the JSON output alone: faults
+/// injected (from the process-wide FaultInjector counters), rollback
+/// retries spent recovering, and whether the run degraded to the serial
+/// replay (0/1).
+inline void setFaultStats(benchmark::State &St, double FaultsInjected,
+                          double Retries, double Degraded) {
+  St.counters["faults_injected"] = benchmark::Counter(FaultsInjected);
+  St.counters["retries"] = benchmark::Counter(Retries);
+  St.counters["degraded"] = benchmark::Counter(Degraded);
+}
+
 /// Tags a benchmark with cache-simulation miss counts accumulated over the
 /// per-worker traces of a parallel run (see WorkerTraces).
 inline void setWorkerMissStats(benchmark::State &St, double L1Misses,
@@ -198,6 +210,8 @@ public:
     double HomeHitPct = 0.0;
     int64_t BytesMigrated = 0;
     int64_t L1Misses = 0, L2Misses = 0;
+    /// Fault-tolerance telemetry (0 unless set via setFaultStats).
+    int64_t FaultsInjected = 0, Retries = 0, Degraded = 0;
   };
   std::vector<Record> Records;
 
@@ -232,6 +246,9 @@ public:
       Rec.BytesMigrated = Counter("bytes_migrated");
       Rec.L1Misses = Counter("l1_misses");
       Rec.L2Misses = Counter("l2_misses");
+      Rec.FaultsInjected = Counter("faults_injected");
+      Rec.Retries = Counter("retries");
+      Rec.Degraded = Counter("degraded");
       Rec.NsPerIter = R.real_accumulated_time /
                       static_cast<double>(R.iterations) * 1e9;
       Records.push_back(std::move(Rec));
@@ -265,7 +282,9 @@ inline bool writeJsonRecords(const char *Path,
                  "\"dag_build_ms\": %.3f, "
                  "\"steals\": %lld, \"local_steals\": %lld, "
                  "\"home_hit_pct\": %.1f, \"bytes_migrated\": %lld, "
-                 "\"l1_misses\": %lld, \"l2_misses\": %lld}%s\n",
+                 "\"l1_misses\": %lld, \"l2_misses\": %lld, "
+                 "\"faults_injected\": %lld, \"retries\": %lld, "
+                 "\"degraded\": %lld}%s\n",
                  jsonEscape(Rs[I].Name).c_str(),
                  static_cast<long long>(Rs[I].N),
                  static_cast<long long>(Rs[I].Block),
@@ -277,6 +296,9 @@ inline bool writeJsonRecords(const char *Path,
                  static_cast<long long>(Rs[I].BytesMigrated),
                  static_cast<long long>(Rs[I].L1Misses),
                  static_cast<long long>(Rs[I].L2Misses),
+                 static_cast<long long>(Rs[I].FaultsInjected),
+                 static_cast<long long>(Rs[I].Retries),
+                 static_cast<long long>(Rs[I].Degraded),
                  I + 1 < Rs.size() ? "," : "");
   std::fprintf(F, "]\n");
   std::fclose(F);

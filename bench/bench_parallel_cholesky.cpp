@@ -21,6 +21,7 @@
 #include "interp/Interpreter.h"
 #include "parallel/ParallelExecutor.h"
 #include "programs/Benchmarks.h"
+#include "support/FaultInjector.h"
 
 using namespace shackle;
 using namespace shackle_bench;
@@ -54,12 +55,15 @@ void BM_ParallelCholesky(benchmark::State &St) {
     Init.buffer(0)[Init.offset(0, Idx)] += 3.0 * static_cast<double>(N);
   }
   ProgramInstance Inst = Init;
+  uint64_t Retries = 0, Degraded = 0;
   for (auto _ : St) {
     St.PauseTiming();
     Inst.buffer(0) = Init.buffer(0);
     St.ResumeTiming();
-    Plan.run(Inst, Threads);
+    ParallelRunStats Stats = Plan.run(Inst, Threads);
     benchmark::ClobberMemory();
+    Retries += Stats.Retries;
+    Degraded += Stats.Mode == ParallelMode::Degraded;
   }
   St.counters["MFlop/s"] = benchmark::Counter(
       cholFlops(N) * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
@@ -68,6 +72,9 @@ void BM_ParallelCholesky(benchmark::State &St) {
   setBenchMeta(St, N, Block, Threads);
   setDagStats(St, static_cast<double>(Plan.graph().numBlocks()),
               static_cast<double>(Plan.graph().NumEdges), Plan.dagBuildMs());
+  setFaultStats(
+      St, static_cast<double>(FaultInjector::instance().counters().total()),
+      static_cast<double>(Retries), static_cast<double>(Degraded));
 }
 
 void ThreadSweep(benchmark::internal::Benchmark *B) {

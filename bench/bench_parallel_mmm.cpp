@@ -23,6 +23,7 @@
 #include "interp/Interpreter.h"
 #include "parallel/ParallelExecutor.h"
 #include "programs/Benchmarks.h"
+#include "support/FaultInjector.h"
 
 using namespace shackle;
 using namespace shackle_bench;
@@ -50,19 +51,25 @@ void BM_ParallelMMM(benchmark::State &St) {
   ProgramInstance Init(P, {N});
   Init.fillRandom(41, 0.5, 1.5);
   ProgramInstance Inst = Init;
+  uint64_t Retries = 0, Degraded = 0;
   for (auto _ : St) {
     St.PauseTiming();
     for (unsigned A = 0; A < P.getNumArrays(); ++A)
       Inst.buffer(A) = Init.buffer(A);
     St.ResumeTiming();
-    Plan.run(Inst, Threads);
+    ParallelRunStats Stats = Plan.run(Inst, Threads);
     benchmark::ClobberMemory();
+    Retries += Stats.Retries;
+    Degraded += Stats.Mode == ParallelMode::Degraded;
   }
   St.counters["MFlop/s"] = benchmark::Counter(
       mmmFlops(N) * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
   setBenchMeta(St, N, Block, Threads);
   setDagStats(St, static_cast<double>(Plan.graph().numBlocks()),
               static_cast<double>(Plan.graph().NumEdges), Plan.dagBuildMs());
+  setFaultStats(
+      St, static_cast<double>(FaultInjector::instance().counters().total()),
+      static_cast<double>(Retries), static_cast<double>(Degraded));
 }
 
 void ThreadSweep(benchmark::internal::Benchmark *B) {

@@ -199,9 +199,11 @@ public:
   /// address (undo-log capture); the instance storage is never touched.
   Executor(const LoopNest &Nest, ProgramInstance &Inst, const TraceFn *Trace,
            std::vector<int64_t> InitialDimValues,
-           const WriteSink *Writes = nullptr)
+           const WriteSink *Writes = nullptr,
+           const StoreCheckFn *Check = nullptr)
       : Nest(Nest), Inst(Inst), Trace(Trace), CountOnly(false),
-        Writes(Writes), DimValues(std::move(InitialDimValues)),
+        Writes(Writes), Check(Check),
+        DimValues(std::move(InitialDimValues)),
         StmtVarValues(Nest.Prog->getNumVars(), 0) {
     assert(DimValues.size() == Nest.NumDims && "one value per dimension");
     for (unsigned V = 0; V < Nest.NumParams; ++V)
@@ -293,6 +295,8 @@ private:
     if (Trace)
       (*Trace)(S.LHS.ArrayId, Off, /*IsWrite=*/true);
     Inst.buffer(S.LHS.ArrayId)[Off] = Value;
+    if (Check)
+      (*Check)(S.LHS.ArrayId, Off, Value);
   }
 
   void exec(const ASTNode &N) {
@@ -333,6 +337,7 @@ private:
   const TraceFn *Trace;
   bool CountOnly;
   const WriteSink *Writes = nullptr;
+  const StoreCheckFn *Check = nullptr;
   uint64_t Instances = 0;
   std::vector<int64_t> DimValues;
   std::vector<int64_t> StmtVarValues;
@@ -348,8 +353,9 @@ void shackle::runLoopNest(const LoopNest &Nest, ProgramInstance &Inst,
 
 void shackle::runLoopNestSubtree(const LoopNest &Nest, const ASTNode &Root,
                                  const std::vector<int64_t> &DimValues,
-                                 ProgramInstance &Inst, const TraceFn *Trace) {
-  Executor E(Nest, Inst, Trace, DimValues);
+                                 ProgramInstance &Inst, const TraceFn *Trace,
+                                 const StoreCheckFn *Check) {
+  Executor E(Nest, Inst, Trace, DimValues, /*Writes=*/nullptr, Check);
   E.runSubtree(Root);
 }
 

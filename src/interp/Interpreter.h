@@ -77,6 +77,14 @@ using TraceFn = std::function<void(unsigned ArrayId, int64_t Offset,
 void runLoopNest(const LoopNest &Nest, ProgramInstance &Inst,
                  const TraceFn *Trace = nullptr);
 
+/// Observer for committed stores: array, physical offset, stored value.
+/// Invoked after the RHS is evaluated and the store performed. The parallel
+/// executor's poison guard uses this to flag the first non-finite value a
+/// block *produces* — as opposed to one corrupted in memory after the fact,
+/// which only a footprint scan can see (DESIGN.md §12).
+using StoreCheckFn =
+    std::function<void(unsigned ArrayId, int64_t Offset, double Value)>;
+
 /// Executes one subtree of \p Nest with the enclosing scanning dimensions
 /// pre-bound: \p DimValues must hold Nest.NumDims entries whose leading
 /// entries (parameters and every dimension bound above \p Root, e.g. the
@@ -85,9 +93,11 @@ void runLoopNest(const LoopNest &Nest, ProgramInstance &Inst,
 /// calls on the same instance are safe as long as the statement instances
 /// they execute touch disjoint elements or are otherwise ordered (the
 /// parallel executor's block dependence DAG guarantees exactly this).
+/// A non-null \p Check observes every committed store.
 void runLoopNestSubtree(const LoopNest &Nest, const ASTNode &Root,
                         const std::vector<int64_t> &DimValues,
-                        ProgramInstance &Inst, const TraceFn *Trace = nullptr);
+                        ProgramInstance &Inst, const TraceFn *Trace = nullptr,
+                        const StoreCheckFn *Check = nullptr);
 
 /// Callback receiving one (array, physical element offset) pair per store
 /// the walked code would perform. Duplicates are reported as encountered.

@@ -1,0 +1,110 @@
+//===- Integrity.cpp - Block-footprint data integrity ------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Integrity.h"
+
+#include "support/Checksum.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace shackle;
+
+const char *shackle::dataVerifyName(DataVerify V) {
+  switch (V) {
+  case DataVerify::Off:
+    return "off";
+  case DataVerify::Undo:
+    return "undo";
+  case DataVerify::Block:
+    return "block";
+  }
+  return "off";
+}
+
+uint64_t shackle::checksumUndoLog(const BlockUndoLog &Log) {
+  Checksum C;
+  for (const BlockUndoLog::Entry &E : Log.Entries)
+    C.u64(E.ArrayId).u64(static_cast<uint64_t>(E.Offset)).f64(E.Value);
+  return C.value();
+}
+
+uint64_t shackle::checksumFootprint(const BlockUndoLog &Log,
+                                    const ProgramInstance &Inst) {
+  Checksum C;
+  for (const BlockUndoLog::Entry &E : Log.Entries)
+    C.u64(E.ArrayId)
+        .u64(static_cast<uint64_t>(E.Offset))
+        .f64(Inst.buffer(E.ArrayId)[static_cast<std::size_t>(E.Offset)]);
+  return C.value();
+}
+
+PoisonFinding shackle::scanFootprintPoison(const BlockUndoLog &Log,
+                                           const ProgramInstance &Inst) {
+  PoisonFinding F;
+  for (const BlockUndoLog::Entry &E : Log.Entries) {
+    double V = Inst.buffer(E.ArrayId)[static_cast<std::size_t>(E.Offset)];
+    if (!std::isfinite(V)) {
+      F.Found = true;
+      F.ArrayId = E.ArrayId;
+      F.Offset = E.Offset;
+      F.Value = V;
+      return F;
+    }
+  }
+  return F;
+}
+
+std::vector<uint32_t> shackle::downstreamCone(const BlockDepGraph &Graph,
+                                              uint32_t Root) {
+  std::vector<uint8_t> Seen(Graph.Succs.size(), 0);
+  std::vector<uint32_t> Work{Root};
+  Seen[Root] = 1;
+  std::vector<uint32_t> Cone;
+  while (!Work.empty()) {
+    uint32_t U = Work.back();
+    Work.pop_back();
+    for (uint32_t V : Graph.Succs[U])
+      if (!Seen[V]) {
+        Seen[V] = 1;
+        Cone.push_back(V);
+        Work.push_back(V);
+      }
+  }
+  std::sort(Cone.begin(), Cone.end());
+  return Cone;
+}
+
+std::string shackle::formatCone(const std::vector<uint32_t> &Cone,
+                                std::size_t MaxNamed) {
+  std::string S;
+  for (std::size_t I = 0; I < Cone.size(); ++I) {
+    if (I == MaxNamed) {
+      S += ", ...";
+      break;
+    }
+    if (I)
+      S += ", ";
+    S += "#" + std::to_string(Cone[I]);
+  }
+  return S;
+}
+
+PristineSnapshot shackle::capturePristine(const ProgramInstance &Inst) {
+  PristineSnapshot Snap;
+  const unsigned NumArrays = Inst.program().getNumArrays();
+  Snap.Buffers.reserve(NumArrays);
+  for (unsigned A = 0; A < NumArrays; ++A)
+    Snap.Buffers.push_back(Inst.buffer(A));
+  return Snap;
+}
+
+void shackle::restorePristine(const PristineSnapshot &Snap,
+                              ProgramInstance &Inst) {
+  for (unsigned A = 0; A < Snap.Buffers.size(); ++A)
+    Inst.buffer(A) = Snap.Buffers[A];
+}

@@ -8,13 +8,16 @@
 #include "parallel/ParallelExecutor.h"
 
 #include "parallel/UndoLog.h"
+#include "support/Checksum.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -169,11 +172,14 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
 
 ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
                                    unsigned NumThreads) const {
-  // The pre-fault-tolerance fast path: no undo snapshots, no watchdog.
+  // The pre-fault-tolerance fast path: no undo snapshots, no watchdog, no
+  // data verification.
   ParallelRunOptions Opts;
   Opts.NumThreads = NumThreads;
   Opts.UndoLog = false;
   Opts.MaxRetries = 0;
+  Opts.VerifyData = DataVerify::Off;
+  Opts.PoisonCheck = false;
   return run(Inst, Opts);
 }
 
@@ -198,6 +204,22 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   const std::vector<BlockTask> &Tasks = Partition.Tasks;
   const std::size_t N = Tasks.size();
   S.Progress.TotalUnits = N;
+
+  // Data-integrity configuration (DESIGN.md §12). Verification and the
+  // poison guard both need the undo log: checksums and poison scans walk
+  // its footprint addresses, and quarantine needs rollback.
+  const DataVerify Verify =
+      Opts.UndoLog ? Opts.VerifyData : DataVerify::Off;
+  const bool PoisonOn = Opts.PoisonCheck && Opts.UndoLog;
+  S.VerifyUsed = Verify;
+
+  // When restores can be refused (a corrupted undo log), the only sound
+  // recovery is a whole-run restart, so snapshot every input buffer before
+  // any block writes. One full copy per run, the price of the last rung
+  // above "fail".
+  PristineSnapshot Pristine;
+  if (Verify != DataVerify::Off)
+    Pristine = capturePristine(Inst);
 
   // Placement: clamp the worker count exactly as the scheduler will, then
   // (under affinity placement) split the lexicographic task order into one
@@ -234,6 +256,25 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
     FaultDiags.push_back(std::move(D));
   };
 
+  // Integrity bookkeeping. The counters are plain telemetry; the poison
+  // record is first-writer-wins under its mutex (the first non-finite
+  // commit is the provenance that matters — everything downstream of it is
+  // propagation, not cause), and Quarantined marks its dependence cone so
+  // the serial replay skips blocks whose inputs were rolled back.
+  std::atomic<uint64_t> NumChecksumsVerified{0};
+  std::atomic<uint64_t> NumCorruptionsDetected{0};
+  std::atomic<uint64_t> NumUndoRefused{0};
+  std::atomic<uint64_t> NumPoisonedBlocks{0};
+  std::atomic<bool> UndoCorrupted{false};
+  std::mutex PoisonM;
+  struct PoisonRecord {
+    bool Set = false;
+    uint32_t Task = 0;
+    PoisonFinding Finding;
+  } Poison;
+  std::vector<uint8_t> Quarantined(N, 0);
+  std::atomic<bool> ProducedWarned{false};
+
   // Diagnostics name the scheduling unit: outer tasks for hierarchical
   // plans (each one rolls back and retries as a whole), plain blocks
   // otherwise.
@@ -251,16 +292,33 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
 
   // One execution attempt of one block; failures come back as a message.
   // The executing worker's trace sink (if any) sees every program access
-  // the attempt performs, in that worker's execution order.
-  auto tryRunBlock = [&](uint32_t T, unsigned Worker, std::string &Err) {
+  // the attempt performs, in that worker's execution order. A non-null
+  // \p Produced records the first non-finite value the block's own
+  // arithmetic stores (the interpreter-side half of the poison guard).
+  auto tryRunBlock = [&](uint32_t T, unsigned Worker, std::string &Err,
+                         PoisonFinding *Produced) {
     const TraceFn *Trace = nullptr;
     if (Opts.WorkerTraces && Worker < Opts.WorkerTraces->size())
       Trace = &(*Opts.WorkerTraces)[Worker];
+    StoreCheckFn Check;
+    const StoreCheckFn *CheckP = nullptr;
+    if (Produced) {
+      Check = [Produced](unsigned ArrayId, int64_t Offset, double Value) {
+        if (!Produced->Found && !std::isfinite(Value)) {
+          Produced->Found = true;
+          Produced->ArrayId = ArrayId;
+          Produced->Offset = Offset;
+          Produced->Value = Value;
+        }
+      };
+      CheckP = &Check;
+    }
     try {
       if (injectTaskThrow(T))
         throw std::runtime_error("injected task fault");
       for (const BlockTask::Segment &Seg : Tasks[T].Segments)
-        runLoopNestSubtree(CG.Nest, *Seg.Node, Seg.DimValues, Inst, Trace);
+        runLoopNestSubtree(CG.Nest, *Seg.Node, Seg.DimValues, Inst, Trace,
+                           CheckP);
       SegmentsDone.fetch_add(Tasks[T].Segments.size(),
                              std::memory_order_relaxed);
       return true;
@@ -279,10 +337,25 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   // plan the rollback granularity is the whole outer block: the undo log
   // snapshots every element the task's segments (all inner levels
   // included) can write, and a retry re-runs all of them.
+  //
+  // The integrity ladder (DESIGN.md §12) hangs off the same loop. The undo
+  // log is checksummed at capture and re-verified before every restore: a
+  // mismatch (e.g. injected corrupt-undo) refuses the unsound restore and
+  // flags UndoCorrupted, escalating the run to a full serial replay from
+  // the pristine snapshot. Under DataVerify::Block a block commits only
+  // after two executions from the same pre-state produce bit-identical
+  // footprints — a flipped bit in either one shows up as a checksum
+  // divergence, is rolled back, and recomputed. And when the poison guard
+  // is on, a non-finite value in the committed footprint quarantines the
+  // block and its downstream cone with exact provenance.
   auto attemptBlock = [&](uint32_t T, unsigned Worker) {
     BlockUndoLog Undo;
-    if (Opts.UndoLog)
+    uint64_t UndoSum = 0;
+    if (Opts.UndoLog) {
       Undo = captureBlockUndo(CG.Nest, Tasks[T], Inst);
+      if (Verify != DataVerify::Off)
+        UndoSum = checksumUndoLog(Undo);
+    }
     // The undo snapshot is exactly the block's write footprint, so it
     // doubles as the migration estimate: executing outside the home
     // worker's domain drags that many elements across domains.
@@ -290,40 +363,226 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
         domainOf(Worker) != domainOf(AMap.Home[T]))
       BytesMigrated.fetch_add(Undo.Entries.size() * sizeof(double),
                               std::memory_order_relaxed);
-    const unsigned Attempts = 1 + (Opts.UndoLog ? Opts.MaxRetries : 0);
-    for (unsigned A = 0; A < Attempts; ++A) {
-      std::string Err;
-      if (tryRunBlock(T, Worker, Err)) {
-        if (A > 0)
-          noteDiag(Diagnostic(
-              DiagCode::ParallelFault,
-              blockName(T) + " recovered after " + std::to_string(A) +
-                  " rollback retr" + (A == 1 ? "y" : "ies"),
-              {}, Severity::Warning));
-        return true;
+
+    // Verified rollback. The corrupt-undo injection site sits here — it
+    // mutates a saved pre-image the way a latent memory fault would,
+    // whether or not verification is on (detection must never be a
+    // precondition for the fault). False = the restore was refused.
+    auto restoreVerified = [&]() {
+      uint64_t Pick;
+      if (!Undo.Entries.empty() && injectUndoCorrupt(T, Pick)) {
+        BlockUndoLog::Entry &E = Undo.Entries[Pick % Undo.Entries.size()];
+        E.Value = flipDoubleBit(E.Value, static_cast<unsigned>(Pick >> 32));
       }
-      Faults.fetch_add(1, std::memory_order_relaxed);
-      Diagnostic D(DiagCode::ParallelFault,
-                   blockName(T) + " failed: " + Err, {}, Severity::Warning);
-      if (!Opts.UndoLog) {
-        Poisoned.store(true, std::memory_order_relaxed);
-        D.Sev = Severity::Error;
-        D.addNote("undo logging disabled; block state cannot be rolled "
-                  "back");
-        noteDiag(std::move(D));
-        return false;
+      if (Verify != DataVerify::Off) {
+        if (checksumUndoLog(Undo) != UndoSum) {
+          NumCorruptionsDetected.fetch_add(1, std::memory_order_relaxed);
+          NumUndoRefused.fetch_add(1, std::memory_order_relaxed);
+          UndoCorrupted.store(true, std::memory_order_relaxed);
+          Diagnostic D(DiagCode::ParallelFault,
+                       "undo log of " + blockName(T) +
+                           " failed checksum verification; refusing the "
+                           "unsound restore",
+                       {}, Severity::Error);
+          D.addNote("escalating to a full serial replay from the pristine "
+                    "input snapshot");
+          noteDiag(std::move(D));
+          return false;
+        }
+        NumChecksumsVerified.fetch_add(1, std::memory_order_relaxed);
       }
       restoreBlockUndo(Undo, Inst);
-      if (A + 1 < Attempts) {
-        ++RetryCount[T];
-        D.addNote("write footprint rolled back (" +
-                  std::to_string(Undo.Entries.size()) +
-                  " element(s)); retrying, attempt " + std::to_string(A + 2) +
-                  " of " + std::to_string(Attempts));
-      } else {
-        D.addNote("write footprint rolled back; retry budget exhausted");
+      return true;
+    };
+
+    // Quarantine: record first-poison provenance, mark the downstream
+    // dependence cone, roll the poisoned footprint back to pre-state.
+    // Only silent corruption lands here — a non-finite found in the
+    // committed footprint that the interpreter never stored, so a serial
+    // run would not have it either.
+    auto quarantine = [&](const PoisonFinding &F) {
+      const ArrayDecl &Arr = Inst.program().getArray(F.ArrayId);
+      std::vector<uint32_t> Cone = downstreamCone(Graph, T);
+      {
+        std::lock_guard<std::mutex> L(PoisonM);
+        if (!Poison.Set) {
+          Poison.Set = true;
+          Poison.Task = T;
+          Poison.Finding = F;
+        }
+        Quarantined[T] = 1;
+        for (uint32_t V : Cone)
+          Quarantined[V] = 1;
       }
+      NumPoisonedBlocks.fetch_add(1 + Cone.size(),
+                                  std::memory_order_relaxed);
+      NumCorruptionsDetected.fetch_add(1, std::memory_order_relaxed);
+      Diagnostic D(DiagCode::ParallelPoison,
+                   blockName(T) + " committed non-finite value " +
+                       std::to_string(F.Value) + " at " + Arr.Name + "[" +
+                       std::to_string(F.Offset) + "] (array " +
+                       std::to_string(F.ArrayId) + "); block quarantined",
+                   {}, Severity::Error);
+      D.addNote("the interpreter never stored a non-finite value here: "
+                "silent corruption of committed data, not the block's own "
+                "arithmetic");
+      D.addNote(Cone.empty()
+                    ? "no downstream dependents"
+                    : "downstream dependence cone quarantined (" +
+                          std::to_string(Cone.size()) +
+                          " block(s)): " + formatCone(Cone));
       noteDiag(std::move(D));
+      restoreVerified();
+    };
+
+    // DataVerify::Block needs two agreeing executions even fault-free, so
+    // it gets one extra attempt on top of the retry budget.
+    const unsigned Attempts = (Verify == DataVerify::Block ? 2 : 1) +
+                              (Opts.UndoLog ? Opts.MaxRetries : 0);
+    bool HaveSum = false;
+    uint64_t PrevSum = 0;
+    unsigned FaultRetries = 0;
+    for (unsigned A = 0; A < Attempts; ++A) {
+      std::string Err;
+      PoisonFinding Produced;
+      if (!tryRunBlock(T, Worker, Err, PoisonOn ? &Produced : nullptr)) {
+        Faults.fetch_add(1, std::memory_order_relaxed);
+        Diagnostic D(DiagCode::ParallelFault,
+                     blockName(T) + " failed: " + Err, {},
+                     Severity::Warning);
+        if (!Opts.UndoLog) {
+          Poisoned.store(true, std::memory_order_relaxed);
+          D.Sev = Severity::Error;
+          D.addNote("undo logging disabled; block state cannot be rolled "
+                    "back");
+          noteDiag(std::move(D));
+          return false;
+        }
+        if (A + 1 < Attempts) {
+          ++RetryCount[T];
+          ++FaultRetries;
+          D.addNote("write footprint rolled back (" +
+                    std::to_string(Undo.Entries.size()) +
+                    " element(s)); retrying, attempt " + std::to_string(A + 2) +
+                    " of " + std::to_string(Attempts));
+        } else {
+          D.addNote("write footprint rolled back; retry budget exhausted");
+        }
+        noteDiag(std::move(D));
+        if (!restoreVerified())
+          return false;
+        continue;
+      }
+
+      // The block committed. Data-fault injection sites: a bit flip or a
+      // NaN/Inf poison lands in the committed footprint *after* the body
+      // ran — modeling silent corruption between compute and consume.
+      if (!Undo.Entries.empty()) {
+        unsigned Bit;
+        uint64_t Pick;
+        if (injectBitFlip(T, Bit, Pick)) {
+          const BlockUndoLog::Entry &E =
+              Undo.Entries[Pick % Undo.Entries.size()];
+          double &Slot =
+              Inst.buffer(E.ArrayId)[static_cast<std::size_t>(E.Offset)];
+          Slot = flipDoubleBit(Slot, Bit);
+        }
+        if (int PK = injectPoisonValue(T, Pick)) {
+          const BlockUndoLog::Entry &E =
+              Undo.Entries[Pick % Undo.Entries.size()];
+          Inst.buffer(E.ArrayId)[static_cast<std::size_t>(E.Offset)] =
+              PK == 1 ? std::numeric_limits<double>::quiet_NaN()
+                      : std::numeric_limits<double>::infinity();
+        }
+      }
+
+      // Poison guard. A non-finite store caught by the interpreter is a
+      // *produced* value: the block's own arithmetic computed it, exactly
+      // as a serial run would, so refusing it would break serial
+      // equivalence — attribute it loudly (once per run) and commit. A
+      // non-finite only the footprint scan can see was never stored by the
+      // interpreter: silent corruption, quarantined. When a block produces
+      // poison, the scan is skipped (it could no longer tell the produced
+      // value from an additional corrupted one).
+      if (PoisonOn) {
+        if (Produced.Found) {
+          if (!ProducedWarned.exchange(true, std::memory_order_relaxed)) {
+            const ArrayDecl &Arr = Inst.program().getArray(Produced.ArrayId);
+            Diagnostic D(DiagCode::ParallelPoison,
+                         blockName(T) + " produced non-finite value " +
+                             std::to_string(Produced.Value) + " at " +
+                             Arr.Name + "[" +
+                             std::to_string(Produced.Offset) + "] (array " +
+                             std::to_string(Produced.ArrayId) + ")",
+                         {}, Severity::Warning);
+            D.addNote("stored by the block's own arithmetic: genuine "
+                      "numerical failure, not runtime corruption; the "
+                      "value is committed exactly as a serial run would");
+            D.addNote("first occurrence named; later ones are propagation");
+            noteDiag(std::move(D));
+          }
+        } else {
+          PoisonFinding F = scanFootprintPoison(Undo, Inst);
+          if (F.Found) {
+            quarantine(F);
+            return false;
+          }
+        }
+      }
+
+      // Shadow re-execution agreement: commit only after two consecutive
+      // completed executions fingerprint identically.
+      if (Verify == DataVerify::Block) {
+        uint64_t Sum = checksumFootprint(Undo, Inst);
+        if (HaveSum && Sum == PrevSum) {
+          NumChecksumsVerified.fetch_add(1, std::memory_order_relaxed);
+          if (FaultRetries > 0)
+            noteDiag(Diagnostic(
+                DiagCode::ParallelFault,
+                blockName(T) + " recovered after " +
+                    std::to_string(FaultRetries) + " rollback retr" +
+                    (FaultRetries == 1 ? "y" : "ies"),
+                {}, Severity::Warning));
+          return true;
+        }
+        if (HaveSum) {
+          NumCorruptionsDetected.fetch_add(1, std::memory_order_relaxed);
+          ++RetryCount[T];
+          noteDiag(Diagnostic(
+              DiagCode::ParallelFault,
+              blockName(T) + " footprint checksums diverged between "
+                             "independent executions: silent data "
+                             "corruption detected; rolled back, recomputing",
+              {}, Severity::Warning));
+        }
+        HaveSum = true;
+        PrevSum = Sum;
+        if (A + 1 == Attempts)
+          break; // Unconfirmed single execution; refuse to commit below.
+        if (!restoreVerified())
+          return false;
+        continue;
+      }
+
+      if (FaultRetries > 0)
+        noteDiag(Diagnostic(
+            DiagCode::ParallelFault,
+            blockName(T) + " recovered after " +
+                std::to_string(FaultRetries) + " rollback retr" +
+                (FaultRetries == 1 ? "y" : "ies"),
+            {}, Severity::Warning));
+      return true;
+    }
+    // Attempt budget exhausted. Under DataVerify::Block the last completed
+    // execution may still be sitting in the footprint unconfirmed — never
+    // commit data no second execution has vouched for.
+    if (Verify == DataVerify::Block && HaveSum) {
+      if (restoreVerified())
+        noteDiag(Diagnostic(
+            DiagCode::ParallelFault,
+            blockName(T) + " never produced two agreeing executions within "
+                           "the attempt budget; rolled back",
+            {}, Severity::Error));
     }
     return false;
   };
@@ -428,10 +687,19 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
       S.RetriesPerBlock = RetryCount;
     if (Poisoned.load(std::memory_order_relaxed))
       S.Failed = true;
+    S.Integrity.ChecksumsVerified =
+        NumChecksumsVerified.load(std::memory_order_relaxed);
+    S.Integrity.CorruptionsDetected =
+        NumCorruptionsDetected.load(std::memory_order_relaxed);
+    S.Integrity.UndoRefused = NumUndoRefused.load(std::memory_order_relaxed);
+    S.Integrity.PoisonedBlocks =
+        NumPoisonedBlocks.load(std::memory_order_relaxed);
+    if (Poison.Set)
+      S.Failed = true;
     S.Diags = std::move(FaultDiags);
   };
 
-  if (R.Completed) {
+  if (R.Completed && !UndoCorrupted.load(std::memory_order_relaxed)) {
     S.Mode = ParallelMode::Parallel;
     S.BlocksRun = N;
     finalize();
@@ -447,6 +715,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   // blocks touch disjoint data by construction of the dependence graph.
   S.Mode = ParallelMode::Degraded;
   uint64_t Unfinished = N - ParallelDone;
+  if (!R.Completed) {
   if (S.Abort == DagAbort::Stalled)
     noteDiag(Diagnostic(
         DiagCode::ParallelFault,
@@ -469,6 +738,7 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
           std::to_string(N) + " block(s); replaying the remaining " +
           std::to_string(Unfinished) + " serially in dependence order",
       {}, Severity::Warning));
+  }
 
   // Kahn order over the (acyclic, validated) block DAG.
   std::vector<uint32_t> Topo;
@@ -485,20 +755,67 @@ ParallelRunStats ParallelPlan::run(ProgramInstance &Inst,
   }
 
   uint64_t Replayed = 0;
-  for (uint32_t T : Topo) {
-    if (R.TaskDone[T])
-      continue;
-    if (attemptBlock(T, /*Worker=*/0)) {
-      ++Replayed;
-      continue;
+  uint64_t SkippedQuarantine = 0;
+  if (!UndoCorrupted.load(std::memory_order_relaxed)) {
+    for (uint32_t T : Topo) {
+      if (R.TaskDone[T])
+        continue;
+      if (Quarantined[T]) {
+        // Poisoned block or its downstream cone: inputs were rolled back
+        // to pre-poison state, so running it would compute garbage. The
+        // result is withheld, never silently wrong.
+        ++SkippedQuarantine;
+        continue;
+      }
+      if (attemptBlock(T, /*Worker=*/0)) {
+        ++Replayed;
+        continue;
+      }
+      if (UndoCorrupted.load(std::memory_order_relaxed))
+        break; // Refused restore: instance state is unknown everywhere.
+      if (Quarantined[T])
+        continue; // Quarantined itself during replay; diag already emitted.
+      S.Failed = true;
+      noteDiag(Diagnostic(DiagCode::ParallelFault,
+                          blockName(T) +
+                              " failed every attempt including serial "
+                              "replay; results are unreliable",
+                          {}, Severity::Error));
     }
-    S.Failed = true;
-    noteDiag(Diagnostic(DiagCode::ParallelFault,
-                        blockName(T) +
-                            " failed every attempt including serial "
-                            "replay; results are unreliable",
-                        {}, Severity::Error));
   }
+
+  if (UndoCorrupted.load(std::memory_order_relaxed)) {
+    // Last rung before failure. A restore was refused because the undo log
+    // itself failed verification, so no per-block state can be trusted:
+    // put every array back to its pristine pre-run snapshot and replay the
+    // whole nest serially. Slow, but bitwise-identical to a serial run.
+    noteDiag(Diagnostic(
+        DiagCode::ParallelDegrade,
+        "an undo log failed checksum verification; restarting the whole "
+        "nest serially from the pristine input snapshot",
+        {}, Severity::Warning));
+    restorePristine(Pristine, Inst);
+    runSerial(Inst);
+    S.Integrity.PristineReplays = 1;
+    S.BlocksRun = N;
+    S.ReplayedSerially = N;
+    S.Progress = ProgressLog{};
+    S.Progress.TotalUnits = N;
+    S.Progress.recordAttempt(0);
+    S.Progress.recordAttempt(N);
+    finalize();
+    S.SegmentsRun = Partition.totalSegments();
+    return S;
+  }
+
+  if (SkippedQuarantine > 0)
+    noteDiag(Diagnostic(
+        DiagCode::ParallelPoison,
+        std::to_string(SkippedQuarantine) +
+            " quarantined block(s) withheld from the serial replay; the "
+            "run fails with provenance rather than committing poisoned "
+            "data",
+        {}, Severity::Error));
   S.ReplayedSerially = Replayed;
   S.Progress.recordAttempt(Replayed);
   S.BlocksRun = ParallelDone + Replayed;

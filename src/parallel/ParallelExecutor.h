@@ -45,6 +45,15 @@
 /// bitwise-identical to serial. Only a block that fails every serial
 /// attempt too marks the run Failed.
 ///
+/// The data plane gets the same treatment (DESIGN.md §12): undo logs are
+/// checksummed at capture and verified before every restore (an unsound
+/// restore is refused and the run restarts serially from a pristine input
+/// snapshot); --verify-data=block commits a block only after two
+/// independent executions agree bit-for-bit, so a silent bit-flip is
+/// detected and recomputed; and a block that commits a non-finite value is
+/// quarantined with its downstream dependence cone and reported with exact
+/// provenance (ParallelPoison) instead of poisoning the results silently.
+///
 /// Determinism: for every dependence edge u -> v the scheduler orders all
 /// of block u before all of block v, and instances inside a block run in
 /// original program order; every pair of conflicting accesses is therefore
@@ -69,6 +78,7 @@
 #include "parallel/Affinity.h"
 #include "parallel/BlockDepGraph.h"
 #include "parallel/BlockPartition.h"
+#include "parallel/Integrity.h"
 #include "parallel/Scheduler.h"
 #include "support/Diagnostics.h"
 #include "support/Progress.h"
@@ -160,6 +170,18 @@ struct ParallelRunOptions {
   /// Rollback-and-retry attempts per block (on top of the first attempt),
   /// applied independently in the parallel phase and the serial replay.
   unsigned MaxRetries = 2;
+  /// Data-verification level (needs UndoLog; silently Off without it).
+  /// Undo checksums every captured undo log and verifies it before any
+  /// restore. Block additionally commits a block only after two
+  /// executions from the same pre-state produce bit-identical footprints
+  /// — every block runs at least twice, the paranoia mode that catches
+  /// silent bit-flips in committed data.
+  DataVerify VerifyData = DataVerify::Undo;
+  /// Quarantine blocks that commit a non-finite value: report the first
+  /// poisoned element with exact provenance, roll the block back, and fail
+  /// the run with its downstream dependence cone named, instead of letting
+  /// the NaN/Inf propagate (needs UndoLog; off without it).
+  bool PoisonCheck = true;
   /// Abort the parallel phase this many ms after it starts (0 = none).
   uint64_t DeadlineMs = 0;
   /// Watchdog: abort the parallel phase when no block completes for this
@@ -218,6 +240,11 @@ struct ParallelRunStats {
   /// A block failed every attempt, including serial replay; results are
   /// unreliable. Never set when recovery succeeded.
   bool Failed = false;
+  /// Data-integrity telemetry (checksums, corruptions, quarantines).
+  IntegrityStats Integrity;
+  /// Verification level the run actually used (Off when UndoLog was off,
+  /// whatever ParallelRunOptions::VerifyData asked for otherwise).
+  DataVerify VerifyUsed = DataVerify::Off;
   /// Blocks completed per attempt (parallel phase, then serial replay) —
   /// the same partial-progress ledger the multi-pass runtime keeps.
   ProgressLog Progress;

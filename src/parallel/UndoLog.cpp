@@ -8,6 +8,7 @@
 #include "parallel/UndoLog.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace shackle;
 
@@ -26,15 +27,27 @@ BlockUndoLog shackle::captureBlockUndo(const LoopNest &Nest,
 
   BlockUndoLog Log;
   Log.Entries.reserve(Footprint.size());
-  for (const auto &[ArrayId, Offset] : Footprint)
+  for (const auto &[ArrayId, Offset] : Footprint) {
+    // A footprint offset outside the array extent means the write walk (or
+    // a future native-codegen path feeding it) is broken; corrupting a
+    // diagnostic here beats corrupting memory below.
+    assert(Offset >= 0 &&
+           static_cast<std::size_t>(Offset) < Inst.buffer(ArrayId).size() &&
+           "undo footprint offset outside the array extent");
     Log.Entries.push_back(
         {ArrayId, Offset,
          Inst.buffer(ArrayId)[static_cast<std::size_t>(Offset)]});
+  }
   return Log;
 }
 
 void shackle::restoreBlockUndo(const BlockUndoLog &Log,
                                ProgramInstance &Inst) {
-  for (const BlockUndoLog::Entry &E : Log.Entries)
+  for (const BlockUndoLog::Entry &E : Log.Entries) {
+    assert(E.Offset >= 0 &&
+           static_cast<std::size_t>(E.Offset) <
+               Inst.buffer(E.ArrayId).size() &&
+           "undo entry offset outside the array extent");
     Inst.buffer(E.ArrayId)[static_cast<std::size_t>(E.Offset)] = E.Value;
+  }
 }

@@ -1,0 +1,76 @@
+//===- Checksum.h - Order-sensitive content hashing -------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic hasher for the data-integrity layer (DESIGN.md
+/// §12). The paper's block is a bounded, statically enumerable footprint
+/// (Definition 1); hashing that footprint — (array, offset, bit pattern)
+/// per element, in sorted footprint order — gives a content fingerprint
+/// that is stable across platforms and thread counts, so it can vouch for
+/// undo-log pre-images before a restore and compare independent executions
+/// of the same block bit-for-bit.
+///
+/// The construction is FNV-1a over 64-bit words with a SplitMix64 finalizer
+/// (the same mixer fillRandom and the rate-based fault injector use), word-
+/// at-a-time rather than byte-at-a-time: every input is already a fixed
+/// 64-bit quantity (ids, offsets, double bit patterns), and the finalizer
+/// restores the avalanche quality plain word-FNV lacks. Values are hashed
+/// by *bit pattern*, never by numeric value: -0.0 and 0.0 differ, every
+/// NaN payload is distinguished — the same strength as
+/// ProgramInstance::bitwiseEqual, which is the guarantee these checksums
+/// stand in for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SUPPORT_CHECKSUM_H
+#define SHACKLE_SUPPORT_CHECKSUM_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace shackle {
+
+/// Streaming order-sensitive checksum. Feed words; read value().
+class Checksum {
+public:
+  Checksum &u64(uint64_t W) {
+    H = (H ^ W) * 0x100000001b3ULL; // FNV-1a step, 64-bit prime.
+    return *this;
+  }
+
+  /// Hashes a double by bit pattern (distinguishes -0.0/0.0 and NaNs).
+  Checksum &f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return u64(Bits);
+  }
+
+  /// SplitMix64-finalized digest of everything fed so far.
+  uint64_t value() const {
+    uint64_t X = H + 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ULL; // FNV-1a offset basis.
+};
+
+/// Flips bit \p Bit (0-63) of \p V's representation — the canonical
+/// "silent corruption" mutation used by both the fault injector and tests.
+inline double flipDoubleBit(double V, unsigned Bit) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  Bits ^= 1ULL << (Bit & 63);
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace shackle
+
+#endif // SHACKLE_SUPPORT_CHECKSUM_H

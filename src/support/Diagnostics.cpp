@@ -33,6 +33,8 @@ const char *shackle::diagCodeName(DiagCode Code) {
     return "parallel-fault";
   case DiagCode::ParallelDegrade:
     return "parallel-degrade";
+  case DiagCode::ParallelPoison:
+    return "parallel-poison";
   }
   return "unknown";
 }

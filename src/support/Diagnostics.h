@@ -73,6 +73,11 @@ enum class DiagCode {
   /// replayed serially in dependence order. Always a warning; results are
   /// still bitwise-identical to serial execution.
   ParallelDegrade,
+  /// A block committed a non-finite value (produced by its own arithmetic
+  /// or silently corrupted in memory). The block is quarantined, its
+  /// downstream dependence cone is reported, and the run fails with exact
+  /// provenance instead of letting the poison propagate. Always an error.
+  ParallelPoison,
 };
 
 /// Renders the code's stable spelling, e.g. "parse-error".

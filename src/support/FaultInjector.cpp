@@ -62,6 +62,26 @@ std::vector<std::string> splitOn(const std::string &S, char Sep) {
   return Out;
 }
 
+/// Like splitOn(S, ';') but remembers where each clause starts, so a
+/// malformed clause can be reported with its column in the spec string.
+std::vector<std::pair<std::string, unsigned>>
+splitClausesWithCols(const std::string &S) {
+  std::vector<std::pair<std::string, unsigned>> Out;
+  std::size_t Pos = 0;
+  while (Pos <= S.size()) {
+    std::size_t Next = S.find(';', Pos);
+    if (Next == std::string::npos)
+      Next = S.size();
+    std::size_t Begin = S.find_first_not_of(" \t", Pos);
+    std::string Piece = trim(S.substr(Pos, Next - Pos));
+    if (!Piece.empty())
+      Out.emplace_back(std::move(Piece),
+                       static_cast<unsigned>(Begin + 1)); // 1-based col.
+    Pos = Next + 1;
+  }
+  return Out;
+}
+
 bool parseU64(const std::string &S, uint64_t &Out) {
   if (S.empty())
     return false;
@@ -86,14 +106,20 @@ bool parseRate(const std::string &S, double &Out) {
   return true;
 }
 
-Status badSpec(const std::string &Clause, const char *Why) {
+/// \p Col is the clause's 1-based column in the spec string (0 = unknown),
+/// reported as a line/col location so CLI users can see exactly which
+/// clause of a multi-clause spec was rejected.
+Status badSpec(const std::string &Clause, const char *Why, unsigned Col = 0) {
   Diagnostic D(DiagCode::UsageError,
-               "malformed injection spec clause '" + Clause + "'");
+               "malformed injection spec clause '" + Clause + "'",
+               SourceLoc{Col == 0 ? 0u : 1u, Col});
   D.addNote(Why);
   D.addNote("grammar: seed=S; throw@block=K|any|rate=R[,count=C]; "
             "stall@worker=W[,ms=M][,count=C]; die@worker=W[,count=C]; "
             "die@domain=D[,count=C]; alloc-fail@grow=N[,count=C]; "
-            "solver-unknown@query=N[,count=C]");
+            "solver-unknown@query=N[,count=C]; "
+            "flip@block=K[,bit=B][,count=C]; corrupt-undo@block=K[,count=C]; "
+            "nan@block=K[,count=C]; inf@block=K[,count=C]");
   return Status::error(std::move(D));
 }
 
@@ -118,12 +144,25 @@ void FaultInjector::disarm() {
   SolverAt = 0;
   SolverCount = 0;
   QueryOccurrence.store(0, std::memory_order_relaxed);
+  FlipBlock = -1;
+  FlipBit = 0;
+  FlipBudget.store(0, std::memory_order_relaxed);
+  CorruptUndoBlock = -1;
+  CorruptUndoBudget.store(0, std::memory_order_relaxed);
+  NanBlock = -1;
+  NanBudget.store(0, std::memory_order_relaxed);
+  InfBlock = -1;
+  InfBudget.store(0, std::memory_order_relaxed);
   NumTaskThrows.store(0, std::memory_order_relaxed);
   NumWorkerStalls.store(0, std::memory_order_relaxed);
   NumWorkerDeaths.store(0, std::memory_order_relaxed);
   NumDomainDeaths.store(0, std::memory_order_relaxed);
   NumAllocFails.store(0, std::memory_order_relaxed);
   NumSolverUnknowns.store(0, std::memory_order_relaxed);
+  NumBitFlips.store(0, std::memory_order_relaxed);
+  NumUndoCorruptions.store(0, std::memory_order_relaxed);
+  NumNansInjected.store(0, std::memory_order_relaxed);
+  NumInfsInjected.store(0, std::memory_order_relaxed);
 }
 
 Status FaultInjector::configure(const std::string &Spec) {
@@ -134,23 +173,24 @@ Status FaultInjector::configure(const std::string &Spec) {
         "(configure with -DSHACKLE_ENABLE_FAULT_INJECTION=ON)");
   disarm();
 
-  std::vector<std::string> Clauses = splitOn(Spec, ';');
+  std::vector<std::pair<std::string, unsigned>> Clauses =
+      splitClausesWithCols(Spec);
   if (Clauses.empty())
     return badSpec(Spec, "spec is empty");
 
-  for (const std::string &Clause : Clauses) {
+  for (const auto &[Clause, Col] : Clauses) {
     if (Clause.rfind("seed=", 0) == 0) {
       if (!parseU64(Clause.substr(5), Seed))
-        return badSpec(Clause, "seed must be a decimal integer");
+        return badSpec(Clause, "seed must be a decimal integer", Col);
       continue;
     }
     std::size_t At = Clause.find('@');
     if (At == std::string::npos)
-      return badSpec(Clause, "expected site@selector");
+      return badSpec(Clause, "expected site@selector", Col);
     std::string Site = Clause.substr(0, At);
     std::vector<std::string> Keys = splitOn(Clause.substr(At + 1), ',');
     if (Keys.empty())
-      return badSpec(Clause, "missing selector after '@'");
+      return badSpec(Clause, "missing selector after '@'", Col);
 
     uint64_t Count = 1;
     auto takeKey = [&Keys](const char *Name, std::string &Value) {
@@ -165,7 +205,7 @@ Status FaultInjector::configure(const std::string &Spec) {
     };
     std::string V;
     if (takeKey("count", V) && (!parseU64(V, Count) || Count == 0))
-      return badSpec(Clause, "count must be a positive integer");
+      return badSpec(Clause, "count must be a positive integer", Col);
 
     if (Site == "throw") {
       ThrowBudget.store(static_cast<int64_t>(Count),
@@ -173,12 +213,12 @@ Status FaultInjector::configure(const std::string &Spec) {
       if (takeKey("block", V)) {
         uint64_t K;
         if (!parseU64(V, K))
-          return badSpec(Clause, "block must be a block id");
+          return badSpec(Clause, "block must be a block id", Col);
         ThrowBlock = static_cast<int64_t>(K);
       } else if (takeKey("rate", V)) {
         double R;
         if (!parseRate(V, R))
-          return badSpec(Clause, "rate must be in [0, 1]");
+          return badSpec(Clause, "rate must be in [0, 1]", Col);
         ThrowBlock = -3;
         ThrowThreshold = R >= 1.0 ? ~0ULL
                                   : static_cast<uint64_t>(
@@ -187,55 +227,96 @@ Status FaultInjector::configure(const std::string &Spec) {
         Keys.erase(Keys.begin());
         ThrowBlock = -2;
       } else {
-        return badSpec(Clause, "throw needs block=K, any, or rate=R");
+        return badSpec(Clause, "throw needs block=K, any, or rate=R", Col);
       }
     } else if (Site == "stall") {
       if (!takeKey("worker", V))
-        return badSpec(Clause, "stall needs worker=W");
+        return badSpec(Clause, "stall needs worker=W", Col);
       uint64_t W;
       if (!parseU64(V, W))
-        return badSpec(Clause, "worker must be a worker index");
+        return badSpec(Clause, "worker must be a worker index", Col);
       StallWorker = static_cast<int64_t>(W);
       StallBudget.store(static_cast<int64_t>(Count),
                         std::memory_order_relaxed);
       if (takeKey("ms", V) && !parseU64(V, StallMs))
-        return badSpec(Clause, "ms must be a duration in milliseconds");
+        return badSpec(Clause, "ms must be a duration in milliseconds", Col);
     } else if (Site == "die") {
       if (takeKey("worker", V)) {
         uint64_t W;
         if (!parseU64(V, W))
-          return badSpec(Clause, "worker must be a worker index");
+          return badSpec(Clause, "worker must be a worker index", Col);
         DeathWorker = static_cast<int64_t>(W);
         DeathBudget.store(static_cast<int64_t>(Count),
                           std::memory_order_relaxed);
       } else if (takeKey("domain", V)) {
         uint64_t D;
         if (!parseU64(V, D))
-          return badSpec(Clause, "domain must be a domain index");
+          return badSpec(Clause, "domain must be a domain index", Col);
         DeathDomain = static_cast<int64_t>(D);
         DomainDeathBudget.store(static_cast<int64_t>(Count),
                                 std::memory_order_relaxed);
       } else {
-        return badSpec(Clause, "die needs worker=W or domain=D");
+        return badSpec(Clause, "die needs worker=W or domain=D", Col);
       }
     } else if (Site == "alloc-fail") {
       if (!takeKey("grow", V))
-        return badSpec(Clause, "alloc-fail needs grow=N (1-based)");
+        return badSpec(Clause, "alloc-fail needs grow=N (1-based)", Col);
       if (!parseU64(V, AllocFailAt) || AllocFailAt == 0)
-        return badSpec(Clause, "grow must be a positive occurrence index");
+        return badSpec(Clause, "grow must be a positive occurrence index",
+                       Col);
       AllocFailCount = Count;
     } else if (Site == "solver-unknown") {
       if (!takeKey("query", V))
-        return badSpec(Clause, "solver-unknown needs query=N (1-based)");
+        return badSpec(Clause, "solver-unknown needs query=N (1-based)", Col);
       if (!parseU64(V, SolverAt) || SolverAt == 0)
-        return badSpec(Clause, "query must be a positive occurrence index");
+        return badSpec(Clause, "query must be a positive occurrence index",
+                       Col);
       SolverCount = Count;
+    } else if (Site == "flip") {
+      if (!takeKey("block", V))
+        return badSpec(Clause, "flip needs block=K", Col);
+      uint64_t K;
+      if (!parseU64(V, K))
+        return badSpec(Clause, "block must be a block id", Col);
+      FlipBlock = static_cast<int64_t>(K);
+      FlipBudget.store(static_cast<int64_t>(Count),
+                       std::memory_order_relaxed);
+      if (takeKey("bit", V)) {
+        uint64_t B;
+        if (!parseU64(V, B) || B > 63)
+          return badSpec(Clause, "bit must be in [0, 63]", Col);
+        FlipBit = static_cast<unsigned>(B);
+      }
+    } else if (Site == "corrupt-undo") {
+      if (!takeKey("block", V))
+        return badSpec(Clause, "corrupt-undo needs block=K", Col);
+      uint64_t K;
+      if (!parseU64(V, K))
+        return badSpec(Clause, "block must be a block id", Col);
+      CorruptUndoBlock = static_cast<int64_t>(K);
+      CorruptUndoBudget.store(static_cast<int64_t>(Count),
+                              std::memory_order_relaxed);
+    } else if (Site == "nan" || Site == "inf") {
+      if (!takeKey("block", V))
+        return badSpec(Clause,
+                       Site == "nan" ? "nan needs block=K" : "inf needs "
+                                                             "block=K",
+                       Col);
+      uint64_t K;
+      if (!parseU64(V, K))
+        return badSpec(Clause, "block must be a block id", Col);
+      (Site == "nan" ? NanBlock : InfBlock) = static_cast<int64_t>(K);
+      (Site == "nan" ? NanBudget : InfBudget)
+          .store(static_cast<int64_t>(Count), std::memory_order_relaxed);
     } else {
-      return badSpec(Clause, "unknown site (throw, stall, die, alloc-fail, "
-                             "solver-unknown)");
+      return badSpec(Clause,
+                     "unknown site (throw, stall, die, alloc-fail, "
+                     "solver-unknown, flip, corrupt-undo, nan, inf)",
+                     Col);
     }
     if (!Keys.empty())
-      return badSpec(Clause, ("unexpected token '" + Keys[0] + "'").c_str());
+      return badSpec(Clause, ("unexpected token '" + Keys[0] + "'").c_str(),
+                     Col);
   }
 
   Armed.store(true, std::memory_order_relaxed);
@@ -308,6 +389,43 @@ bool FaultInjector::fireSolverUnknown() {
   return true;
 }
 
+bool FaultInjector::fireBitFlip(uint64_t Block, unsigned &Bit,
+                                uint64_t &Pick) {
+  if (FlipBlock < 0 || static_cast<int64_t>(Block) != FlipBlock ||
+      !takeBudget(FlipBudget))
+    return false;
+  Bit = FlipBit;
+  Pick = mix64(Seed ^ (Block + 1) * 0xa24baed4963ee407ULL);
+  NumBitFlips.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::fireUndoCorrupt(uint64_t Block, uint64_t &Pick) {
+  if (CorruptUndoBlock < 0 ||
+      static_cast<int64_t>(Block) != CorruptUndoBlock ||
+      !takeBudget(CorruptUndoBudget))
+    return false;
+  Pick = mix64(Seed ^ (Block + 1) * 0x9fb21c651e98df25ULL);
+  NumUndoCorruptions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int FaultInjector::firePoisonValue(uint64_t Block, uint64_t &Pick) {
+  if (NanBlock >= 0 && static_cast<int64_t>(Block) == NanBlock &&
+      takeBudget(NanBudget)) {
+    Pick = mix64(Seed ^ (Block + 1) * 0xd6e8feb86659fd93ULL);
+    NumNansInjected.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+  if (InfBlock >= 0 && static_cast<int64_t>(Block) == InfBlock &&
+      takeBudget(InfBudget)) {
+    Pick = mix64(Seed ^ (Block + 1) * 0xc2b2ae3d27d4eb4fULL);
+    NumInfsInjected.fetch_add(1, std::memory_order_relaxed);
+    return 2;
+  }
+  return 0;
+}
+
 FaultCounters FaultInjector::counters() const {
   FaultCounters C;
   C.TaskThrows = NumTaskThrows.load(std::memory_order_relaxed);
@@ -316,5 +434,9 @@ FaultCounters FaultInjector::counters() const {
   C.DomainDeaths = NumDomainDeaths.load(std::memory_order_relaxed);
   C.AllocFails = NumAllocFails.load(std::memory_order_relaxed);
   C.SolverUnknowns = NumSolverUnknowns.load(std::memory_order_relaxed);
+  C.BitFlips = NumBitFlips.load(std::memory_order_relaxed);
+  C.UndoCorruptions = NumUndoCorruptions.load(std::memory_order_relaxed);
+  C.NansInjected = NumNansInjected.load(std::memory_order_relaxed);
+  C.InfsInjected = NumInfsInjected.load(std::memory_order_relaxed);
   return C;
 }

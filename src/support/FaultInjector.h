@@ -15,6 +15,14 @@
 ///                                                  after a worker claims a task
 ///   allocation failure injectAllocFail()           in ChaseLevDeque growth
 ///   solver exhaustion  injectSolverUnknown()       per BlockDepGraph query
+///   data corruption    injectBitFlip(block)        after a block body runs
+///                      injectUndoCorrupt(block)    before an undo restore
+///                      injectPoisonValue(block)    after a block body runs
+///
+/// The data-fault sites model *silent* corruption: unlike the control-flow
+/// faults above, they do not signal — they mutate committed data (bit-flip,
+/// NaN/Inf poison) or a saved pre-image (undo corruption) and leave
+/// detection entirely to the integrity layer (DESIGN.md §12).
 ///
 /// Spec grammar (clauses separated by ';'):
 ///
@@ -32,6 +40,16 @@
 ///                                following ones throw bad_alloc
 ///   solver-unknown@query=N[,count=C]  the Nth sign-pattern feasibility query
 ///                                and the C-1 following ones report Unknown
+///   flip@block=K[,bit=B][,count=C]    after block K commits, flip bit B
+///                                (default 0, the mantissa LSB — a 1-ulp
+///                                silent error) of one seed-chosen element
+///                                of its write footprint
+///   corrupt-undo@block=K[,count=C]    flip one bit of one seed-chosen saved
+///                                pre-image of block K's undo log just
+///                                before it is restored
+///   nan@block=K[,count=C]        overwrite one seed-chosen element of block
+///                                K's committed footprint with a quiet NaN
+///   inf@block=K[,count=C]        same, with +infinity
 ///
 /// Every clause has a finite fire budget, so a recovery path that retries
 /// eventually gets a clean run — the property chaos tests rely on. All
@@ -70,10 +88,15 @@ struct FaultCounters {
   uint64_t DomainDeaths = 0;
   uint64_t AllocFails = 0;
   uint64_t SolverUnknowns = 0;
+  uint64_t BitFlips = 0;
+  uint64_t UndoCorruptions = 0;
+  uint64_t NansInjected = 0;
+  uint64_t InfsInjected = 0;
 
   uint64_t total() const {
     return TaskThrows + WorkerStalls + WorkerDeaths + DomainDeaths +
-           AllocFails + SolverUnknowns;
+           AllocFails + SolverUnknowns + BitFlips + UndoCorruptions +
+           NansInjected + InfsInjected;
   }
 };
 
@@ -101,6 +124,14 @@ public:
   bool fireDomainDeath(unsigned Domain);
   bool fireAllocFail();
   bool fireSolverUnknown();
+  /// Data-fault sites. \p Pick comes back as a seed-derived 64-bit value
+  /// the caller uses to choose which footprint element (and, for undo
+  /// corruption, which bit) to mutate — the injector cannot see the
+  /// footprint, so element choice is delegated deterministically.
+  bool fireBitFlip(uint64_t Block, unsigned &Bit, uint64_t &Pick);
+  bool fireUndoCorrupt(uint64_t Block, uint64_t &Pick);
+  /// 0 = no fault, 1 = NaN, 2 = +Inf.
+  int firePoisonValue(uint64_t Block, uint64_t &Pick);
 
   FaultCounters counters() const;
 
@@ -127,6 +158,15 @@ private:
   uint64_t SolverAt = 0; ///< 1-based query occurrence; 0 disabled.
   uint64_t SolverCount = 0;
   std::atomic<uint64_t> QueryOccurrence{0};
+  int64_t FlipBlock = -1;
+  unsigned FlipBit = 0;
+  std::atomic<int64_t> FlipBudget{0};
+  int64_t CorruptUndoBlock = -1;
+  std::atomic<int64_t> CorruptUndoBudget{0};
+  int64_t NanBlock = -1;
+  std::atomic<int64_t> NanBudget{0};
+  int64_t InfBlock = -1;
+  std::atomic<int64_t> InfBudget{0};
 
   // Delivered-fault counters.
   std::atomic<uint64_t> NumTaskThrows{0};
@@ -135,6 +175,10 @@ private:
   std::atomic<uint64_t> NumDomainDeaths{0};
   std::atomic<uint64_t> NumAllocFails{0};
   std::atomic<uint64_t> NumSolverUnknowns{0};
+  std::atomic<uint64_t> NumBitFlips{0};
+  std::atomic<uint64_t> NumUndoCorruptions{0};
+  std::atomic<uint64_t> NumNansInjected{0};
+  std::atomic<uint64_t> NumInfsInjected{0};
 };
 
 // Inline call-site wrappers: one relaxed atomic load on the common path,
@@ -195,6 +239,41 @@ inline bool injectSolverUnknown() {
   return FI.armed() && FI.fireSolverUnknown();
 #else
   return false;
+#endif
+}
+
+inline bool injectBitFlip(uint64_t Block, unsigned &Bit, uint64_t &Pick) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireBitFlip(Block, Bit, Pick);
+#else
+  (void)Block;
+  (void)Bit;
+  (void)Pick;
+  return false;
+#endif
+}
+
+inline bool injectUndoCorrupt(uint64_t Block, uint64_t &Pick) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireUndoCorrupt(Block, Pick);
+#else
+  (void)Block;
+  (void)Pick;
+  return false;
+#endif
+}
+
+/// 0 = no fault, 1 = NaN, 2 = +Inf.
+inline int injectPoisonValue(uint64_t Block, uint64_t &Pick) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() ? FI.firePoisonValue(Block, Pick) : 0;
+#else
+  (void)Block;
+  (void)Pick;
+  return 0;
 #endif
 }
 

@@ -599,9 +599,12 @@ TEST_F(ChaosTest, CliHierarchicalChaosRunRecoversAtOuterGranularity) {
 }
 
 TEST_F(ChaosTest, CliRejectsMalformedInjectSpec) {
+  // Exit 2 (illegal spec, not a usage slip) with a line/col diagnostic: a
+  // typo here must never silently run without faults.
   auto [Rc, Out] = runCli("run matmul c --params=16 --inject='bogus@x=1'");
-  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_EQ(Rc, 2) << Out;
   EXPECT_NE(Out.find("usage-error"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("col 1"), std::string::npos) << Out;
   EXPECT_NE(Out.find("grammar"), std::string::npos) << Out;
 }
 

@@ -146,6 +146,25 @@ TEST(Cli, RunRejectsMalformedTaskLevel) {
   EXPECT_NE(Out.find("--task-level"), std::string::npos) << Out;
 }
 
+TEST(Cli, RunRejectsMalformedInjectSpecWithExit2AndColumn) {
+  // A typo in --inject must never silently run without faults: exit 2
+  // (illegal spec, same class as an illegal shackle) and a diagnostic
+  // pointing at the offending clause's column within the spec string.
+  auto [Rc, Out] = runCli(
+      "run matmul c --params=16 --inject='seed=3;flip@blk=2'");
+  EXPECT_EQ(Rc, 2) << Out;
+  EXPECT_NE(Out.find("col 8"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("flip@blk=2"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("grammar"), std::string::npos) << Out;
+}
+
+TEST(Cli, RunRejectsMalformedVerifyData) {
+  auto [Rc, Out] = runCli("run matmul c --params=16 --verify-data=banana");
+  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_NE(Out.find("usage-error"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("--verify-data"), std::string::npos) << Out;
+}
+
 class CliFile : public ::testing::Test {
 protected:
   void SetUp() override {

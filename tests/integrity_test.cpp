@@ -1,0 +1,603 @@
+//===- integrity_test.cpp - Data-integrity runtime tests ----------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the data-plane half of fault tolerance (DESIGN.md §12, ctest
+// label: integrity): checksummed undo logs, shadow re-execution
+// verification, numerical-poisoning quarantine, and the escalation ladder
+// verify -> rollback-retry -> pristine serial replay -> fail with
+// provenance. The contract under test is absolute: a run either finishes
+// bitwise-identical to serial shackled execution or fails loudly naming
+// the corrupted block. Never a silently wrong answer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Integrity.h"
+#include "parallel/ParallelExecutor.h"
+#include "parallel/UndoLog.h"
+#include "programs/Benchmarks.h"
+#include "support/Checksum.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace shackle;
+
+namespace {
+
+#ifndef SHACKLE_CLI_PATH
+#error "SHACKLE_CLI_PATH must be defined by the build"
+#endif
+
+/// Runs the CLI with \p Args; returns (exit code, combined stdout+stderr).
+std::pair<int, std::string> runCli(const std::string &Args) {
+  std::string Cmd = std::string(SHACKLE_CLI_PATH) + " " + Args + " 2>&1";
+  std::FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Out.append(Buf, Got);
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Out};
+}
+
+class IntegrityTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().disarm(); }
+  void TearDown() override { FaultInjector::instance().disarm(); }
+
+  void arm(const std::string &Spec) {
+    if (!FaultInjectionCompiledIn)
+      GTEST_SKIP() << "built without SHACKLE_ENABLE_FAULT_INJECTION";
+    Status S = FaultInjector::instance().configure(Spec);
+    ASSERT_TRUE(S.ok()) << S.diagnostic().str();
+  }
+};
+
+bool hasDiag(const std::vector<Diagnostic> &Diags, DiagCode Code) {
+  for (const Diagnostic &D : Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+/// True when some diag of \p Code has a message or note containing \p Sub.
+bool diagContains(const std::vector<Diagnostic> &Diags, DiagCode Code,
+                  const std::string &Sub) {
+  for (const Diagnostic &D : Diags) {
+    if (D.Code != Code)
+      continue;
+    if (D.Message.find(Sub) != std::string::npos)
+      return true;
+    for (const Diagnostic &Note : D.Notes)
+      if (Note.Message.find(Sub) != std::string::npos)
+        return true;
+  }
+  return false;
+}
+
+/// Builds the plan, runs it under \p Opts with the already-armed injector,
+/// and asserts the integrity contract: completion, no Failed flag, and a
+/// result bitwise-identical to serial shackled execution.
+ParallelRunStats runExpectBitwise(const BenchSpec &Spec,
+                                  const ShackleChain &Chain,
+                                  std::vector<int64_t> Params,
+                                  const ParallelRunOptions &Opts) {
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, Chain, Params);
+  EXPECT_TRUE(Plan.parallelReady()) << Plan.summary();
+
+  ProgramInstance Ref(P, Params);
+  Ref.fillRandom(77, 0.5, 1.5);
+  for (unsigned A = 0; A < P.getNumArrays(); ++A)
+    for (double &V : Ref.buffer(A))
+      V += 1.0; // Keep factorizations well conditioned.
+  ProgramInstance Par = Ref;
+  Plan.runSerial(Ref);
+
+  ParallelRunStats Stats = Plan.run(Par, Opts);
+  EXPECT_FALSE(Stats.Failed) << Spec.Name;
+  EXPECT_TRUE(Ref.bitwiseEqual(Par))
+      << Spec.Name << " mode=" << parallelModeName(Stats.Mode);
+  EXPECT_TRUE(Stats.Progress.complete()) << Stats.Progress.str();
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Checksum primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Checksum, SingleBitFlipChangesTheDigest) {
+  BlockUndoLog Log;
+  for (int I = 0; I < 32; ++I)
+    Log.Entries.push_back({0u, I, 1.0 + 0.25 * I});
+  const uint64_t Clean = checksumUndoLog(Log);
+  EXPECT_EQ(checksumUndoLog(Log), Clean); // Deterministic.
+  for (unsigned Bit : {0u, 31u, 52u, 63u}) {
+    BlockUndoLog Mutated = Log;
+    Mutated.Entries[7].Value = flipDoubleBit(Mutated.Entries[7].Value, Bit);
+    EXPECT_NE(checksumUndoLog(Mutated), Clean) << "bit " << Bit;
+  }
+  // Metadata is covered too: the same values at a shifted offset differ.
+  BlockUndoLog Shifted = Log;
+  Shifted.Entries[0].Offset += 1;
+  EXPECT_NE(checksumUndoLog(Shifted), Clean);
+}
+
+TEST(Checksum, FlipDoubleBitIsAnInvolution) {
+  for (unsigned Bit = 0; Bit < 64; ++Bit) {
+    const double V = 3.14159 * (Bit + 1);
+    const double Flipped = flipDoubleBit(V, Bit);
+    EXPECT_NE(Flipped, V) << "bit " << Bit; // Finite values: bitwise change.
+    EXPECT_EQ(flipDoubleBit(Flipped, Bit), V) << "bit " << Bit;
+  }
+  EXPECT_EQ(flipDoubleBit(2.0, 63), -2.0); // Sign bit.
+}
+
+TEST(Checksum, ZeroRepresentationsAreDistinguished) {
+  // The digest hashes bit patterns, not values: +0.0 and -0.0 compare
+  // equal as doubles but must not collide, or a sign-bit flip of a zero
+  // would be undetectable.
+  BlockUndoLog Pos, Neg;
+  Pos.Entries.push_back({0u, 0, 0.0});
+  Neg.Entries.push_back({0u, 0, -0.0});
+  EXPECT_NE(checksumUndoLog(Pos), checksumUndoLog(Neg));
+}
+
+TEST(Cone, DownstreamConeIsTheTransitiveSuccessorSet) {
+  // 0 -> {1, 2}, 1 -> {3}, 2 -> {3}, 3 -> {}, 4 isolated.
+  BlockDepGraph G;
+  G.Succs = {{1, 2}, {3}, {3}, {}, {}};
+  G.InDegree = {0, 1, 1, 2, 0};
+  EXPECT_EQ(downstreamCone(G, 0), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(downstreamCone(G, 1), (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(downstreamCone(G, 3).empty());
+  EXPECT_TRUE(downstreamCone(G, 4).empty());
+  EXPECT_EQ(formatCone({1, 2, 3}), "#1, #2, #3");
+  EXPECT_EQ(formatCone({1, 2, 3}, 2), "#1, #2, ...");
+}
+
+//===----------------------------------------------------------------------===//
+// Injection clauses
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntegrityTest, DataFaultClausesParseAndHaveFiniteBudgets) {
+  arm("seed=9;flip@block=3,bit=52;corrupt-undo@block=1;nan@block=2;"
+      "inf@block=4,count=2");
+  unsigned Bit = 99;
+  uint64_t Pick = 0;
+  EXPECT_FALSE(injectBitFlip(0, Bit, Pick)); // Only the named block.
+  EXPECT_TRUE(injectBitFlip(3, Bit, Pick));
+  EXPECT_EQ(Bit, 52u);
+  EXPECT_FALSE(injectBitFlip(3, Bit, Pick)); // Budget exhausted.
+  EXPECT_FALSE(injectUndoCorrupt(0, Pick));
+  EXPECT_TRUE(injectUndoCorrupt(1, Pick));
+  EXPECT_FALSE(injectUndoCorrupt(1, Pick));
+  EXPECT_EQ(injectPoisonValue(0, Pick), 0);
+  EXPECT_EQ(injectPoisonValue(2, Pick), 1); // NaN.
+  EXPECT_EQ(injectPoisonValue(2, Pick), 0);
+  EXPECT_EQ(injectPoisonValue(4, Pick), 2); // Inf, twice.
+  EXPECT_EQ(injectPoisonValue(4, Pick), 2);
+  EXPECT_EQ(injectPoisonValue(4, Pick), 0);
+  const FaultCounters &C = FaultInjector::instance().counters();
+  EXPECT_EQ(C.BitFlips, 1u);
+  EXPECT_EQ(C.UndoCorruptions, 1u);
+  EXPECT_EQ(C.NansInjected, 1u);
+  EXPECT_EQ(C.InfsInjected, 2u);
+}
+
+TEST_F(IntegrityTest, ElementPicksAreSeedDeterministic) {
+  uint64_t P1, P2;
+  arm("seed=41;flip@block=5");
+  unsigned Bit;
+  ASSERT_TRUE(injectBitFlip(5, Bit, P1));
+  arm("seed=41;flip@block=5");
+  ASSERT_TRUE(injectBitFlip(5, Bit, P2));
+  EXPECT_EQ(P1, P2);
+  arm("seed=42;flip@block=5");
+  ASSERT_TRUE(injectBitFlip(5, Bit, P2));
+  EXPECT_NE(P1, P2); // Different seed, different element pick.
+}
+
+TEST_F(IntegrityTest, MalformedDataClausesAreRejectedWholesale) {
+  FaultInjector &FI = FaultInjector::instance();
+  for (const char *Bad :
+       {"flip@bit=3", "flip@block=1,bit=64", "flip@block=x",
+        "corrupt-undo@worker=1", "nan@block", "inf@rate=0.5"}) {
+    Status S = FI.configure(Bad);
+    ASSERT_FALSE(S.ok()) << Bad;
+    EXPECT_EQ(S.diagnostic().Code, DiagCode::UsageError) << Bad;
+    EXPECT_FALSE(FI.armed()) << Bad; // A bad spec must not half-arm.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bit flips: detected, rolled back, recomputed bitwise
+//===----------------------------------------------------------------------===//
+
+struct FlipCase {
+  const char *Label;
+  BenchSpec (*Make)();
+  ShackleChain (*Shackle)(const Program &);
+  std::vector<int64_t> Params;
+};
+
+ShackleChain mmmC8(const Program &P) { return mmmShackleC(P, 8); }
+ShackleChain cholStores4(const Program &P) {
+  return choleskyShackleStores(P, 4);
+}
+ShackleChain adi1(const Program &P) { return adiShackle(P); }
+
+const FlipCase FlipCases[] = {
+    {"matmul-c", makeMatMul, mmmC8, {32}},
+    {"cholesky-stores", makeCholeskyRight, cholStores4, {20}},
+    {"adi-fused", makeADI, adi1, {12}},
+};
+
+TEST_F(IntegrityTest, FlipIsDetectedAndRecomputedBitwiseOnEverySchedule) {
+  // The acceptance gate: under flip@block with --verify-data=block, every
+  // benchmark at every thread count finishes bitwise-identical to serial
+  // with the corruption counted — the flipped execution never commits.
+  for (const FlipCase &C : FlipCases) {
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      arm("seed=5;flip@block=1");
+      if (IsSkipped())
+        return;
+      BenchSpec Spec = C.Make();
+      ParallelRunOptions Opts;
+      Opts.NumThreads = Threads;
+      Opts.VerifyData = DataVerify::Block;
+      ParallelRunStats Stats =
+          runExpectBitwise(Spec, C.Shackle(*Spec.Prog), C.Params, Opts);
+      EXPECT_EQ(Stats.VerifyUsed, DataVerify::Block) << C.Label;
+      EXPECT_GE(Stats.Integrity.CorruptionsDetected, 1u)
+          << C.Label << " threads=" << Threads;
+      EXPECT_GE(Stats.Integrity.ChecksumsVerified, 1u) << C.Label;
+      EXPECT_GE(Stats.Retries, 1u) << C.Label;
+      EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelFault,
+                               "checksums diverged"))
+          << C.Label;
+      EXPECT_EQ(FaultInjector::instance().counters().BitFlips, 1u)
+          << C.Label;
+    }
+  }
+}
+
+TEST_F(IntegrityTest, SeedSweptFlipsNeverCommitSilently) {
+  // Zero-silent-wrong-answers: whatever element and bit the seed picks,
+  // the run either matches serial bitwise or fails loudly. (With
+  // verification on it must in fact always match.)
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    arm("seed=" + std::to_string(Seed) + ";flip@block=2");
+    if (IsSkipped())
+      return;
+    BenchSpec Spec = makeMatMul();
+    ParallelRunOptions Opts;
+    Opts.NumThreads = 4;
+    Opts.VerifyData = DataVerify::Block;
+    ParallelRunStats Stats =
+        runExpectBitwise(Spec, mmmC8(*Spec.Prog), {32}, Opts);
+    EXPECT_GE(Stats.Integrity.CorruptionsDetected, 1u) << "seed " << Seed;
+  }
+}
+
+TEST_F(IntegrityTest, UndoVerifyModeAloneDoesNotCatchFlips) {
+  // Contrast case documenting the verification tiers: --verify-data=undo
+  // protects restores, not commits, so a flipped commit goes through and
+  // the result legitimately differs from serial. The run must still be
+  // "successful" (no Failed flag) — this is exactly the gap that
+  // --verify-data=block closes.
+  arm("seed=5;flip@block=1");
+  if (IsSkipped())
+    return;
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, mmmC8(P), {32});
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Ref(P, {32});
+  Ref.fillRandom(77, 0.5, 1.5);
+  ProgramInstance Par = Ref;
+  Plan.runSerial(Ref);
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.VerifyData = DataVerify::Undo;
+  ParallelRunStats Stats = Plan.run(Par, Opts);
+  EXPECT_FALSE(Stats.Failed);
+  EXPECT_EQ(Stats.Integrity.CorruptionsDetected, 0u);
+  EXPECT_FALSE(Ref.bitwiseEqual(Par)); // The flip landed undetected.
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupted undo logs: refused restores escalate to the pristine replay
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntegrityTest, CorruptUndoRefusesRestoreAndReplaysFromPristine) {
+  // The undo log of block 2 is mutated before its restore (the restore is
+  // forced by pairing a throw on the same block). The checksum catches
+  // the mutation, the restore is refused, and the whole nest restarts
+  // serially from the pristine snapshot — still bitwise-identical.
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    arm("seed=9;throw@block=2,count=1;corrupt-undo@block=2");
+    if (IsSkipped())
+      return;
+    BenchSpec Spec = makeCholeskyRight();
+    ParallelRunOptions Opts;
+    Opts.NumThreads = Threads;
+    Opts.VerifyData = DataVerify::Undo;
+    ParallelRunStats Stats =
+        runExpectBitwise(Spec, cholStores4(*Spec.Prog), {20}, Opts);
+    EXPECT_EQ(Stats.Mode, ParallelMode::Degraded) << Threads;
+    EXPECT_GE(Stats.Integrity.UndoRefused, 1u) << Threads;
+    EXPECT_GE(Stats.Integrity.CorruptionsDetected, 1u) << Threads;
+    EXPECT_EQ(Stats.Integrity.PristineReplays, 1u) << Threads;
+    EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelFault,
+                             "refusing the unsound restore"))
+        << Threads;
+    EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelDegrade,
+                             "pristine"))
+        << Threads;
+    EXPECT_EQ(FaultInjector::instance().counters().UndoCorruptions, 1u)
+        << Threads;
+  }
+}
+
+TEST_F(IntegrityTest, CorruptUndoUnderBlockVerifyNeedsNoPairedFault) {
+  // --verify-data=block restores between the two shadow executions, so a
+  // corrupt-undo fires without any other fault — and MMM and ADI join
+  // Cholesky in converging bitwise through the pristine replay.
+  struct Case {
+    const char *Label;
+    BenchSpec (*Make)();
+    ShackleChain (*Shackle)(const Program &);
+    std::vector<int64_t> Params;
+  };
+  const Case Cases[] = {
+      {"matmul-c", makeMatMul, mmmC8, {32}},
+      {"adi-fused", makeADI, adi1, {12}},
+  };
+  for (const Case &C : Cases) {
+    arm("seed=3;corrupt-undo@block=1");
+    if (IsSkipped())
+      return;
+    BenchSpec Spec = C.Make();
+    ParallelRunOptions Opts;
+    Opts.NumThreads = 4;
+    Opts.VerifyData = DataVerify::Block;
+    ParallelRunStats Stats =
+        runExpectBitwise(Spec, C.Shackle(*Spec.Prog), C.Params, Opts);
+    EXPECT_GE(Stats.Integrity.UndoRefused, 1u) << C.Label;
+    EXPECT_EQ(Stats.Integrity.PristineReplays, 1u) << C.Label;
+  }
+}
+
+TEST_F(IntegrityTest, VerifyOffTrustsTheUndoLogAndMissesTheCorruption) {
+  // Without verification the mutated pre-image is restored as if sound.
+  // MMM accumulates into C, so the corrupted restored base flows into the
+  // retried block's result: the run "succeeds" with a wrong answer — the
+  // documented cost of --verify-data=off, pinned here so the tier table
+  // stays honest.
+  arm("seed=9;throw@block=2,count=1;corrupt-undo@block=2");
+  if (IsSkipped())
+    return;
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, mmmC8(P), {32});
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Ref(P, {32});
+  Ref.fillRandom(77, 0.5, 1.5);
+  ProgramInstance Par = Ref;
+  Plan.runSerial(Ref);
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.VerifyData = DataVerify::Off;
+  Opts.PoisonCheck = false;
+  ParallelRunStats Stats = Plan.run(Par, Opts);
+  EXPECT_EQ(Stats.Integrity.UndoRefused, 0u);
+  EXPECT_EQ(Stats.VerifyUsed, DataVerify::Off);
+  EXPECT_FALSE(Ref.bitwiseEqual(Par));
+}
+
+//===----------------------------------------------------------------------===//
+// Numerical poisoning: quarantine with provenance
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntegrityTest, InjectedNanQuarantinesTheBlockAndItsCone) {
+  arm("seed=5;nan@block=2");
+  if (IsSkipped())
+    return;
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, cholStores4(P), {20});
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Inst(P, {20});
+  Inst.fillRandom(77, 0.5, 1.5);
+  // A strongly diagonally dominant matrix is SPD: the factorization is
+  // finite everywhere, so the only non-finite value in the run is the
+  // injected one — unmistakably corruption, not "produced" arithmetic.
+  for (int64_t I = 0; I < 20; ++I)
+    Inst.buffer(0)[I * 20 + I] += 100.0;
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  ParallelRunStats Stats = Plan.run(Inst, Opts);
+
+  // The run fails with provenance: the exact first poisoned block, the
+  // poisoned address, and the downstream cone — never a silent NaN.
+  EXPECT_TRUE(Stats.Failed);
+  EXPECT_FALSE(Stats.Progress.complete());
+  EXPECT_GE(Stats.Integrity.PoisonedBlocks, 1u);
+  EXPECT_GE(Stats.Integrity.CorruptionsDetected, 1u);
+  EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelPoison,
+                           "block #2"));
+  EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelPoison,
+                           "silent corruption"));
+  // Cholesky block 2 has dependents; the cone is named and larger than
+  // the block itself.
+  EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelPoison,
+                           "downstream dependence cone"));
+  EXPECT_GT(Stats.Integrity.PoisonedBlocks, 1u);
+  EXPECT_EQ(FaultInjector::instance().counters().NansInjected, 1u);
+}
+
+TEST_F(IntegrityTest, InjectedInfIsCaughtLikeNan) {
+  arm("seed=7;inf@block=1");
+  if (IsSkipped())
+    return;
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, mmmC8(P), {32});
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Inst(P, {32});
+  Inst.fillRandom(77, 0.5, 1.5);
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 2;
+  ParallelRunStats Stats = Plan.run(Inst, Opts);
+  EXPECT_TRUE(Stats.Failed);
+  EXPECT_GE(Stats.Integrity.PoisonedBlocks, 1u);
+  EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelPoison, "inf"));
+  EXPECT_EQ(FaultInjector::instance().counters().InfsInjected, 1u);
+}
+
+TEST_F(IntegrityTest, PoisonedFootprintIsRolledBackNotCommitted) {
+  // The quarantined block's footprint must hold its pre-run values: the
+  // poison is withheld, not published for some later consumer to read.
+  arm("seed=5;nan@block=0");
+  if (IsSkipped())
+    return;
+  BenchSpec Spec = makeMatMul();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, mmmC8(P), {16});
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Inst(P, {16});
+  Inst.fillRandom(3, 0.5, 1.5);
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 1;
+  ParallelRunStats Stats = Plan.run(Inst, Opts);
+  EXPECT_TRUE(Stats.Failed);
+  for (unsigned A = 0; A < P.getNumArrays(); ++A)
+    for (double V : Inst.buffer(A))
+      EXPECT_TRUE(std::isfinite(V)); // No NaN escaped into the instance.
+}
+
+TEST_F(IntegrityTest, GenuineNanIsAttributedButCommittedLikeSerial) {
+  // A negative matrix sends Cholesky's sqrt to NaN in the block's own
+  // arithmetic. That is the program's honest answer — serial would
+  // compute the same bits — so the runtime attributes it (store-check
+  // provenance, "produced", not corruption) and commits it. Refusing it
+  // would break serial equivalence.
+  BenchSpec Spec = makeCholeskyRight();
+  const Program &P = *Spec.Prog;
+  ParallelPlan Plan = ParallelPlan::build(P, cholStores4(P), {20});
+  ASSERT_TRUE(Plan.parallelReady());
+  ProgramInstance Ref(P, {20});
+  Ref.fillRandom(13, -2.0, -1.0); // Negative diagonal: sqrt -> NaN.
+  ProgramInstance Par = Ref;
+  Plan.runSerial(Ref);
+  bool RefHasNan = false;
+  for (unsigned A = 0; A < P.getNumArrays(); ++A)
+    for (double V : Ref.buffer(A))
+      RefHasNan |= !std::isfinite(V);
+  ASSERT_TRUE(RefHasNan); // Premise: the program genuinely produces NaN.
+
+  ParallelRunOptions Opts;
+  Opts.NumThreads = 4;
+  ParallelRunStats Stats = Plan.run(Par, Opts);
+  EXPECT_FALSE(Stats.Failed);
+  EXPECT_TRUE(Stats.Progress.complete());
+  EXPECT_EQ(Stats.Integrity.PoisonedBlocks, 0u); // Nothing quarantined.
+  EXPECT_EQ(Stats.Integrity.CorruptionsDetected, 0u);
+  EXPECT_TRUE(Ref.bitwiseEqual(Par));
+  EXPECT_TRUE(diagContains(Stats.Diags, DiagCode::ParallelPoison,
+                           "genuine numerical failure"));
+}
+
+//===----------------------------------------------------------------------===//
+// Escalation interplay: retries x watchdog deadlines (seed swept)
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntegrityTest, ThrowPlusStallConvergesOrDegradesCleanlyAcrossSeeds) {
+  // A block that both throws (twice) and stalls its worker forever: the
+  // retry ladder and the watchdog race. Whatever the interleaving at any
+  // thread count, the run must converge bitwise — retried in place or
+  // degraded to the serial replay — and never hang, fail, or lie.
+  for (uint64_t Seed : {1u, 7u, 23u}) {
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      arm("seed=" + std::to_string(Seed) +
+          ";throw@block=1,count=2;stall@worker=0,ms=30000");
+      if (IsSkipped())
+        return;
+      BenchSpec Spec = makeCholeskyRight();
+      ParallelRunOptions Opts;
+      Opts.NumThreads = Threads;
+      Opts.MaxRetries = 2;
+      Opts.StallTimeoutMs = 100;
+      ParallelRunStats Stats =
+          runExpectBitwise(Spec, cholStores4(*Spec.Prog), {20}, Opts);
+      EXPECT_TRUE(Stats.Mode == ParallelMode::Parallel ||
+                  Stats.Mode == ParallelMode::Degraded)
+          << "seed=" << Seed << " threads=" << Threads;
+      EXPECT_GE(Stats.Faults + Stats.ReplayedSerially, 1u)
+          << "seed=" << Seed << " threads=" << Threads;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CLI end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntegrityTest, CliFlipRunPrintsIntegrityLineAndVerifiesBitwise) {
+  if (!FaultInjectionCompiledIn)
+    GTEST_SKIP() << "built without SHACKLE_ENABLE_FAULT_INJECTION";
+  auto [Rc, Out] = runCli(
+      "run matmul c --params=32 --block=8 --threads=4 --verify-data=block "
+      "--verify --inject='seed=5;flip@block=1'");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("integrity: verify-data=block"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("corruptions-detected=1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
+TEST_F(IntegrityTest, CliParanoiaFlagForcesBlockVerification) {
+  auto [Rc, Out] = runCli(
+      "run matmul c --params=16 --block=8 --threads=2 --paranoia --verify");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("integrity: verify-data=block"), std::string::npos)
+      << Out;
+}
+
+TEST_F(IntegrityTest, CliNanRunFailsWithPoisonProvenance) {
+  if (!FaultInjectionCompiledIn)
+    GTEST_SKIP() << "built without SHACKLE_ENABLE_FAULT_INJECTION";
+  auto [Rc, Out] = runCli(
+      "run matmul c --params=32 --block=8 --threads=4 "
+      "--inject='seed=5;nan@block=3'");
+  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_NE(Out.find("parallel-poison"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("block #3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("quarantined"), std::string::npos) << Out;
+}
+
+TEST_F(IntegrityTest, CliCorruptUndoConvergesThroughPristineReplay) {
+  if (!FaultInjectionCompiledIn)
+    GTEST_SKIP() << "built without SHACKLE_ENABLE_FAULT_INJECTION";
+  auto [Rc, Out] = runCli(
+      "run cholesky-right stores --params=20 --block=4 --threads=4 "
+      "--verify --inject='seed=9;throw@block=2;corrupt-undo@block=2'");
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("pristine-replays=1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("undo-refused=1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bitwise-identical"), std::string::npos) << Out;
+}
+
+} // namespace

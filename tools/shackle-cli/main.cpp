@@ -141,7 +141,12 @@ int usage() {
       "      [--steal-remote-after=K] [--random-steal] [--steal-seed=S]\n"
       "      [--first-touch]            (locality: see docs/CLI.md)\n"
       "      [--inject=SPEC]            (chaos: deterministic faults;\n"
-      "       e.g. --inject='throw@block=2;seed=7', see docs/CLI.md)\n"
+      "       e.g. --inject='throw@block=2;seed=7', see docs/CLI.md;\n"
+      "       a malformed SPEC is rejected with exit code 2)\n"
+      "      [--verify-data=off|undo|block] [--paranoia]\n"
+      "      (integrity: 'undo' checksums undo logs before restores\n"
+      "       [default]; 'block' also commits a block only after two\n"
+      "       agreeing executions; --paranoia forces 'block')\n"
       "  shackle file <path> print\n"
       "  shackle file <path> {legality|codegen|emit} --array=NAME\n"
       "      [--block=B1[,B2...]] [--order=colblocks] [--reversed] "
@@ -151,8 +156,9 @@ int usage() {
       "common flags:\n"
       "  --solver-budget=N   Omega-test work-unit budget per query\n"
       "  --strict            fail instead of falling back to simpler code\n"
-      "exit codes: 0 ok/legal, 1 usage or I/O error, 2 shackle illegal,\n"
-      "            3 parse error, 4 legality undecided within budget\n"
+      "exit codes: 0 ok/legal, 1 usage or I/O error, 2 shackle illegal\n"
+      "            (or malformed --inject spec), 3 parse error,\n"
+      "            4 legality undecided within budget\n"
       "(see docs/CLI.md)\n");
   return 1;
 }
@@ -599,8 +605,11 @@ int main(int Argc, char **Argv) {
     if (!InjectSpec.empty()) {
       Status S = FaultInjector::instance().configure(InjectSpec);
       if (!S.ok()) {
+        // The diagnostic carries the 1-based column of the offending
+        // clause within SPEC. Exit 2: the spec is illegal, not a usage
+        // slip — a typo here must never silently run without faults.
         std::fprintf(stderr, "%s\n", S.diagnostic().str().c_str());
-        return exitCodeFor(S.diagnostic());
+        return 2;
       }
     }
     ParallelRunOptions RunOpts;
@@ -631,6 +640,23 @@ int main(int Argc, char **Argv) {
     RunOpts.StealSeed = static_cast<uint64_t>(
         std::max<int64_t>(0, flagValue(Argc, Argv, "steal-seed", 0)));
     RunOpts.FirstTouch = hasFlag(Argc, Argv, "first-touch");
+    std::string VerifyData =
+        flagString(Argc, Argv, "verify-data", "undo");
+    if (VerifyData == "off") {
+      RunOpts.VerifyData = DataVerify::Off;
+    } else if (VerifyData == "undo") {
+      RunOpts.VerifyData = DataVerify::Undo;
+    } else if (VerifyData == "block") {
+      RunOpts.VerifyData = DataVerify::Block;
+    } else {
+      std::fprintf(stderr,
+                   "error: [usage-error] --verify-data expects 'off', "
+                   "'undo', or 'block', got '%s'\n",
+                   VerifyData.c_str());
+      return 1;
+    }
+    if (hasFlag(Argc, Argv, "paranoia"))
+      RunOpts.VerifyData = DataVerify::Block;
 
     ParallelPlanOptions Opts;
     Opts.Budget = budgetFromFlags(Argc, Argv);
@@ -743,9 +769,36 @@ int main(int Argc, char **Argv) {
                                                            : "block",
                     B, Stats.RetriesPerBlock[B],
                     Stats.RetriesPerBlock[B] == 1 ? "y" : "ies");
+    if (Stats.VerifyUsed != DataVerify::Off || Stats.Integrity.PoisonedBlocks) {
+      std::printf("integrity: verify-data=%s checksums-verified=%llu "
+                  "corruptions-detected=%llu poisoned-blocks=%llu",
+                  dataVerifyName(Stats.VerifyUsed),
+                  static_cast<unsigned long long>(
+                      Stats.Integrity.ChecksumsVerified),
+                  static_cast<unsigned long long>(
+                      Stats.Integrity.CorruptionsDetected),
+                  static_cast<unsigned long long>(
+                      Stats.Integrity.PoisonedBlocks));
+      if (Stats.Integrity.UndoRefused)
+        std::printf(" undo-refused=%llu",
+                    static_cast<unsigned long long>(
+                        Stats.Integrity.UndoRefused));
+      if (Stats.Integrity.PristineReplays)
+        std::printf(" pristine-replays=%llu",
+                    static_cast<unsigned long long>(
+                        Stats.Integrity.PristineReplays));
+      std::printf("\n");
+    }
     if (Stats.Failed) {
-      std::fprintf(stderr, "run: a block failed every recovery attempt; "
-                           "results are unreliable\n");
+      if (Stats.Integrity.PoisonedBlocks)
+        std::fprintf(stderr,
+                     "run: %llu block(s) quarantined for poisoned data; "
+                     "their results are withheld, not silently wrong\n",
+                     static_cast<unsigned long long>(
+                         Stats.Integrity.PoisonedBlocks));
+      else
+        std::fprintf(stderr, "run: a block failed every recovery attempt; "
+                             "results are unreliable\n");
       return 1;
     }
     if (Spec.Flops)
