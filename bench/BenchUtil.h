@@ -183,6 +183,21 @@ inline void setFaultStats(benchmark::State &St, double FaultsInjected,
   St.counters["degraded"] = benchmark::Counter(Degraded);
 }
 
+/// Tags a service benchmark with the plan-cache counters behind the run
+/// (docs/SERVE.md): cache hits/misses, single-flight coalesces, and Omega
+/// queries avoided through cached verdicts, plus the measured request
+/// throughput. The JSON sink emits these per record so cold-vs-warm and
+/// client-scaling sweeps diff from the output alone.
+inline void setServiceStats(benchmark::State &St, double Hits, double Misses,
+                            double Coalesced, double SolverSaved,
+                            double ReqPerS) {
+  St.counters["hits"] = benchmark::Counter(Hits);
+  St.counters["misses"] = benchmark::Counter(Misses);
+  St.counters["coalesced"] = benchmark::Counter(Coalesced);
+  St.counters["solver_saved"] = benchmark::Counter(SolverSaved);
+  St.counters["req_per_s"] = benchmark::Counter(ReqPerS);
+}
+
 /// Tags a benchmark with cache-simulation miss counts accumulated over the
 /// per-worker traces of a parallel run (see WorkerTraces).
 inline void setWorkerMissStats(benchmark::State &St, double L1Misses,
@@ -212,6 +227,9 @@ public:
     int64_t L1Misses = 0, L2Misses = 0;
     /// Fault-tolerance telemetry (0 unless set via setFaultStats).
     int64_t FaultsInjected = 0, Retries = 0, Degraded = 0;
+    /// Plan-cache service telemetry (0 unless set via setServiceStats).
+    int64_t Hits = 0, Misses = 0, Coalesced = 0, SolverSaved = 0;
+    double ReqPerS = 0.0;
   };
   std::vector<Record> Records;
 
@@ -249,6 +267,14 @@ public:
       Rec.FaultsInjected = Counter("faults_injected");
       Rec.Retries = Counter("retries");
       Rec.Degraded = Counter("degraded");
+      Rec.Hits = Counter("hits");
+      Rec.Misses = Counter("misses");
+      Rec.Coalesced = Counter("coalesced");
+      Rec.SolverSaved = Counter("solver_saved");
+      {
+        auto It = R.counters.find("req_per_s");
+        Rec.ReqPerS = It == R.counters.end() ? 0.0 : It->second.value;
+      }
       Rec.NsPerIter = R.real_accumulated_time /
                       static_cast<double>(R.iterations) * 1e9;
       Records.push_back(std::move(Rec));
@@ -284,7 +310,9 @@ inline bool writeJsonRecords(const char *Path,
                  "\"home_hit_pct\": %.1f, \"bytes_migrated\": %lld, "
                  "\"l1_misses\": %lld, \"l2_misses\": %lld, "
                  "\"faults_injected\": %lld, \"retries\": %lld, "
-                 "\"degraded\": %lld}%s\n",
+                 "\"degraded\": %lld, "
+                 "\"hits\": %lld, \"misses\": %lld, \"coalesced\": %lld, "
+                 "\"solver_saved\": %lld, \"req_per_s\": %.1f}%s\n",
                  jsonEscape(Rs[I].Name).c_str(),
                  static_cast<long long>(Rs[I].N),
                  static_cast<long long>(Rs[I].Block),
@@ -299,6 +327,10 @@ inline bool writeJsonRecords(const char *Path,
                  static_cast<long long>(Rs[I].FaultsInjected),
                  static_cast<long long>(Rs[I].Retries),
                  static_cast<long long>(Rs[I].Degraded),
+                 static_cast<long long>(Rs[I].Hits),
+                 static_cast<long long>(Rs[I].Misses),
+                 static_cast<long long>(Rs[I].Coalesced),
+                 static_cast<long long>(Rs[I].SolverSaved), Rs[I].ReqPerS,
                  I + 1 < Rs.size() ? "," : "");
   std::fprintf(F, "]\n");
   std::fclose(F);

@@ -1,0 +1,187 @@
+//===- bench_service_throughput.cpp - Plan-cache service throughput -----------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a paper figure: measures the `shackle serve` plan-cache service
+// (DESIGN.md §13). Three views:
+//
+//   * ColdCompile — full pipeline latency on a cache miss (legality through
+//     DAG construction), the cost a warm hit amortizes away.
+//   * WarmHit — latency of a cached `compile` and a cached `run`, which skip
+//     Omega, simplification, partitioning, and DAG construction entirely.
+//   * Throughput — requests/second through the Unix-socket daemon at 1, 4,
+//     and 8 concurrent clients against a warm cache.
+//
+// Every record lands in the BenchUtil JSON sink (--json out.json) with the
+// service counters attached (hits, misses, coalesced, solver_saved,
+// req_per_s), so cold-vs-warm ratios and client scaling diff directly from
+// sweep output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "service/Service.h"
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace shackle;
+using namespace shackle_bench;
+
+namespace {
+
+constexpr int64_t MatN = 96;
+constexpr int64_t MatBlock = 16;
+
+std::string compileRequest(int64_t N) {
+  return "{\"op\":\"compile\",\"benchmark\":\"matmul\",\"config\":\"c\","
+         "\"block\":" +
+         std::to_string(MatBlock) + ",\"params\":[" + std::to_string(N) +
+         "]}";
+}
+
+std::string runRequest(int64_t N) {
+  return "{\"op\":\"run\",\"benchmark\":\"matmul\",\"config\":\"c\","
+         "\"block\":" +
+         std::to_string(MatBlock) + ",\"params\":[" + std::to_string(N) +
+         "],\"threads\":1}";
+}
+
+std::string uniqueSocket() {
+  static std::atomic<unsigned> Counter{0};
+  return "/tmp/shackle_bench_" + std::to_string(getpid()) + "_" +
+         std::to_string(Counter.fetch_add(1)) + ".sock";
+}
+
+void attachStats(benchmark::State &St, const ServiceCore &Core,
+                 double ReqPerS) {
+  ServiceStats S = Core.stats();
+  setServiceStats(St, static_cast<double>(S.Cache.Hits),
+                  static_cast<double>(S.Cache.Misses),
+                  static_cast<double>(S.Cache.Coalesced),
+                  static_cast<double>(S.SolverCallsSaved), ReqPerS);
+}
+
+/// Full cold-compile latency: a fresh core every iteration, so every
+/// request walks legality, simplification, partitioning, and the DAG.
+void BM_ServiceColdCompile(benchmark::State &St) {
+  const std::string Req = compileRequest(MatN);
+  uint64_t Misses = 0;
+  for (auto _ : St) {
+    ServiceCore Core;
+    std::string Reply = Core.handleLine(Req);
+    benchmark::DoNotOptimize(Reply.data());
+    Misses += Core.stats().Cache.Misses;
+  }
+  setBenchMeta(St, MatN, MatBlock, 1);
+  setServiceStats(St, 0, static_cast<double>(Misses), 0, 0, 0);
+}
+BENCHMARK(BM_ServiceColdCompile)->Unit(benchmark::kMillisecond);
+
+/// Warm `compile`: pure cache-hit latency (key construction + lookup).
+void BM_ServiceWarmCompile(benchmark::State &St) {
+  ServiceCore Core;
+  const std::string Req = compileRequest(MatN);
+  Core.handleLine(Req); // warm the cache
+  for (auto _ : St) {
+    std::string Reply = Core.handleLine(Req);
+    benchmark::DoNotOptimize(Reply.data());
+  }
+  setBenchMeta(St, MatN, MatBlock, 1);
+  attachStats(St, Core, 0);
+}
+BENCHMARK(BM_ServiceWarmCompile)->Unit(benchmark::kMicrosecond);
+
+/// Warm `run`: cache hit plus execution — the steady-state request cost a
+/// long-lived daemon pays.
+void BM_ServiceWarmRun(benchmark::State &St) {
+  ServiceCore Core;
+  const std::string Req = runRequest(MatN);
+  Core.handleLine(Req); // warm the cache
+  for (auto _ : St) {
+    std::string Reply = Core.handleLine(Req);
+    benchmark::DoNotOptimize(Reply.data());
+  }
+  setBenchMeta(St, MatN, MatBlock, 1);
+  attachStats(St, Core, 0);
+}
+BENCHMARK(BM_ServiceWarmRun)->Unit(benchmark::kMillisecond);
+
+/// End-to-end daemon throughput: N concurrent clients firing warm `compile`
+/// requests through the Unix socket. Measures the transport plus the
+/// reader-mostly cache under contention.
+void BM_ServiceThroughput(benchmark::State &St) {
+  const unsigned Clients = static_cast<unsigned>(St.range(0));
+  constexpr unsigned ReqsPerClient = 16;
+
+  ServiceCore Core;
+  std::string Sock = uniqueSocket();
+  ServiceServer Server(Core, Sock);
+  if (!Server.start().ok()) {
+    St.SkipWithError("cannot bind benchmark socket");
+    return;
+  }
+  std::thread ServerThread([&] { Server.serve(); });
+  // Warm the cache through the socket so the timed section is all hits.
+  {
+    std::string Reply, Err;
+    if (!serviceRequest(Sock, compileRequest(MatN), Reply, &Err)) {
+      St.SkipWithError("warmup request failed");
+      Server.stop();
+      ServerThread.join();
+      return;
+    }
+  }
+
+  const std::string Req = compileRequest(MatN);
+  uint64_t TotalReqs = 0;
+  for (auto _ : St) {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&] {
+        for (unsigned R = 0; R < ReqsPerClient; ++R) {
+          std::string Reply, Err;
+          if (!serviceRequest(Sock, Req, Reply, &Err))
+            break;
+          benchmark::DoNotOptimize(Reply.data());
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    TotalReqs += Clients * ReqsPerClient;
+  }
+
+  Server.stop();
+  ServerThread.join();
+
+  St.SetItemsProcessed(static_cast<int64_t>(TotalReqs));
+  setBenchMeta(St, MatN, MatBlock, Clients);
+  attachStats(St, Core, 0);
+  // A rate counter: reported as (Clients * ReqsPerClient) * iterations /
+  // elapsed seconds — requests per second — in both the console and the
+  // JSON record.
+  St.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(Clients) * ReqsPerClient,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+SHACKLE_BENCH_MAIN();

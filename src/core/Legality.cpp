@@ -73,6 +73,16 @@ LegalityResult shackle::checkLegality(const Program &P,
                                       const ShackleChain &Chain,
                                       bool FirstViolationOnly,
                                       const SolverBudget &Budget) {
+  return checkLegalityFrom(P, Chain, /*SkipBlockDims=*/0, FirstViolationOnly,
+                           Budget, nullptr);
+}
+
+LegalityResult shackle::checkLegalityFrom(const Program &P,
+                                          const ShackleChain &Chain,
+                                          unsigned SkipBlockDims,
+                                          bool FirstViolationOnly,
+                                          const SolverBudget &Budget,
+                                          LegalityCheckStats *CheckStats) {
   assert(!Chain.Factors.empty() && "empty shackle chain");
   for (const DataShackle &F : Chain.Factors) {
     assert(F.ShackledRefs.size() == P.getNumStmts() &&
@@ -116,6 +126,13 @@ LegalityResult shackle::checkLegality(const Program &P,
     // Violation: target block strictly before source block, case split on
     // the first differing coordinate.
     for (unsigned J = 0; J < NumBlockDims; ++J) {
+      if (J < SkipBlockDims) {
+        // The factor prefix covering this dim is already proven Legal, so
+        // the violation system is known Empty: skip the solver.
+        if (CheckStats)
+          ++CheckStats->QueriesSkipped;
+        continue;
+      }
       Polyhedron Bad = Poly;
       for (unsigned K = 0; K < J; ++K) {
         ConstraintRow Eq(Bad.getNumVars() + 1, 0);
@@ -130,6 +147,8 @@ LegalityResult shackle::checkLegality(const Program &P,
       Bad.addInequality(std::move(Lt));
 
       SolverStats Stats;
+      if (CheckStats)
+        ++CheckStats->QueriesRun;
       FeasVerdict V = isIntegerEmptyBounded(Bad, Budget, &Stats);
       if (V == FeasVerdict::Unknown) {
         // Not proven infeasible: the shackle is no longer provably legal,

@@ -70,6 +70,13 @@ struct LegalityResult {
   std::string summary(const Program &P) const;
 };
 
+/// Counters for one legality check; used by the plan-cache service to prove
+/// that cached factor verdicts actually avoided solver work.
+struct LegalityCheckStats {
+  uint64_t QueriesRun = 0;     ///< Feasibility queries sent to the solver.
+  uint64_t QueriesSkipped = 0; ///< Queries avoided via cached factor verdicts.
+};
+
 /// Checks \p Chain against every dependence of \p P. With
 /// \p FirstViolationOnly (the default) the check stops at the first
 /// counterexample; otherwise all violated dependences are reported. Each
@@ -79,6 +86,20 @@ struct LegalityResult {
 LegalityResult checkLegality(const Program &P, const ShackleChain &Chain,
                              bool FirstViolationOnly = true,
                              const SolverBudget &Budget = SolverBudget());
+
+/// Like checkLegality, but skips the violation queries for block dims
+/// J < \p SkipBlockDims. Sound only when the chain prefix of factors covering
+/// those dims is already *proven* Legal (e.g. from a cached verdict for the
+/// same program): the block-link constraints z = f(iteration) are
+/// functionally determined, so feasibility of the dim-J violation system
+/// depends only on the factors covering dims 0..J — a Legal prefix verdict
+/// means every skipped query is known Empty. \p Stats, when non-null,
+/// receives run/skipped query counts.
+LegalityResult checkLegalityFrom(const Program &P, const ShackleChain &Chain,
+                                 unsigned SkipBlockDims,
+                                 bool FirstViolationOnly = true,
+                                 const SolverBudget &Budget = SolverBudget(),
+                                 LegalityCheckStats *Stats = nullptr);
 
 } // namespace shackle
 

@@ -332,8 +332,24 @@ const char *shackle::codegenTierName(CodegenTier Tier) {
 CodegenResult shackle::generateCodeWithFallback(const Program &P,
                                                 const ShackleChain &Chain,
                                                 const SolverBudget &Budget) {
+  return generateCodeWithFallback(P, Chain, Budget, FallbackLegalityOptions());
+}
+
+CodegenResult
+shackle::generateCodeWithFallback(const Program &P, const ShackleChain &Chain,
+                                  const SolverBudget &Budget,
+                                  const FallbackLegalityOptions &LegOpts) {
   CodegenResult R;
-  R.Legality = checkLegality(P, Chain, /*FirstViolationOnly=*/true, Budget);
+  if (LegOpts.KnownIllegal) {
+    // A cached proof of illegality: no query can overturn it, so skip the
+    // solver and take the original-order fallback directly.
+    R.Legality.Verdict = LegalityVerdict::Illegal;
+    R.Legality.Legal = false;
+  } else {
+    R.Legality =
+        checkLegalityFrom(P, Chain, LegOpts.SkipBlockDims,
+                          /*FirstViolationOnly=*/true, Budget, LegOpts.Stats);
+  }
   R.Diags = R.Legality.Diags;
 
   if (R.Legality.Verdict != LegalityVerdict::Legal) {

@@ -90,6 +90,27 @@ CodegenResult generateCodeWithFallback(const Program &P,
                                        const ShackleChain &C,
                                        const SolverBudget &Budget = SolverBudget());
 
+/// Options for the legality step of generateCodeWithFallback, used by the
+/// plan-cache service to reuse cached per-factor verdicts.
+struct FallbackLegalityOptions {
+  /// Skip violation queries for block dims below this bound. Sound only when
+  /// the factor prefix covering those dims is already proven Legal for this
+  /// program (see checkLegalityFrom).
+  unsigned SkipBlockDims = 0;
+  /// The chain is already *proven* Illegal for this program (cached
+  /// verdict): skip the solver entirely and fall straight back to the
+  /// original program order.
+  bool KnownIllegal = false;
+  /// When non-null, receives run/skipped query counts.
+  LegalityCheckStats *Stats = nullptr;
+};
+
+/// generateCodeWithFallback with cached-verdict reuse: identical pipeline,
+/// but the legality check may skip already-proven block dims.
+CodegenResult generateCodeWithFallback(const Program &P, const ShackleChain &C,
+                                       const SolverBudget &Budget,
+                                       const FallbackLegalityOptions &LegOpts);
+
 } // namespace shackle
 
 #endif // SHACKLE_CORE_SHACKLEDRIVER_H

@@ -48,7 +48,11 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
 
   // Tier 1: the fault-tolerant codegen pipeline. An Illegal/Unknown shackle
   // lands on the Original tier, which has no block structure to extract.
-  Plan.CG = generateCodeWithFallback(P, Chain, Opts.Budget);
+  FallbackLegalityOptions LegOpts;
+  LegOpts.SkipBlockDims = Opts.LegalitySkipBlockDims;
+  LegOpts.KnownIllegal = Opts.LegalityKnownIllegal;
+  LegOpts.Stats = Opts.LegalityStats;
+  Plan.CG = generateCodeWithFallback(P, Chain, Opts.Budget, LegOpts);
   Plan.Diags = Plan.CG.Diags;
   if (!Plan.CG.isBlocked()) {
     Diagnostic D(DiagCode::ParallelFallback,
@@ -167,6 +171,24 @@ ParallelPlan ParallelPlan::build(const Program &P, const ShackleChain &Chain,
     // Still parallel-ready: conservative edges are sound.
   }
   Plan.Ready = true;
+  return Plan;
+}
+
+ParallelPlan ParallelPlan::fromParts(ParallelPlanParts Parts) {
+  ParallelPlan Plan;
+  Plan.CG = std::move(Parts.CG);
+  Plan.Partition = std::move(Parts.Partition);
+  Plan.Graph = std::move(Parts.Graph);
+  Plan.Diags = std::move(Parts.Diags);
+  Plan.Params = std::move(Parts.Params);
+  Plan.TaskFactors = Parts.TaskFactors;
+  Plan.TotalFactors = Parts.TotalFactors;
+  // Recompute readiness with build()'s criteria rather than trusting a
+  // persisted flag: a snapshot that deserialized into a non-runnable shape
+  // degrades to the serial fallback, never an untrusted parallel schedule.
+  Plan.Ready = Plan.CG.isBlocked() && Plan.Partition.OK &&
+               !Plan.Graph.EdgeCapHit && !Plan.Graph.WorkCapHit &&
+               Plan.Graph.acyclic();
   return Plan;
 }
 

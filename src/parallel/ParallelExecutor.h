@@ -115,6 +115,16 @@ struct ParallelPlanOptions {
   /// Work ceiling for the DAG's quadratic pair scan; see
   /// BlockDepGraphOptions::MaxPairVisits.
   uint64_t MaxPairVisits = 1ull << 30;
+  /// Cached-verdict reuse (plan-cache service): skip legality violation
+  /// queries for block dims below this bound. Sound only when the factor
+  /// prefix covering those dims is already proven Legal for this program
+  /// (see checkLegalityFrom).
+  unsigned LegalitySkipBlockDims = 0;
+  /// Cached-verdict reuse: the chain is already proven Illegal for this
+  /// program, so skip the solver entirely and build an original-order plan.
+  bool LegalityKnownIllegal = false;
+  /// When non-null, receives run/skipped legality-query counts.
+  LegalityCheckStats *LegalityStats = nullptr;
 };
 
 /// How one execution actually ran.
@@ -254,6 +264,19 @@ struct ParallelRunStats {
   std::vector<Diagnostic> Diags;
 };
 
+/// The deserializable pieces of a ParallelPlan, produced by the plan-cache
+/// serdes layer (src/service/PlanSerdes). Partition segments must already
+/// point into CG.Nest.
+struct ParallelPlanParts {
+  CodegenResult CG;
+  BlockPartition Partition;
+  BlockDepGraph Graph;
+  std::vector<Diagnostic> Diags;
+  std::vector<int64_t> Params;
+  unsigned TaskFactors = 0;
+  unsigned TotalFactors = 0;
+};
+
 class ParallelPlan {
 public:
   /// Builds a plan; never fails (degrades to a serial plan instead, with
@@ -263,6 +286,12 @@ public:
                             const ParallelPlanOptions &Opts =
                                 ParallelPlanOptions());
 
+  /// Reassembles a plan from deserialized parts (plan-cache warm hits).
+  /// Ready is recomputed from the parts with the same criteria build()
+  /// applies, so a tampered or stale snapshot degrades to serial instead of
+  /// executing an untrusted schedule.
+  static ParallelPlan fromParts(ParallelPlanParts Parts);
+
   /// True when run() with >1 thread will actually execute blocks
   /// concurrently (graph built, acyclic, partition OK).
   bool parallelReady() const { return Ready; }
@@ -270,6 +299,9 @@ public:
   /// The nest every execution (parallel or serial) interprets.
   const LoopNest &nest() const { return CG.Nest; }
   CodegenTier tier() const { return CG.Tier; }
+  /// The legality verdict that gated the transformation (service verdict
+  /// cache records it per factor prefix).
+  const LegalityResult &legality() const { return CG.Legality; }
   const BlockDepGraph &graph() const { return Graph; }
   const BlockPartition &partition() const { return Partition; }
   const std::vector<Diagnostic> &diags() const { return Diags; }

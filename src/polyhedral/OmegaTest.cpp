@@ -10,6 +10,7 @@
 #include "support/MathExtras.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <limits>
@@ -317,9 +318,18 @@ FeasVerdict isEmptyRec(Polyhedron P, unsigned Depth, SolverCtx &C) {
 
 } // namespace
 
+namespace {
+std::atomic<uint64_t> GlobalSolverQueries{0};
+} // namespace
+
+uint64_t shackle::solverQueryCount() {
+  return GlobalSolverQueries.load(std::memory_order_relaxed);
+}
+
 FeasVerdict shackle::isIntegerEmptyBounded(const Polyhedron &P,
                                            const SolverBudget &Budget,
                                            SolverStats *Stats) {
+  GlobalSolverQueries.fetch_add(1, std::memory_order_relaxed);
   SolverStats Local;
   SolverCtx C{Budget, Stats ? *Stats : Local};
   return isEmptyRec(P, /*Depth=*/0, C);

@@ -85,6 +85,11 @@ FeasVerdict isIntegerEmptyBounded(const Polyhedron &P,
                                   const SolverBudget &Budget = SolverBudget(),
                                   SolverStats *Stats = nullptr);
 
+/// Process-wide count of top-level solver queries (isIntegerEmptyBounded
+/// calls) since startup. The plan-cache service reads this around a request
+/// to prove that warm hits never reach the solver.
+uint64_t solverQueryCount();
+
 /// Is every integer point of \p A in \p B (same space)? True/False exact;
 /// Unknown when some underlying emptiness query exhausted its budget.
 Ternary isSubsetOfBounded(const Polyhedron &A, const Polyhedron &B,

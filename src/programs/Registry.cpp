@@ -1,0 +1,74 @@
+//===- Registry.cpp - Named benchmark/config registry -------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Registry.h"
+
+using namespace shackle;
+
+const std::map<std::string, BenchEntry> &shackle::benchRegistry() {
+  static const std::map<std::string, BenchEntry> Registry = {
+      {"matmul",
+       {makeMatMul,
+        {{"c", mmmShackleC},
+         {"cxa", mmmShackleCxA},
+         {"two-level",
+          [](const Program &P, int64_t B) {
+            return mmmShackleTwoLevel(P, B, B >= 8 ? B / 8 : 1);
+          }}},
+        64}},
+      {"cholesky-right",
+       {makeCholeskyRight,
+        {{"stores", choleskyShackleStores},
+         {"reads", choleskyShackleReads},
+         {"product-wr",
+          [](const Program &P, int64_t B) {
+            return choleskyShackleProduct(P, B, true);
+          }},
+         {"product-rw",
+          [](const Program &P, int64_t B) {
+            return choleskyShackleProduct(P, B, false);
+          }}},
+        64}},
+      {"cholesky-left",
+       {makeCholeskyLeft, {{"stores", choleskyShackleStores}}, 64}},
+      {"qr", {makeQRHouseholder, {{"cols", qrColumnShackle}}, 32}},
+      {"adi",
+       {makeADI,
+        {{"fused", [](const Program &P, int64_t) { return adiShackle(P); }},
+         {"two-level",
+          [](const Program &P, int64_t B) {
+            return adiShackleTwoLevel(P, B < 2 ? 8 : B);
+          }}},
+        1}},
+      {"gmtry", {makeGmtry, {{"stores", gmtryShackleStores}}, 64}},
+      {"banded",
+       {makeCholeskyBanded, {{"stores", choleskyShackleStores}}, 32}},
+      {"seidel", {makeSeidel1D, {{"blocks", seidelShackle}}, 8}},
+      {"seidel2d",
+       {makeSeidel2D,
+        {{"blocks",
+          [](const Program &P, int64_t B) {
+            ShackleChain Chain;
+            Chain.Factors.push_back(DataShackle::onStores(
+                P, DataBlocking::rectangular(0, {B, B})));
+            return Chain;
+          }}},
+        8}},
+      {"trisolve-upper",
+       {[] { return makeTriangularSolve(false); },
+        {{"blocks",
+          [](const Program &P, int64_t B) {
+            return triSolveShackle(P, B, /*Reversed=*/false);
+          }},
+         {"blocks-reversed",
+          [](const Program &P, int64_t B) {
+            return triSolveShackle(P, B, /*Reversed=*/true);
+          }}},
+        8}},
+  };
+  return Registry;
+}

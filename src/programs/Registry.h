@@ -1,0 +1,44 @@
+//===- Registry.h - Named benchmark/config registry -------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared registry of named benchmarks and their shackle configurations,
+/// used by both the CLI driver and the plan-cache service: a benchmark name
+/// resolves to a program factory plus a map of config names to chain
+/// factories parameterized by block size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_PROGRAMS_REGISTRY_H
+#define SHACKLE_PROGRAMS_REGISTRY_H
+
+#include "core/DataShackle.h"
+#include "programs/Benchmarks.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace shackle {
+
+struct BenchEntry {
+  std::function<BenchSpec()> Make;
+  /// Config name -> chain factory (program, block size).
+  std::map<std::string,
+           std::function<ShackleChain(const Program &, int64_t)>>
+      Configs;
+  int64_t DefaultBlock = 64;
+};
+
+/// The process-wide benchmark registry (name -> entry). Immutable after
+/// first use; safe to read from concurrent service threads.
+const std::map<std::string, BenchEntry> &benchRegistry();
+
+} // namespace shackle
+
+#endif // SHACKLE_PROGRAMS_REGISTRY_H

@@ -1,0 +1,392 @@
+//===- Json.cpp - Minimal JSON values for the service protocol ----------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace shackle;
+
+JsonValue JsonValue::boolean(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+JsonValue JsonValue::number(double D) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = D;
+  return V;
+}
+
+JsonValue JsonValue::integer(int64_t I) {
+  return number(static_cast<double>(I));
+}
+
+JsonValue JsonValue::string(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+const JsonValue &JsonValue::get(const std::string &Key) const {
+  static const JsonValue Null;
+  if (K != Kind::Object)
+    return Null;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? Null : It->second;
+}
+
+bool JsonValue::has(const std::string &Key) const {
+  return K == Kind::Object && Obj.count(Key);
+}
+
+int64_t JsonValue::getInt(const std::string &Key, int64_t Default) const {
+  const JsonValue &V = get(Key);
+  return V.isNumber() ? V.asInt() : Default;
+}
+
+std::string JsonValue::getString(const std::string &Key,
+                                 const std::string &Default) const {
+  const JsonValue &V = get(Key);
+  return V.isString() ? V.asString() : Default;
+}
+
+bool JsonValue::getBool(const std::string &Key, bool Default) const {
+  const JsonValue &V = get(Key);
+  return V.isBool() ? V.asBool() : Default;
+}
+
+void JsonValue::set(const std::string &Key, JsonValue V) {
+  if (K == Kind::Object)
+    Obj[Key] = std::move(V);
+}
+
+void JsonValue::push(JsonValue V) {
+  if (K == Kind::Array)
+    Arr.push_back(std::move(V));
+}
+
+namespace {
+
+void escapeInto(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void numberInto(double D, std::string &Out) {
+  // Integral values print without a fraction so int64 fields round-trip.
+  if (std::floor(D) == D && std::fabs(D) < 9.2e18) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(D));
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  Out += Buf;
+}
+
+void serializeInto(const JsonValue &V, std::string &Out) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    return;
+  case JsonValue::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    return;
+  case JsonValue::Kind::Number:
+    numberInto(V.asNumber(), Out);
+    return;
+  case JsonValue::Kind::String:
+    escapeInto(V.asString(), Out);
+    return;
+  case JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : V.asArray()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      serializeInto(E, Out);
+    }
+    Out += ']';
+    return;
+  }
+  case JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Val] : V.asObject()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      escapeInto(Key, Out);
+      Out += ':';
+      serializeInto(Val, Out);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+struct Parser {
+  const std::string &Text;
+  std::size_t Pos = 0;
+  std::string Err;
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at offset " + std::to_string(Pos + 1);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::string(Lit).size();
+    if (Text.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        default:
+          return fail("unsupported escape");
+        }
+        continue;
+      }
+      Out += C;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > 64)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == 'n') {
+      if (!literal("null"))
+        return false;
+      Out = JsonValue::null();
+      return true;
+    }
+    if (C == 't') {
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    }
+    if (C == 'f') {
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    }
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::string(std::move(S));
+      return true;
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = JsonValue::array();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue E;
+        if (!parseValue(E, Depth + 1))
+          return false;
+        Out.push(std::move(E));
+        skipWs();
+        if (Pos >= Text.size())
+          return fail("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '{') {
+      ++Pos;
+      Out = JsonValue::object();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        JsonValue V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.set(Key, std::move(V));
+        skipWs();
+        if (Pos >= Text.size())
+          return fail("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '-' || (C >= '0' && C <= '9')) {
+      std::size_t Start = Pos;
+      if (Text[Pos] == '-')
+        ++Pos;
+      while (Pos < Text.size() &&
+             ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+              Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+              Text[Pos] == '-'))
+        ++Pos;
+      char *End = nullptr;
+      std::string Num = Text.substr(Start, Pos - Start);
+      double D = std::strtod(Num.c_str(), &End);
+      if (End == Num.c_str() || *End)
+        return fail("malformed number");
+      Out = JsonValue::number(D);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+} // namespace
+
+std::string JsonValue::str() const {
+  std::string Out;
+  serializeInto(*this, Out);
+  return Out;
+}
+
+bool shackle::parseJson(const std::string &Text, JsonValue &Out,
+                        std::string *Err) {
+  Parser P{Text, /*Pos=*/0, /*Err=*/{}};
+  if (!P.parseValue(Out, 0)) {
+    if (Err)
+      *Err = P.Err;
+    return false;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    if (Err)
+      *Err = "trailing garbage at offset " + std::to_string(P.Pos + 1);
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,92 @@
+//===- Json.h - Minimal JSON values for the service protocol ----*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON value type and recursive-descent parser for the
+/// `shackle serve` newline-delimited request protocol (docs/SERVE.md). No
+/// external dependency; supports the full JSON grammar except `\uXXXX`
+/// escapes (rejected with a diagnostic), which the protocol never needs.
+/// Numbers are kept as doubles plus an exact int64 view for integral values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SERVICE_JSON_H
+#define SHACKLE_SERVICE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool B);
+  static JsonValue number(double D);
+  static JsonValue integer(int64_t I);
+  static JsonValue string(std::string S);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  /// The number truncated to int64 (0 for non-numbers).
+  int64_t asInt() const { return static_cast<int64_t>(Num); }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &asArray() const { return Arr; }
+  const std::map<std::string, JsonValue> &asObject() const { return Obj; }
+
+  /// Object field access; returns a shared null value when missing or when
+  /// this value is not an object.
+  const JsonValue &get(const std::string &Key) const;
+  bool has(const std::string &Key) const;
+
+  /// Typed field helpers with defaults (missing or wrong-typed fields fall
+  /// back to the default — request validation stays in one place).
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+  bool getBool(const std::string &Key, bool Default) const;
+
+  /// Mutators (no-ops on the wrong kind; used by reply builders).
+  void set(const std::string &Key, JsonValue V);
+  void push(JsonValue V);
+
+  /// Serializes to compact JSON (keys in map order, deterministic).
+  std::string str() const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Parses one JSON document from \p Text. On failure returns false and sets
+/// \p Err to a message with a 1-based character offset. Trailing whitespace
+/// is allowed; trailing garbage is an error.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string *Err);
+
+} // namespace shackle
+
+#endif // SHACKLE_SERVICE_JSON_H

@@ -1,0 +1,142 @@
+//===- PlanKey.cpp - Canonical plan-cache fingerprints ------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/PlanKey.h"
+
+#include "parallel/Affinity.h"
+#include "support/Checksum.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace shackle;
+
+namespace {
+
+void hashString(Checksum &C, const std::string &S) {
+  C.u64(S.size());
+  // Pack 8 bytes per word; the tail word is zero-padded (the length word
+  // keeps "abc" and "abc\0" distinct).
+  uint64_t W = 0;
+  unsigned N = 0;
+  for (char Ch : S) {
+    W |= static_cast<uint64_t>(static_cast<unsigned char>(Ch)) << (8 * N);
+    if (++N == 8) {
+      C.u64(W);
+      W = 0;
+      N = 0;
+    }
+  }
+  if (N)
+    C.u64(W);
+}
+
+void hashAffine(Checksum &C, const AffineExpr &E) {
+  C.u64(E.getNumVars());
+  for (unsigned V = 0; V < E.getNumVars(); ++V)
+    C.u64(static_cast<uint64_t>(E.getCoeff(V)));
+  C.u64(static_cast<uint64_t>(E.getConstant()));
+}
+
+} // namespace
+
+uint64_t MachineShape::hash() const {
+  Checksum C;
+  C.u64(Threads).u64(Domains);
+  return C.value();
+}
+
+std::string MachineShape::str() const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%ut/%ud", Threads, Domains);
+  return Buf;
+}
+
+MachineShape shackle::detectMachineShape() {
+  MachineShape S;
+  unsigned HW = std::thread::hardware_concurrency();
+  S.Threads = HW ? HW : 1;
+  // detectDomainSize returns workers-per-domain for a given worker count;
+  // the domain count is what the shape needs.
+  unsigned PerDomain = detectDomainSize(S.Threads);
+  S.Domains = PerDomain ? (S.Threads + PerDomain - 1) / PerDomain : 1;
+  return S;
+}
+
+uint64_t shackle::canonicalProgramHash(const Program &P) {
+  Checksum C;
+  hashString(C, P.str());
+  return C.value();
+}
+
+uint64_t shackle::fingerprintChainPrefix(const Program &P,
+                                         const ShackleChain &Chain,
+                                         unsigned NumFactors) {
+  unsigned N = static_cast<unsigned>(Chain.Factors.size());
+  if (NumFactors == 0 || NumFactors > N)
+    NumFactors = N;
+  Checksum C;
+  C.u64(canonicalProgramHash(P));
+  C.u64(NumFactors);
+  for (unsigned F = 0; F < NumFactors; ++F) {
+    const DataShackle &S = Chain.Factors[F];
+    C.u64(S.Blocking.ArrayId);
+    C.u64(S.Blocking.Planes.size());
+    for (const CuttingPlaneSet &Pl : S.Blocking.Planes) {
+      C.u64(Pl.Normal.size());
+      for (int64_t NC : Pl.Normal)
+        C.u64(static_cast<uint64_t>(NC));
+      C.u64(static_cast<uint64_t>(Pl.BlockSize));
+      C.u64(Pl.Reversed ? 1 : 0);
+    }
+    C.u64(S.ShackledRefs.size());
+    for (const ArrayRef &R : S.ShackledRefs) {
+      C.u64(R.ArrayId);
+      C.u64(R.Indices.size());
+      for (const AffineExpr &E : R.Indices)
+        hashAffine(C, E);
+    }
+  }
+  return C.value();
+}
+
+uint64_t PlanKey::digest() const {
+  Checksum C;
+  C.u64(DslHash).u64(SpecHash).u64(ParamsHash).u64(TaskLevel).u64(MachineHash);
+  return C.value();
+}
+
+std::string PlanKey::str() const {
+  char Buf[128];
+  if (TaskLevel == PlanKeyAutoTaskLevel)
+    std::snprintf(Buf, sizeof(Buf), "%016llx (dsl=%08llx spec=%08llx lvl=auto)",
+                  static_cast<unsigned long long>(digest()),
+                  static_cast<unsigned long long>(DslHash >> 32),
+                  static_cast<unsigned long long>(SpecHash >> 32));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%016llx (dsl=%08llx spec=%08llx lvl=%u)",
+                  static_cast<unsigned long long>(digest()),
+                  static_cast<unsigned long long>(DslHash >> 32),
+                  static_cast<unsigned long long>(SpecHash >> 32), TaskLevel);
+  return Buf;
+}
+
+PlanKey shackle::makePlanKey(const Program &P, const ShackleChain &Chain,
+                             const std::vector<int64_t> &ParamValues,
+                             unsigned TaskLevel, const MachineShape &Shape) {
+  PlanKey K;
+  K.DslHash = canonicalProgramHash(P);
+  K.SpecHash = fingerprintChainPrefix(P, Chain);
+  Checksum PC;
+  PC.u64(ParamValues.size());
+  for (int64_t V : ParamValues)
+    PC.u64(static_cast<uint64_t>(V));
+  K.ParamsHash = PC.value();
+  K.TaskLevel = TaskLevel;
+  K.MachineHash = Shape.hash();
+  return K;
+}

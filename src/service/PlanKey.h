@@ -1,0 +1,91 @@
+//===- PlanKey.h - Canonical plan-cache fingerprints ------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical cache keys for compiled plans. A plan is reusable exactly when
+/// five things match: the program (hashed over its canonical printed form,
+/// so whitespace/comment differences in DSL source normalize away), the
+/// shackle specification including block sizes (hashed structurally over
+/// planes and shackled references), the concrete parameter values (the
+/// partition and DAG are built for concrete sizes), the task level, and the
+/// machine shape (thread and NUMA-domain counts — affinity maps and auto
+/// task levels depend on them). Factor *prefix* fingerprints are exposed
+/// separately so cached legality verdicts can be reused across chains that
+/// share a prefix (docs/SERVE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SERVICE_PLANKEY_H
+#define SHACKLE_SERVICE_PLANKEY_H
+
+#include "core/DataShackle.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// The machine-shape component of a plan key: anything the plan bakes in
+/// that varies across hosts.
+struct MachineShape {
+  unsigned Threads = 1; ///< Hardware concurrency (plan-time thread hint).
+  unsigned Domains = 1; ///< NUMA locality domains (detectDomainSize).
+
+  uint64_t hash() const;
+  std::string str() const;
+};
+
+/// Detects the current host's shape (hardware_concurrency + NUMA nodes).
+MachineShape detectMachineShape();
+
+/// Hash of the program's canonical printed form (Program::str()). Two DSL
+/// sources that parse to the same program — e.g. differing only in
+/// whitespace or comments — hash identically.
+uint64_t canonicalProgramHash(const Program &P);
+
+/// Structural fingerprint of the first \p NumFactors factors of \p Chain
+/// (0 = all): array ids, cutting-plane normals, block sizes, Reversed
+/// flags, and every shackled reference's affine subscripts. Mixed with the
+/// program hash so a prefix fingerprint is only comparable within one
+/// program.
+uint64_t fingerprintChainPrefix(const Program &P, const ShackleChain &Chain,
+                                unsigned NumFactors = 0);
+
+/// TaskLevel encoding for PlanKey: 'auto' is a distinct key from any fixed
+/// level because the resolved granularity depends on the thread hint.
+constexpr unsigned PlanKeyAutoTaskLevel = 0xffffffffu;
+
+struct PlanKey {
+  uint64_t DslHash = 0;     ///< canonicalProgramHash.
+  uint64_t SpecHash = 0;    ///< fingerprintChainPrefix over the full chain.
+  uint64_t ParamsHash = 0;  ///< Hash of the concrete parameter values.
+  unsigned TaskLevel = 0;   ///< Requested level (PlanKeyAutoTaskLevel=auto).
+  uint64_t MachineHash = 0; ///< MachineShape::hash().
+
+  /// Single 64-bit digest used as the cache index.
+  uint64_t digest() const;
+  /// Short human-readable form for hit/miss logging.
+  std::string str() const;
+
+  bool operator==(const PlanKey &O) const {
+    return DslHash == O.DslHash && SpecHash == O.SpecHash &&
+           ParamsHash == O.ParamsHash && TaskLevel == O.TaskLevel &&
+           MachineHash == O.MachineHash;
+  }
+};
+
+/// Builds the canonical key for (program, chain, params, task level) on
+/// \p Shape.
+PlanKey makePlanKey(const Program &P, const ShackleChain &Chain,
+                    const std::vector<int64_t> &ParamValues,
+                    unsigned TaskLevel, const MachineShape &Shape);
+
+} // namespace shackle
+
+#endif // SHACKLE_SERVICE_PLANKEY_H

@@ -1,0 +1,571 @@
+//===- PlanSerdes.cpp - Binary plan (de)serialization -------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/PlanSerdes.h"
+
+#include "support/Checksum.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+using namespace shackle;
+
+namespace {
+
+constexpr char SnapshotMagic[8] = {'S', 'H', 'K', 'P', 'L', 'A', 'N', 'C'};
+constexpr uint32_t SnapshotVersion = 1;
+constexpr uint32_t BlobVersion = 1;
+constexpr unsigned MaxAstDepth = 512;
+
+//===----------------------------------------------------------------------===//
+// Byte streams
+//===----------------------------------------------------------------------===//
+
+struct ByteWriter {
+  std::string Buf;
+
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    char B[4];
+    std::memcpy(B, &V, 4);
+    Buf.append(B, 4);
+  }
+  void u64(uint64_t V) {
+    char B[8];
+    std::memcpy(B, &V, 8);
+    Buf.append(B, 8);
+  }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.append(S);
+  }
+  void i64vec(const std::vector<int64_t> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (int64_t X : V)
+      i64(X);
+  }
+};
+
+/// Bounds-checked reader: the first overrun latches Fail and every later
+/// read returns zeros, so decode loops terminate without UB.
+struct ByteReader {
+  const std::string &Buf;
+  std::size_t Pos = 0;
+  bool Fail = false;
+
+  std::size_t remaining() const { return Fail ? 0 : Buf.size() - Pos; }
+
+  bool take(void *Out, std::size_t N) {
+    if (Fail || Buf.size() - Pos < N) {
+      Fail = true;
+      return false;
+    }
+    std::memcpy(Out, Buf.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+  uint8_t u8() {
+    uint8_t V = 0;
+    take(&V, 1);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    take(&V, 4);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    take(&V, 8);
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  std::string str() {
+    uint32_t N = u32();
+    if (Fail || Buf.size() - Pos < N) {
+      Fail = true;
+      return {};
+    }
+    std::string S(Buf.data() + Pos, N);
+    Pos += N;
+    return S;
+  }
+  /// Guards a count against the bytes actually left: a corrupted length
+  /// cannot force a huge allocation.
+  bool plausibleCount(uint64_t Count, std::size_t MinBytesPer) {
+    if (Fail || Count > remaining() / (MinBytesPer ? MinBytesPer : 1)) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+  std::vector<int64_t> i64vec() {
+    uint32_t N = u32();
+    std::vector<int64_t> V;
+    if (!plausibleCount(N, 8))
+      return V;
+    V.reserve(N);
+    for (uint32_t I = 0; I < N; ++I)
+      V.push_back(i64());
+    return V;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// AST serialization
+//===----------------------------------------------------------------------===//
+
+void writeAffine(ByteWriter &W, const AffineExpr &E) {
+  W.u32(E.getNumVars());
+  for (unsigned V = 0; V < E.getNumVars(); ++V)
+    W.i64(E.getCoeff(V));
+  W.i64(E.getConstant());
+}
+
+AffineExpr readAffine(ByteReader &R) {
+  uint32_t N = R.u32();
+  if (!R.plausibleCount(N, 8))
+    return AffineExpr();
+  AffineExpr E = AffineExpr::constant(N, 0);
+  for (uint32_t V = 0; V < N; ++V)
+    E.setCoeff(V, R.i64());
+  E.setConstant(R.i64());
+  return E;
+}
+
+void writeBound(ByteWriter &W, const BoundExpr &B) {
+  writeAffine(W, B.Expr);
+  W.i64(B.Divisor);
+  W.u8(B.IsCeil ? 1 : 0);
+}
+
+BoundExpr readBound(ByteReader &R) {
+  BoundExpr B;
+  B.Expr = readAffine(R);
+  B.Divisor = R.i64();
+  B.IsCeil = R.u8() != 0;
+  return B;
+}
+
+void writeRows(ByteWriter &W, const std::vector<ConstraintRow> &Rows) {
+  W.u32(static_cast<uint32_t>(Rows.size()));
+  for (const ConstraintRow &Row : Rows)
+    W.i64vec(Row);
+}
+
+std::vector<ConstraintRow> readRows(ByteReader &R) {
+  uint32_t N = R.u32();
+  std::vector<ConstraintRow> Rows;
+  if (!R.plausibleCount(N, 4))
+    return Rows;
+  Rows.reserve(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Rows.push_back(R.i64vec());
+  return Rows;
+}
+
+void writeNode(ByteWriter &W, const ASTNode &N) {
+  W.u8(static_cast<uint8_t>(N.Kind));
+  W.u32(N.Dim);
+  W.u32(static_cast<uint32_t>(N.Lbs.size()));
+  for (const BoundExpr &B : N.Lbs)
+    writeBound(W, B);
+  W.u32(static_cast<uint32_t>(N.Ubs.size()));
+  for (const BoundExpr &B : N.Ubs)
+    writeBound(W, B);
+  writeRows(W, N.IneqConds);
+  writeRows(W, N.EqConds);
+  W.u32(N.S ? N.S->Id : 0xffffffffu);
+  W.u32(static_cast<uint32_t>(N.VarMap.size()));
+  for (unsigned V : N.VarMap)
+    W.u32(V);
+  W.u32(static_cast<uint32_t>(N.Body.size()));
+  for (const ASTNodePtr &C : N.Body)
+    writeNode(W, *C);
+}
+
+ASTNodePtr readNode(ByteReader &R, const Program &P, unsigned Depth) {
+  if (R.Fail || Depth > MaxAstDepth) {
+    R.Fail = true;
+    return nullptr;
+  }
+  uint8_t KindRaw = R.u8();
+  if (KindRaw > static_cast<uint8_t>(ASTKind::Let)) {
+    R.Fail = true;
+    return nullptr;
+  }
+  auto N = std::make_unique<ASTNode>();
+  N->Kind = static_cast<ASTKind>(KindRaw);
+  N->Dim = R.u32();
+  uint32_t NLbs = R.u32();
+  if (!R.plausibleCount(NLbs, 8))
+    return nullptr;
+  for (uint32_t I = 0; I < NLbs; ++I)
+    N->Lbs.push_back(readBound(R));
+  uint32_t NUbs = R.u32();
+  if (!R.plausibleCount(NUbs, 8))
+    return nullptr;
+  for (uint32_t I = 0; I < NUbs; ++I)
+    N->Ubs.push_back(readBound(R));
+  N->IneqConds = readRows(R);
+  N->EqConds = readRows(R);
+  uint32_t StmtId = R.u32();
+  if (StmtId != 0xffffffffu) {
+    if (StmtId >= P.getNumStmts()) {
+      R.Fail = true;
+      return nullptr;
+    }
+    N->S = &P.getStmt(StmtId);
+  }
+  uint32_t NVm = R.u32();
+  if (!R.plausibleCount(NVm, 4))
+    return nullptr;
+  for (uint32_t I = 0; I < NVm; ++I)
+    N->VarMap.push_back(R.u32());
+  uint32_t NBody = R.u32();
+  if (!R.plausibleCount(NBody, 1))
+    return nullptr;
+  for (uint32_t I = 0; I < NBody; ++I) {
+    ASTNodePtr C = readNode(R, P, Depth + 1);
+    if (!C)
+      return nullptr;
+    N->Body.push_back(std::move(C));
+  }
+  return N;
+}
+
+/// Pre-order enumeration of every node in the nest, the pointer<->index
+/// mapping partition segments are stored through.
+void preorder(const ASTNode &N, std::vector<const ASTNode *> &Out) {
+  Out.push_back(&N);
+  for (const ASTNodePtr &C : N.Body)
+    preorder(*C, Out);
+}
+
+std::vector<const ASTNode *> preorderNodes(const LoopNest &Nest) {
+  std::vector<const ASTNode *> Out;
+  for (const ASTNodePtr &Root : Nest.Roots)
+    preorder(*Root, Out);
+  return Out;
+}
+
+} // namespace
+
+std::string shackle::serializePlan(const ParallelPlan &Plan) {
+  ByteWriter W;
+  W.u32(BlobVersion);
+  W.u8(static_cast<uint8_t>(Plan.tier()));
+  W.u32(Plan.taskFactors());
+  W.u32(Plan.totalFactors());
+  W.i64vec(Plan.paramValues());
+
+  // The nest.
+  const LoopNest &Nest = Plan.nest();
+  W.u32(Nest.NumDims);
+  W.u32(Nest.NumParams);
+  W.u32(static_cast<uint32_t>(Nest.DimNames.size()));
+  for (const std::string &Name : Nest.DimNames)
+    W.str(Name);
+  W.u32(static_cast<uint32_t>(Nest.Roots.size()));
+  for (const ASTNodePtr &Root : Nest.Roots)
+    writeNode(W, *Root);
+
+  // The partition, AST pointers as pre-order indices.
+  std::vector<const ASTNode *> Order = preorderNodes(Nest);
+  std::unordered_map<const ASTNode *, uint64_t> Index;
+  Index.reserve(Order.size());
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    Index[Order[I]] = I;
+  const BlockPartition &Part = Plan.partition();
+  W.u8(Part.OK ? 1 : 0);
+  W.u32(Part.NumBlockDims);
+  W.u64(Part.Tasks.size());
+  for (const BlockTask &T : Part.Tasks) {
+    W.i64vec(T.Coords);
+    W.u32(static_cast<uint32_t>(T.Segments.size()));
+    for (const BlockTask::Segment &S : T.Segments) {
+      auto It = Index.find(S.Node);
+      W.u64(It == Index.end() ? ~0ull : It->second);
+      W.i64vec(S.DimValues);
+    }
+  }
+
+  // The DAG.
+  const BlockDepGraph &G = Plan.graph();
+  W.u32(G.NumBlockDims);
+  W.u64(G.Coords.size());
+  for (const std::vector<int64_t> &C : G.Coords)
+    W.i64vec(C);
+  for (const std::vector<uint32_t> &Succ : G.Succs) {
+    W.u32(static_cast<uint32_t>(Succ.size()));
+    for (uint32_t S : Succ)
+      W.u32(S);
+  }
+  for (uint32_t D : G.InDegree)
+    W.u32(D);
+  W.u64(G.NumEdges);
+  W.u32(static_cast<uint32_t>(G.SignPatterns.size()));
+  for (const std::vector<int> &Pat : G.SignPatterns) {
+    W.u32(static_cast<uint32_t>(Pat.size()));
+    for (int S : Pat)
+      W.u8(static_cast<uint8_t>(S + 1)); // {-1,0,1} -> {0,1,2}.
+  }
+  W.u8(G.Conservative ? 1 : 0);
+  W.u8(G.EdgeCapHit ? 1 : 0);
+  W.u8(G.WorkCapHit ? 1 : 0);
+  W.u64(G.PairVisits);
+  return std::move(W.Buf);
+}
+
+bool shackle::deserializePlan(const std::string &Blob, const Program &P,
+                              ParallelPlanParts &Out, std::string *Err) {
+  auto Failed = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  ByteReader R{Blob};
+  uint32_t Version = R.u32();
+  if (R.Fail || Version != BlobVersion)
+    return Failed("unsupported plan blob version");
+  uint8_t TierRaw = R.u8();
+  if (TierRaw > static_cast<uint8_t>(CodegenTier::Original))
+    return Failed("bad codegen tier");
+  Out.CG.Tier = static_cast<CodegenTier>(TierRaw);
+  // Only proven-legal plans are persisted; rebuild the verdict that gated
+  // them rather than storing its violation machinery.
+  Out.CG.Legality.Legal = true;
+  Out.CG.Legality.Verdict = LegalityVerdict::Legal;
+  Out.TaskFactors = R.u32();
+  Out.TotalFactors = R.u32();
+  Out.Params = R.i64vec();
+  if (Out.Params.size() != P.getNumParams())
+    return Failed("parameter count mismatch");
+
+  LoopNest &Nest = Out.CG.Nest;
+  Nest.Prog = &P;
+  Nest.NumDims = R.u32();
+  Nest.NumParams = R.u32();
+  uint32_t NNames = R.u32();
+  if (!R.plausibleCount(NNames, 4))
+    return Failed("truncated blob (dim names)");
+  for (uint32_t I = 0; I < NNames; ++I)
+    Nest.DimNames.push_back(R.str());
+  uint32_t NRoots = R.u32();
+  if (!R.plausibleCount(NRoots, 1))
+    return Failed("truncated blob (roots)");
+  for (uint32_t I = 0; I < NRoots; ++I) {
+    ASTNodePtr Root = readNode(R, P, 0);
+    if (!Root)
+      return Failed("truncated or malformed blob (AST)");
+    Nest.Roots.push_back(std::move(Root));
+  }
+
+  std::vector<const ASTNode *> Order = preorderNodes(Nest);
+  BlockPartition &Part = Out.Partition;
+  Part.OK = R.u8() != 0;
+  Part.NumBlockDims = R.u32();
+  uint64_t NTasks = R.u64();
+  if (!R.plausibleCount(NTasks, 8))
+    return Failed("truncated blob (tasks)");
+  Part.Tasks.reserve(NTasks);
+  for (uint64_t T = 0; T < NTasks; ++T) {
+    BlockTask Task;
+    Task.Coords = R.i64vec();
+    if (Task.Coords.size() != Part.NumBlockDims)
+      return Failed("task coordinate arity mismatch");
+    uint32_t NSegs = R.u32();
+    if (!R.plausibleCount(NSegs, 8))
+      return Failed("truncated blob (segments)");
+    for (uint32_t S = 0; S < NSegs; ++S) {
+      BlockTask::Segment Seg;
+      uint64_t NodeIdx = R.u64();
+      if (NodeIdx >= Order.size())
+        return Failed("segment node index out of range");
+      Seg.Node = Order[NodeIdx];
+      Seg.DimValues = R.i64vec();
+      if (Seg.DimValues.size() != Nest.NumDims)
+        return Failed("segment dimension snapshot arity mismatch");
+      Task.Segments.push_back(std::move(Seg));
+    }
+    Part.Tasks.push_back(std::move(Task));
+  }
+
+  BlockDepGraph &G = Out.Graph;
+  G.NumBlockDims = R.u32();
+  uint64_t NNodes = R.u64();
+  if (NNodes != Part.Tasks.size())
+    return Failed("graph/partition node count mismatch");
+  if (!R.plausibleCount(NNodes, 4))
+    return Failed("truncated blob (graph nodes)");
+  G.Coords.reserve(NNodes);
+  for (uint64_t I = 0; I < NNodes; ++I)
+    G.Coords.push_back(R.i64vec());
+  G.Succs.resize(NNodes);
+  for (uint64_t I = 0; I < NNodes; ++I) {
+    uint32_t NSucc = R.u32();
+    if (!R.plausibleCount(NSucc, 4))
+      return Failed("truncated blob (successors)");
+    G.Succs[I].reserve(NSucc);
+    for (uint32_t S = 0; S < NSucc; ++S) {
+      uint32_t V = R.u32();
+      if (V >= NNodes)
+        return Failed("successor index out of range");
+      G.Succs[I].push_back(V);
+    }
+  }
+  G.InDegree.reserve(NNodes);
+  for (uint64_t I = 0; I < NNodes; ++I)
+    G.InDegree.push_back(R.u32());
+  G.NumEdges = R.u64();
+  uint32_t NPats = R.u32();
+  if (!R.plausibleCount(NPats, 4))
+    return Failed("truncated blob (sign patterns)");
+  for (uint32_t I = 0; I < NPats; ++I) {
+    uint32_t Len = R.u32();
+    if (!R.plausibleCount(Len, 1))
+      return Failed("truncated blob (sign pattern)");
+    std::vector<int> Pat;
+    Pat.reserve(Len);
+    for (uint32_t K = 0; K < Len; ++K)
+      Pat.push_back(static_cast<int>(R.u8()) - 1);
+    G.SignPatterns.push_back(std::move(Pat));
+  }
+  G.Conservative = R.u8() != 0;
+  G.EdgeCapHit = R.u8() != 0;
+  G.WorkCapHit = R.u8() != 0;
+  G.PairVisits = R.u64();
+  if (R.Fail)
+    return Failed("truncated blob");
+  if (R.Pos != Blob.size())
+    return Failed("trailing bytes after plan blob");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot files
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Whole-buffer checksum: length word plus the bytes packed 8 at a time
+/// (tail zero-padded).
+uint64_t bufferChecksum(const char *Data, std::size_t N) {
+  Checksum C;
+  C.u64(N);
+  std::size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    uint64_t W;
+    std::memcpy(&W, Data + I, 8);
+    C.u64(W);
+  }
+  if (I < N) {
+    uint64_t W = 0;
+    std::memcpy(&W, Data + I, N - I);
+    C.u64(W);
+  }
+  return C.value();
+}
+
+} // namespace
+
+Status shackle::saveSnapshotFile(const std::string &Path,
+                                 const std::vector<SnapshotEntry> &Entries) {
+  ByteWriter W;
+  W.Buf.append(SnapshotMagic, sizeof(SnapshotMagic));
+  W.u32(SnapshotVersion);
+  W.u64(Entries.size());
+  for (const SnapshotEntry &E : Entries) {
+    W.u64(E.Key.DslHash);
+    W.u64(E.Key.SpecHash);
+    W.u64(E.Key.ParamsHash);
+    W.u32(E.Key.TaskLevel);
+    W.u64(E.Key.MachineHash);
+    W.u64(E.Blob.size());
+    W.Buf.append(E.Blob);
+  }
+  W.u64(bufferChecksum(W.Buf.data(), W.Buf.size()));
+
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error(DiagCode::IOError,
+                         "[service-cache] cannot write snapshot " + Tmp);
+  std::size_t Wrote = std::fwrite(W.Buf.data(), 1, W.Buf.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Wrote != W.Buf.size() || !CloseOk) {
+    std::remove(Tmp.c_str());
+    return Status::error(DiagCode::IOError,
+                         "[service-cache] short write to snapshot " + Tmp);
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error(DiagCode::IOError,
+                         "[service-cache] cannot rename snapshot into " +
+                             Path);
+  }
+  return Status::success();
+}
+
+Status shackle::loadSnapshotFile(const std::string &Path,
+                                 std::vector<SnapshotEntry> &Out) {
+  Out.clear();
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::success(); // No snapshot yet: a cold cache, not an error.
+  std::string Buf;
+  char Chunk[65536];
+  std::size_t Got;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Buf.append(Chunk, Got);
+  std::fclose(F);
+
+  auto Reject = [&](const std::string &Why) {
+    Out.clear();
+    return Status::error(DiagCode::IOError, "[service-cache] rejecting " +
+                                                Path + ": " + Why +
+                                                "; starting with an empty "
+                                                "cache");
+  };
+  if (Buf.size() < sizeof(SnapshotMagic) + 4 + 8 + 8)
+    return Reject("file truncated (shorter than the fixed header)");
+  if (std::memcmp(Buf.data(), SnapshotMagic, sizeof(SnapshotMagic)) != 0)
+    return Reject("bad magic (not a plan-cache snapshot)");
+  uint64_t Stored;
+  std::memcpy(&Stored, Buf.data() + Buf.size() - 8, 8);
+  if (bufferChecksum(Buf.data(), Buf.size() - 8) != Stored)
+    return Reject("checksum mismatch (corrupted or truncated)");
+
+  ByteReader R{Buf};
+  R.Pos = sizeof(SnapshotMagic);
+  uint32_t Version = R.u32();
+  if (Version != SnapshotVersion)
+    return Reject("unsupported snapshot version " + std::to_string(Version));
+  uint64_t Count = R.u64();
+  if (!R.plausibleCount(Count, 5 * 8 + 4))
+    return Reject("implausible entry count");
+  for (uint64_t I = 0; I < Count; ++I) {
+    SnapshotEntry E;
+    E.Key.DslHash = R.u64();
+    E.Key.SpecHash = R.u64();
+    E.Key.ParamsHash = R.u64();
+    E.Key.TaskLevel = R.u32();
+    E.Key.MachineHash = R.u64();
+    uint64_t BlobSize = R.u64();
+    if (R.Fail || BlobSize > Buf.size() - R.Pos)
+      return Reject("entry " + std::to_string(I) + " truncated");
+    E.Blob.assign(Buf.data() + R.Pos, BlobSize);
+    R.Pos += BlobSize;
+    Out.push_back(std::move(E));
+  }
+  if (R.Pos != Buf.size() - 8)
+    return Reject("trailing bytes after the last entry");
+  return Status::success();
+}

@@ -1,0 +1,69 @@
+//===- PlanSerdes.h - Binary plan (de)serialization -------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned binary serialization of compiled plans for the persistent plan
+/// cache: the simplified LoopNest (statement pointers stored as statement
+/// ids), the block partition (AST pointers stored as pre-order node
+/// indices), and the block-dependence DAG. Deserialization rebinds against
+/// a caller-supplied Program whose canonical hash matched the cache key, so
+/// structural identity is guaranteed before pointers are re-established;
+/// every read is bounds-checked and every index validated, so a truncated
+/// or corrupted blob fails with a message instead of crashing.
+///
+/// The snapshot file format (magic, version, entry list, trailing whole-file
+/// checksum from src/support/Checksum.h) lives here too; a file that fails
+/// any of those checks loads as an empty entry list with a diagnostic — the
+/// cache then simply starts cold (docs/SERVE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SERVICE_PLANSERDES_H
+#define SHACKLE_SERVICE_PLANSERDES_H
+
+#include "parallel/ParallelExecutor.h"
+#include "service/PlanKey.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace shackle {
+
+/// Serializes a built plan to a self-contained binary blob. Only
+/// blocked-tier plans round-trip usefully; callers persist plans whose
+/// partition succeeded (the service only caches those to disk).
+std::string serializePlan(const ParallelPlan &Plan);
+
+/// Rebuilds plan parts from \p Blob against \p P (which must be the program
+/// the plan was compiled from — the cache key's DslHash guarantees this).
+/// Returns false with \p Err set on any structural problem; \p Out is then
+/// unspecified but safe to destroy.
+bool deserializePlan(const std::string &Blob, const Program &P,
+                     ParallelPlanParts &Out, std::string *Err);
+
+/// One persisted cache entry: its key and the serialized plan.
+struct SnapshotEntry {
+  PlanKey Key;
+  std::string Blob;
+};
+
+/// Writes entries to \p Path (atomically via a temp file + rename), with a
+/// trailing whole-file checksum.
+Status saveSnapshotFile(const std::string &Path,
+                        const std::vector<SnapshotEntry> &Entries);
+
+/// Reads a snapshot. A missing file yields success with no entries (a cold
+/// cache is not an error); a malformed, truncated, or checksum-mismatched
+/// file yields an IOError status whose message carries the `[service-cache]`
+/// reason, and \p Out is left empty — callers warn and continue cold.
+Status loadSnapshotFile(const std::string &Path,
+                        std::vector<SnapshotEntry> &Out);
+
+} // namespace shackle
+
+#endif // SHACKLE_SERVICE_PLANSERDES_H

@@ -1,0 +1,235 @@
+//===- Server.cpp - Unix-socket transport for shackle serve -------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace shackle;
+
+namespace {
+
+/// Writes all of \p Data, riding out partial writes and EINTR. SIGPIPE is
+/// suppressed per-call so a vanished client never kills the daemon.
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool fillSockaddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+struct ServiceServer::Impl {
+  std::atomic<bool> Stop{false};
+  std::mutex ThreadsM;
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> Connections{0};
+};
+
+ServiceServer::ServiceServer(ServiceCore &Core, std::string SocketPath)
+    : Core(Core), SocketPath(std::move(SocketPath)), State(new Impl) {}
+
+ServiceServer::~ServiceServer() {
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  delete State;
+}
+
+Status ServiceServer::start() {
+  sockaddr_un Addr;
+  if (!fillSockaddr(SocketPath, Addr))
+    return Status::error(DiagCode::IOError,
+                         "socket path empty or too long for AF_UNIX: '" +
+                             SocketPath + "'");
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Status::error(DiagCode::IOError,
+                         std::string("socket: ") + std::strerror(errno));
+  // A stale file from a dead server would make bind fail; replace it. A
+  // *live* server would still hold the name after unlink, so two daemons
+  // on one path is a user error this does not try to detect.
+  ::unlink(SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0)
+    return Status::error(DiagCode::IOError, "bind '" + SocketPath +
+                                                "': " + std::strerror(errno));
+  if (::listen(ListenFd, 64) < 0)
+    return Status::error(DiagCode::IOError,
+                         std::string("listen: ") + std::strerror(errno));
+  return Status::success();
+}
+
+void ServiceServer::stop() { State->Stop.store(true); }
+
+uint64_t ServiceServer::serve() {
+  auto Draining = [&] {
+    return Core.shutdownRequested() || State->Stop.load();
+  };
+
+  auto Connection = [this, Draining](int Fd) {
+    std::string Buf;
+    char Chunk[4096];
+    while (!Draining()) {
+      pollfd P{Fd, POLLIN, 0};
+      int R = ::poll(&P, 1, 100);
+      if (R < 0 && errno != EINTR)
+        break;
+      if (R <= 0)
+        continue;
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        break; // EOF or error: client is done.
+      Buf.append(Chunk, static_cast<size_t>(N));
+      size_t Start = 0, Nl;
+      while ((Nl = Buf.find('\n', Start)) != std::string::npos) {
+        std::string Reply = Core.handleLine(Buf.substr(Start, Nl - Start));
+        Reply += '\n';
+        if (!sendAll(Fd, Reply.data(), Reply.size())) {
+          Start = Buf.size();
+          break;
+        }
+        Start = Nl + 1;
+      }
+      Buf.erase(0, Start);
+    }
+    ::close(Fd);
+  };
+
+  while (!Draining()) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int R = ::poll(&P, 1, 100);
+    if (R < 0 && errno != EINTR)
+      break;
+    if (R <= 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    State->Connections.fetch_add(1);
+    std::lock_guard<std::mutex> Lock(State->ThreadsM);
+    State->Threads.emplace_back(Connection, Fd);
+  }
+
+  // Every connection thread polls the same draining predicate, so this
+  // join terminates within one poll interval of shutdown.
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(State->ThreadsM);
+    Threads.swap(State->Threads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(SocketPath.c_str());
+  return State->Connections.load();
+}
+
+bool shackle::serviceRequest(const std::string &SocketPath,
+                             const std::string &RequestLine,
+                             std::string &ReplyLine, std::string *Err,
+                             unsigned TimeoutMs) {
+  sockaddr_un Addr;
+  if (!fillSockaddr(SocketPath, Addr)) {
+    if (Err)
+      *Err = "socket path empty or too long for AF_UNIX";
+    return false;
+  }
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  int Fd = -1;
+  for (;;) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      if (Err)
+        *Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      break;
+    int E = errno;
+    ::close(Fd);
+    Fd = -1;
+    // The server may still be coming up (no file yet, or bound but not
+    // listening); retry those until the deadline.
+    if ((E != ENOENT && E != ECONNREFUSED) ||
+        std::chrono::steady_clock::now() >= Deadline) {
+      if (Err)
+        *Err = "connect '" + SocketPath + "': " + std::strerror(E);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::string Req = RequestLine;
+  if (Req.empty() || Req.back() != '\n')
+    Req += '\n';
+  if (!sendAll(Fd, Req.data(), Req.size())) {
+    if (Err)
+      *Err = std::string("send: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  ReplyLine.clear();
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("recv: ") + std::strerror(errno);
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0) {
+      if (Err)
+        *Err = "connection closed before a reply line arrived";
+      ::close(Fd);
+      return false;
+    }
+    ReplyLine.append(Chunk, static_cast<size_t>(N));
+    size_t Nl = ReplyLine.find('\n');
+    if (Nl != std::string::npos) {
+      ReplyLine.erase(Nl);
+      break;
+    }
+  }
+  ::close(Fd);
+  return true;
+}

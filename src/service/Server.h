@@ -1,0 +1,71 @@
+//===- Server.h - Unix-socket transport for shackle serve -------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon transport: a stream Unix-domain socket speaking newline-
+/// delimited JSON (one request per line, one reply line per request;
+/// docs/SERVE.md). Each accepted connection gets its own thread that feeds
+/// lines to the shared ServiceCore — which is where all concurrency control
+/// (single-flight plan cache, verdict cache) lives — so N clients pipeline
+/// freely. The accept loop polls with a short timeout and exits once the
+/// core has accepted a shutdown request; connection threads watch the same
+/// flag, so serve() always joins everything before returning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SERVICE_SERVER_H
+#define SHACKLE_SERVICE_SERVER_H
+
+#include "service/Service.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace shackle {
+
+class ServiceServer {
+public:
+  /// \p Core must outlive the server. \p SocketPath is created on start()
+  /// (a stale file from a dead server is replaced) and unlinked when
+  /// serve() returns.
+  ServiceServer(ServiceCore &Core, std::string SocketPath);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer &) = delete;
+  ServiceServer &operator=(const ServiceServer &) = delete;
+
+  /// Binds and listens. Fails (IOError) on an unbindable path.
+  Status start();
+
+  /// Accepts and serves connections until the core accepts a shutdown
+  /// request (or stop() is called), then joins every connection thread and
+  /// removes the socket file. Returns the number of connections served.
+  uint64_t serve();
+
+  /// Asks serve() to wind down from another thread (tests, signal hooks).
+  void stop();
+
+private:
+  ServiceCore &Core;
+  std::string SocketPath;
+  int ListenFd = -1;
+  // Defined in the .cpp to keep <thread>/<atomic> plumbing private.
+  struct Impl;
+  Impl *State;
+};
+
+/// One-shot client: connects to \p SocketPath (retrying until
+/// \p TimeoutMs while the server comes up), sends \p RequestLine (a newline
+/// is appended if missing), and reads one reply line into \p ReplyLine.
+/// Returns false with \p Err set on connect/IO failure.
+bool serviceRequest(const std::string &SocketPath,
+                    const std::string &RequestLine, std::string &ReplyLine,
+                    std::string *Err = nullptr, unsigned TimeoutMs = 10000);
+
+} // namespace shackle
+
+#endif // SHACKLE_SERVICE_SERVER_H

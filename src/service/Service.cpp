@@ -1,0 +1,419 @@
+//===- Service.cpp - The shackle compile/run service core ---------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "core/ShackleDriver.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "programs/Registry.h"
+#include "support/Checksum.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace shackle;
+
+namespace {
+
+JsonValue errorReply(const std::string &Code, const std::string &Message) {
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(false));
+  R.set("code", JsonValue::string(Code));
+  R.set("error", JsonValue::string(Message));
+  return R;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Bit-pattern checksum of every array buffer, in array order. This is the
+/// service's determinism witness: equal checksums across clients mean
+/// bitwise-identical results (same strength as ProgramInstance::
+/// bitwiseEqual).
+uint64_t resultChecksum(const ProgramInstance &Inst) {
+  Checksum C;
+  const Program &P = Inst.program();
+  for (unsigned A = 0; A < P.getNumArrays(); ++A) {
+    const std::vector<double> &Buf = Inst.buffer(A);
+    C.u64(A).u64(Buf.size());
+    for (double V : Buf)
+      C.f64(V);
+  }
+  return C.value();
+}
+
+const char *verdictName(LegalityVerdict V) {
+  switch (V) {
+  case LegalityVerdict::Legal:
+    return "legal";
+  case LegalityVerdict::Illegal:
+    return "illegal";
+  case LegalityVerdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+} // namespace
+
+ServiceCore::ServiceCore(ServiceOptions O)
+    : Opts(std::move(O)), Cache(Opts.CacheBytes) {
+  if (Opts.DetectShape)
+    Opts.Shape = detectMachineShape();
+  LatMs.reserve(LatCap);
+}
+
+bool ServiceCore::resolve(const JsonValue &Req, ResolvedRequest &R,
+                          JsonValue &ErrReply) {
+  // Parameter values (shared by both program forms).
+  if (!Req.get("params").isArray()) {
+    ErrReply = errorReply("usage-error", "'params' must be an array");
+    return false;
+  }
+  for (const JsonValue &V : Req.get("params").asArray())
+    R.Params.push_back(V.asInt());
+
+  // Block sizes: a single integer or a per-rank array.
+  std::vector<int64_t> Blocks;
+  const JsonValue &BlockField = Req.get("block");
+  if (BlockField.isArray()) {
+    for (const JsonValue &V : BlockField.asArray())
+      Blocks.push_back(V.asInt());
+  } else if (BlockField.isNumber()) {
+    Blocks.push_back(BlockField.asInt());
+  }
+
+  std::string Dsl = Req.getString("dsl");
+  if (!Dsl.empty()) {
+    // DSL form: parse, then shackle every statement through its store into
+    // the named array (the `shackle file` pipeline).
+    ParseResult PR = parseProgram(Dsl);
+    if (!PR) {
+      ErrReply = errorReply("parse-error", PR.Diag.str());
+      return false;
+    }
+    std::shared_ptr<const Program> Prog = std::move(PR.Prog);
+    std::string ArrayName = Req.getString("array");
+    int ArrayId = -1;
+    for (unsigned A = 0; A < Prog->getNumArrays(); ++A)
+      if (Prog->getArray(A).Name == ArrayName)
+        ArrayId = static_cast<int>(A);
+    if (ArrayId < 0) {
+      ErrReply = errorReply("usage-error",
+                            "'array' must name an array declared in 'dsl'");
+      return false;
+    }
+    unsigned Rank =
+        static_cast<unsigned>(Prog->getArray(ArrayId).Extents.size());
+    if (Blocks.empty())
+      Blocks.assign(Rank, 64);
+    while (Blocks.size() < Rank)
+      Blocks.push_back(Blocks.back());
+    std::vector<unsigned> Order(Rank);
+    for (unsigned D = 0; D < Rank; ++D)
+      Order[D] = D;
+    if (Req.getString("order") == "colblocks" && Rank == 2)
+      Order = {1, 0};
+    DataBlocking Blocking = DataBlocking::rectangular(ArrayId, Blocks, Order);
+    if (Req.getBool("reversed", false))
+      Blocking.Planes[0].Reversed = true;
+    Expected<DataShackle> Shackle =
+        DataShackle::tryOnStores(*Prog, std::move(Blocking));
+    if (!Shackle.ok()) {
+      ErrReply = errorReply("usage-error", Shackle.diagnostic().str());
+      return false;
+    }
+    R.Chain.Factors.push_back(std::move(Shackle.get()));
+    R.Prog = std::move(Prog);
+  } else {
+    std::string Bench = Req.getString("benchmark");
+    auto It = benchRegistry().find(Bench);
+    if (It == benchRegistry().end()) {
+      ErrReply = errorReply("usage-error",
+                            "unknown benchmark '" + Bench +
+                                "' (and no 'dsl' given); see 'shackle list'");
+      return false;
+    }
+    std::string Config = Req.getString("config");
+    auto CIt = It->second.Configs.find(Config);
+    if (CIt == It->second.Configs.end()) {
+      ErrReply = errorReply("usage-error", "unknown config '" + Config +
+                                               "' for benchmark '" + Bench +
+                                               "'");
+      return false;
+    }
+    BenchSpec Spec = It->second.Make();
+    std::shared_ptr<const Program> Prog = std::move(Spec.Prog);
+    int64_t Block = Blocks.empty() ? It->second.DefaultBlock : Blocks[0];
+    R.Chain = CIt->second(*Prog, Block);
+    R.Prog = std::move(Prog);
+  }
+
+  if (R.Params.size() != R.Prog->getNumParams()) {
+    ErrReply = errorReply(
+        "usage-error", "'params' must supply " +
+                           std::to_string(R.Prog->getNumParams()) +
+                           " value(s), got " + std::to_string(R.Params.size()));
+    return false;
+  }
+
+  const JsonValue &Level = Req.get("task_level");
+  if (Level.isString() && Level.asString() == "auto")
+    R.TaskLevel = PlanKeyAutoTaskLevel;
+  else if (Level.isNumber() && Level.asInt() >= 0)
+    R.TaskLevel = static_cast<unsigned>(Level.asInt());
+  else if (!Level.isNull()) {
+    ErrReply = errorReply("usage-error",
+                          "'task_level' must be a factor count or \"auto\"");
+    return false;
+  }
+
+  R.Threads = static_cast<unsigned>(std::max<int64_t>(
+      1, Req.getInt("threads", Opts.DefaultThreads)));
+  return true;
+}
+
+JsonValue ServiceCore::handleCompileOrRun(const JsonValue &Req, bool Execute) {
+  ResolvedRequest R;
+  JsonValue Err;
+  if (!resolve(Req, R, Err))
+    return Err;
+
+  PlanKey Key = makePlanKey(*R.Prog, R.Chain, R.Params, R.TaskLevel,
+                            Opts.Shape);
+
+  // These are only written if this thread owns the build (single-flight
+  // runs the closure on the missing caller's thread, synchronously).
+  LegalityCheckStats LegStats;
+  VerdictReuse Reuse;
+  bool WeBuilt = false;
+
+  PlanCache::Outcome Out = Cache.getOrBuild(Key, R.Prog, [&]() {
+    WeBuilt = true;
+    Reuse = Verdicts.lookup(*R.Prog, R.Chain);
+    ParallelPlanOptions POpts;
+    POpts.Budget = Opts.Budget;
+    POpts.ThreadsHint = R.Threads;
+    if (R.TaskLevel == PlanKeyAutoTaskLevel)
+      POpts.AutoTaskLevel = true;
+    else
+      POpts.TaskLevel = R.TaskLevel;
+    POpts.LegalitySkipBlockDims = Reuse.SkipBlockDims;
+    POpts.LegalityKnownIllegal = Reuse.KnownIllegal;
+    POpts.LegalityStats = &LegStats;
+    ParallelPlan Plan = ParallelPlan::build(*R.Prog, R.Chain, R.Params, POpts);
+    if (Reuse.KnownIllegal) {
+      // The whole check was skipped; credit one avoided query (a fresh
+      // check would have run at least one before finding the violation).
+      Verdicts.creditSaved(1);
+    } else {
+      Verdicts.record(*R.Prog, R.Chain, Plan.legality().Verdict);
+      Verdicts.creditSaved(LegStats.QueriesSkipped);
+    }
+    return Plan;
+  });
+
+  if (!Out.Plan)
+    return errorReply("compile-failed", Out.Error.empty()
+                                            ? "plan build failed"
+                                            : Out.Error);
+
+  const ParallelPlan &Plan = Out.Plan->Plan;
+  JsonValue Reply = JsonValue::object();
+  Reply.set("ok", JsonValue::boolean(true));
+  Reply.set("op", JsonValue::string(Execute ? "run" : "compile"));
+  Reply.set("key", JsonValue::string(hex64(Key.digest())));
+  Reply.set("hit", JsonValue::boolean(Out.Hit));
+  Reply.set("coalesced", JsonValue::boolean(Out.Coalesced));
+  Reply.set("from_snapshot", JsonValue::boolean(Out.FromSnapshot));
+  Reply.set("tier", JsonValue::string(codegenTierName(Plan.tier())));
+  Reply.set("legality",
+            JsonValue::string(verdictName(Plan.legality().Verdict)));
+  Reply.set("parallel_ready", JsonValue::boolean(Plan.parallelReady()));
+  Reply.set("tasks",
+            JsonValue::integer(static_cast<int64_t>(
+                Plan.partition().OK ? Plan.partition().Tasks.size() : 0)));
+  if (WeBuilt) {
+    Reply.set("solver_queries_run",
+              JsonValue::integer(static_cast<int64_t>(LegStats.QueriesRun)));
+    Reply.set("solver_queries_skipped",
+              JsonValue::integer(
+                  static_cast<int64_t>(LegStats.QueriesSkipped +
+                                       (Reuse.KnownIllegal ? 1 : 0))));
+  }
+
+  if (!Execute)
+    return Reply;
+
+  ProgramInstance Inst(*R.Prog, R.Params);
+  Inst.fillRandom(1, 0.5, 1.5);
+  ParallelRunOptions RunOpts;
+  RunOpts.NumThreads = R.Threads;
+  auto Start = std::chrono::steady_clock::now();
+  ParallelRunStats Stats = Plan.run(Inst, RunOpts);
+  auto End = std::chrono::steady_clock::now();
+  if (Stats.Failed)
+    return errorReply("run-failed",
+                      "a block failed every recovery attempt; results "
+                      "withheld");
+  Reply.set("mode", JsonValue::string(parallelModeName(Stats.Mode)));
+  Reply.set("blocks_run",
+            JsonValue::integer(static_cast<int64_t>(Stats.BlocksRun)));
+  Reply.set("threads_used",
+            JsonValue::integer(static_cast<int64_t>(Stats.ThreadsUsed)));
+  Reply.set("run_ms",
+            JsonValue::number(
+                std::chrono::duration<double, std::milli>(End - Start)
+                    .count()));
+  Reply.set("checksum", JsonValue::string(hex64(resultChecksum(Inst))));
+  return Reply;
+}
+
+JsonValue ServiceCore::handleStats() {
+  ServiceStats S = stats();
+  JsonValue Reply = JsonValue::object();
+  Reply.set("ok", JsonValue::boolean(true));
+  Reply.set("op", JsonValue::string("stats"));
+  Reply.set("hits", JsonValue::integer(static_cast<int64_t>(S.Cache.Hits)));
+  Reply.set("misses",
+            JsonValue::integer(static_cast<int64_t>(S.Cache.Misses)));
+  Reply.set("coalesced",
+            JsonValue::integer(static_cast<int64_t>(S.Cache.Coalesced)));
+  Reply.set("evictions",
+            JsonValue::integer(static_cast<int64_t>(S.Cache.Evictions)));
+  Reply.set("entries",
+            JsonValue::integer(static_cast<int64_t>(S.Cache.Entries)));
+  Reply.set("bytes",
+            JsonValue::integer(static_cast<int64_t>(S.Cache.BytesInUse)));
+  Reply.set("pending_blobs",
+            JsonValue::integer(static_cast<int64_t>(S.Cache.PendingBlobs)));
+  Reply.set("verdict_entries",
+            JsonValue::integer(static_cast<int64_t>(S.VerdictEntries)));
+  Reply.set("solver_calls_saved",
+            JsonValue::integer(static_cast<int64_t>(S.SolverCallsSaved)));
+  Reply.set("requests",
+            JsonValue::integer(static_cast<int64_t>(S.Requests)));
+  Reply.set("errors", JsonValue::integer(static_cast<int64_t>(S.Errors)));
+  Reply.set("p50_ms", JsonValue::number(S.P50Ms));
+  Reply.set("p95_ms", JsonValue::number(S.P95Ms));
+  Reply.set("machine", JsonValue::string(Opts.Shape.str()));
+  return Reply;
+}
+
+JsonValue ServiceCore::handle(const JsonValue &Req) {
+  if (!Req.isObject())
+    return errorReply("parse-error", "request must be a JSON object");
+  std::string Op = Req.getString("op");
+  if (Op == "stats")
+    return handleStats();
+  if (Op == "shutdown") {
+    Shutdown.store(true, std::memory_order_release);
+    JsonValue Reply = JsonValue::object();
+    Reply.set("ok", JsonValue::boolean(true));
+    Reply.set("op", JsonValue::string("shutdown"));
+    return Reply;
+  }
+  if (Op == "compile" || Op == "run") {
+    Requests.fetch_add(1, std::memory_order_relaxed);
+    auto Start = std::chrono::steady_clock::now();
+    JsonValue Reply = handleCompileOrRun(Req, Op == "run");
+    auto End = std::chrono::steady_clock::now();
+    recordLatency(
+        std::chrono::duration<double, std::milli>(End - Start).count());
+    if (!Reply.getBool("ok", false))
+      Errors.fetch_add(1, std::memory_order_relaxed);
+    return Reply;
+  }
+  return errorReply("usage-error",
+                    "unknown op '" + Op +
+                        "' (expected compile, run, stats, or shutdown)");
+}
+
+std::string ServiceCore::handleLine(const std::string &Line) {
+  JsonValue Req;
+  std::string Err;
+  JsonValue Reply;
+  if (!parseJson(Line, Req, &Err))
+    Reply = errorReply("parse-error", Err);
+  else
+    Reply = handle(Req);
+  return Reply.str();
+}
+
+void ServiceCore::recordLatency(double Ms) {
+  std::lock_guard<std::mutex> Lock(LatM);
+  if (LatMs.size() < LatCap) {
+    LatMs.push_back(Ms);
+  } else {
+    LatMs[LatNext] = Ms;
+    LatNext = (LatNext + 1) % LatCap;
+  }
+}
+
+void ServiceCore::latencyPercentiles(double &P50, double &P95) const {
+  std::vector<double> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(LatM);
+    Copy = LatMs;
+  }
+  P50 = P95 = 0;
+  if (Copy.empty())
+    return;
+  std::sort(Copy.begin(), Copy.end());
+  P50 = Copy[Copy.size() / 2];
+  P95 = Copy[std::min(Copy.size() - 1, (Copy.size() * 95) / 100)];
+}
+
+ServiceStats ServiceCore::stats() const {
+  ServiceStats S;
+  S.Cache = Cache.stats();
+  S.VerdictEntries = Verdicts.size();
+  S.SolverCallsSaved = Verdicts.solverCallsSaved();
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.Errors = Errors.load(std::memory_order_relaxed);
+  latencyPercentiles(S.P50Ms, S.P95Ms);
+  return S;
+}
+
+std::string ServiceCore::statsLine() const {
+  ServiceStats S = stats();
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "service: hits=%llu misses=%llu coalesced=%llu evictions=%llu "
+      "entries=%llu bytes=%llu pending=%llu solver-saved=%llu "
+      "requests=%llu errors=%llu p50=%.2fms p95=%.2fms",
+      static_cast<unsigned long long>(S.Cache.Hits),
+      static_cast<unsigned long long>(S.Cache.Misses),
+      static_cast<unsigned long long>(S.Cache.Coalesced),
+      static_cast<unsigned long long>(S.Cache.Evictions),
+      static_cast<unsigned long long>(S.Cache.Entries),
+      static_cast<unsigned long long>(S.Cache.BytesInUse),
+      static_cast<unsigned long long>(S.Cache.PendingBlobs),
+      static_cast<unsigned long long>(S.SolverCallsSaved),
+      static_cast<unsigned long long>(S.Requests),
+      static_cast<unsigned long long>(S.Errors), S.P50Ms, S.P95Ms);
+  return Buf;
+}
+
+Status ServiceCore::loadSnapshot() {
+  if (Opts.SnapshotPath.empty())
+    return Status::success();
+  return Cache.loadSnapshot(Opts.SnapshotPath);
+}
+
+Status ServiceCore::saveSnapshot() const {
+  if (Opts.SnapshotPath.empty())
+    return Status::success();
+  return Cache.saveSnapshot(Opts.SnapshotPath);
+}

@@ -1,0 +1,62 @@
+//===- VerdictCache.cpp - Cached per-factor legality verdicts -----------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/VerdictCache.h"
+
+#include "service/PlanKey.h"
+
+using namespace shackle;
+
+VerdictReuse VerdictCache::lookup(const Program &P,
+                                  const ShackleChain &Chain) const {
+  VerdictReuse Reuse;
+  unsigned N = static_cast<unsigned>(Chain.Factors.size());
+  std::lock_guard<std::mutex> Lock(M);
+  // Full-chain Illegal dominates: no query can change a proven violation.
+  auto Full = Verdicts.find(fingerprintChainPrefix(P, Chain, N));
+  if (Full != Verdicts.end() && Full->second == LegalityVerdict::Illegal) {
+    Reuse.KnownIllegal = true;
+    return Reuse;
+  }
+  // Longest cached-Legal prefix, longest first so one hit suffices.
+  for (unsigned K = N; K >= 1; --K) {
+    auto It = Verdicts.find(fingerprintChainPrefix(P, Chain, K));
+    if (It != Verdicts.end() && It->second == LegalityVerdict::Legal) {
+      Reuse.SkipFactors = K;
+      Reuse.SkipBlockDims = Chain.numBlockDimsPrefix(K);
+      return Reuse;
+    }
+  }
+  return Reuse;
+}
+
+void VerdictCache::record(const Program &P, const ShackleChain &Chain,
+                          LegalityVerdict Verdict) {
+  unsigned N = static_cast<unsigned>(Chain.Factors.size());
+  std::lock_guard<std::mutex> Lock(M);
+  if (Verdict == LegalityVerdict::Legal) {
+    for (unsigned K = 1; K <= N; ++K)
+      Verdicts[fingerprintChainPrefix(P, Chain, K)] = LegalityVerdict::Legal;
+  } else if (Verdict == LegalityVerdict::Illegal) {
+    Verdicts[fingerprintChainPrefix(P, Chain, N)] = LegalityVerdict::Illegal;
+  }
+}
+
+void VerdictCache::creditSaved(uint64_t N) {
+  std::lock_guard<std::mutex> Lock(M);
+  Saved += N;
+}
+
+uint64_t VerdictCache::solverCallsSaved() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Saved;
+}
+
+std::size_t VerdictCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Verdicts.size();
+}

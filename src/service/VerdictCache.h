@@ -1,0 +1,83 @@
+//===- VerdictCache.h - Cached per-factor legality verdicts -----*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Legality verdicts for shackle chains decompose over factor *prefixes*:
+/// for any dependence, the dim-J violation system depends only on the
+/// factors covering block dims 0..J (block-link constraints are
+/// functionally determined), and a first-differing-coordinate violation
+/// inside a prefix is verbatim a violation of every chain extending it. So
+///
+///   * a chain proven Legal makes every prefix of it proven Legal, and
+///   * a new chain sharing a cached-Legal prefix can skip all violation
+///     queries for the prefix's block dims (checkLegalityFrom), and
+///   * a chain whose own fingerprint is cached Illegal needs no solver at
+///     all.
+///
+/// This cache stores verdicts keyed by (program, factor-prefix fingerprint)
+/// and counts the Omega queries those reuses avoided — the service's
+/// solver-calls-saved stat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SERVICE_VERDICTCACHE_H
+#define SHACKLE_SERVICE_VERDICTCACHE_H
+
+#include "core/DataShackle.h"
+#include "core/Legality.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace shackle {
+
+/// What a lookup found for a chain about to be checked.
+struct VerdictReuse {
+  /// Block dims covered by the longest cached-Legal factor prefix; pass to
+  /// checkLegalityFrom / ParallelPlanOptions::LegalitySkipBlockDims.
+  unsigned SkipBlockDims = 0;
+  /// Factors in that prefix (for reporting).
+  unsigned SkipFactors = 0;
+  /// The full chain itself is cached Illegal: skip the solver entirely.
+  bool KnownIllegal = false;
+};
+
+/// Thread-safe verdict store. Chains are fingerprinted structurally
+/// (fingerprintChainPrefix), so equal shackle specs share verdicts across
+/// requests regardless of how they were constructed.
+class VerdictCache {
+public:
+  /// Finds the best reuse for \p Chain before a legality check.
+  VerdictReuse lookup(const Program &P, const ShackleChain &Chain) const;
+
+  /// Records the outcome of a completed check. Legal chains record every
+  /// prefix as Legal (prefixes of legal chains are legal); Illegal chains
+  /// record only the full chain's fingerprint as Illegal (prefixes may
+  /// still be fine). Unknown verdicts record nothing — they carry no
+  /// reusable proof.
+  void record(const Program &P, const ShackleChain &Chain,
+              LegalityVerdict Verdict);
+
+  /// Adds \p N avoided solver queries (from LegalityCheckStats or a
+  /// KnownIllegal short-circuit) to the running total.
+  void creditSaved(uint64_t N);
+  uint64_t solverCallsSaved() const;
+
+  std::size_t size() const;
+
+private:
+  mutable std::mutex M;
+  /// Prefix fingerprint -> proven verdict (Legal or Illegal only).
+  std::unordered_map<uint64_t, LegalityVerdict> Verdicts;
+  uint64_t Saved = 0;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_SERVICE_VERDICTCACHE_H

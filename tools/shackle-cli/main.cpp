@@ -28,7 +28,9 @@
 #include "interp/Interpreter.h"
 #include "parallel/ParallelExecutor.h"
 #include "programs/Benchmarks.h"
+#include "programs/Registry.h"
 #include "runtime/MultiPass.h"
+#include "service/Server.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
@@ -38,85 +40,13 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 using namespace shackle;
 
 namespace {
-
-struct BenchEntry {
-  std::function<BenchSpec()> Make;
-  /// Config name -> chain factory (program, block size).
-  std::map<std::string,
-           std::function<ShackleChain(const Program &, int64_t)>>
-      Configs;
-  int64_t DefaultBlock = 64;
-};
-
-const std::map<std::string, BenchEntry> &registry() {
-  static const std::map<std::string, BenchEntry> Registry = {
-      {"matmul",
-       {makeMatMul,
-        {{"c", mmmShackleC},
-         {"cxa", mmmShackleCxA},
-         {"two-level",
-          [](const Program &P, int64_t B) {
-            return mmmShackleTwoLevel(P, B, B >= 8 ? B / 8 : 1);
-          }}},
-        64}},
-      {"cholesky-right",
-       {makeCholeskyRight,
-        {{"stores", choleskyShackleStores},
-         {"reads", choleskyShackleReads},
-         {"product-wr",
-          [](const Program &P, int64_t B) {
-            return choleskyShackleProduct(P, B, true);
-          }},
-         {"product-rw",
-          [](const Program &P, int64_t B) {
-            return choleskyShackleProduct(P, B, false);
-          }}},
-        64}},
-      {"cholesky-left",
-       {makeCholeskyLeft, {{"stores", choleskyShackleStores}}, 64}},
-      {"qr", {makeQRHouseholder, {{"cols", qrColumnShackle}}, 32}},
-      {"adi",
-       {makeADI,
-        {{"fused", [](const Program &P, int64_t) { return adiShackle(P); }},
-         {"two-level",
-          [](const Program &P, int64_t B) {
-            return adiShackleTwoLevel(P, B < 2 ? 8 : B);
-          }}},
-        1}},
-      {"gmtry", {makeGmtry, {{"stores", gmtryShackleStores}}, 64}},
-      {"banded",
-       {makeCholeskyBanded, {{"stores", choleskyShackleStores}}, 32}},
-      {"seidel", {makeSeidel1D, {{"blocks", seidelShackle}}, 8}},
-      {"seidel2d",
-       {makeSeidel2D,
-        {{"blocks",
-          [](const Program &P, int64_t B) {
-            ShackleChain Chain;
-            Chain.Factors.push_back(DataShackle::onStores(
-                P, DataBlocking::rectangular(0, {B, B})));
-            return Chain;
-          }}},
-        8}},
-      {"trisolve-upper",
-       {[] { return makeTriangularSolve(false); },
-        {{"blocks",
-          [](const Program &P, int64_t B) {
-            return triSolveShackle(P, B, /*Reversed=*/false);
-          }},
-         {"blocks-reversed",
-          [](const Program &P, int64_t B) {
-            return triSolveShackle(P, B, /*Reversed=*/true);
-          }}},
-        8}},
-  };
-  return Registry;
-}
 
 int usage() {
   std::fprintf(
@@ -134,6 +64,9 @@ int usage() {
       "--params=N[,bw]\n"
       "  shackle run      <benchmark> <config> [--block=N] --params=N[,..]\n"
       "      [--threads=N] [--task-level=K|auto] [--verify]\n"
+      "      [--plan-cache=PATH]        (persisted-plan reuse: load PATH,\n"
+      "       report hit/miss, save back; a warm hit skips legality,\n"
+      "       simplification, and DAG construction entirely)\n"
       "      (parallel block execution; task-level schedules the first K\n"
       "       chain factors as outer tasks, inner levels serial per task)\n"
       "      [--max-retries=N] [--deadline-ms=N] [--stall-ms=N]\n"
@@ -153,6 +86,12 @@ int usage() {
       "[--naive]\n"
       "      (shackles every statement through its store into NAME)\n"
       "  shackle file <path> auto --array=NAME [--eval=N]\n"
+      "  shackle serve    --socket=PATH [--snapshot=PATH]\n"
+      "      [--cache-bytes=N] [--threads=N]\n"
+      "      (daemon: newline-delimited JSON requests over a Unix socket;\n"
+      "       plan cache persisted to --snapshot; see docs/SERVE.md)\n"
+      "  shackle request  --socket=PATH --json=REQ  [--timeout-ms=N]\n"
+      "      (send one request to a running daemon, print the reply)\n"
       "common flags:\n"
       "  --solver-budget=N   Omega-test work-unit budget per query\n"
       "  --strict            fail instead of falling back to simpler code\n"
@@ -259,7 +198,7 @@ std::vector<int64_t> paramList(int Argc, char **Argv, const char *Name) {
 }
 
 int cmdList() {
-  for (const auto &[Name, Entry] : registry()) {
+  for (const auto &[Name, Entry] : benchRegistry()) {
     std::printf("%-16s configs:", Name.c_str());
     for (const auto &[CName, Fn] : Entry.Configs) {
       (void)Fn;
@@ -464,6 +403,65 @@ int cmdFile(int Argc, char **Argv) {
   return usage();
 }
 
+int cmdServe(int Argc, char **Argv) {
+  std::string Socket = flagString(Argc, Argv, "socket");
+  if (Socket.empty()) {
+    std::fprintf(stderr, "error: [usage-error] serve requires "
+                         "--socket=PATH\n");
+    return 1;
+  }
+  ServiceOptions Opts;
+  Opts.SnapshotPath = flagString(Argc, Argv, "snapshot");
+  Opts.CacheBytes = static_cast<uint64_t>(flagValue(
+      Argc, Argv, "cache-bytes", static_cast<int64_t>(Opts.CacheBytes)));
+  Opts.DefaultThreads = static_cast<unsigned>(
+      std::max<int64_t>(1, flagValue(Argc, Argv, "threads", 1)));
+  Opts.Budget = budgetFromFlags(Argc, Argv);
+
+  ServiceCore Core(Opts);
+  Status Loaded = Core.loadSnapshot();
+  if (!Loaded.ok())
+    // A malformed snapshot must never block startup: warn and serve cold.
+    std::fprintf(stderr, "%s\n", Loaded.diagnostic().Message.c_str());
+
+  ServiceServer Server(Core, Socket);
+  Status S = Server.start();
+  if (!S.ok())
+    return reportError(nullptr, S.diagnostic());
+  std::printf("serving on %s (cache %llu MiB%s%s)\n", Socket.c_str(),
+              static_cast<unsigned long long>(Opts.CacheBytes >> 20),
+              Opts.SnapshotPath.empty() ? "" : ", snapshot ",
+              Opts.SnapshotPath.c_str());
+  std::fflush(stdout);
+  uint64_t Conns = Server.serve();
+  Status Saved = Core.saveSnapshot();
+  if (!Saved.ok())
+    std::fprintf(stderr, "%s\n", Saved.diagnostic().str().c_str());
+  std::printf("served %llu connection(s)\n",
+              static_cast<unsigned long long>(Conns));
+  std::printf("%s\n", Core.statsLine().c_str());
+  return 0;
+}
+
+int cmdRequest(int Argc, char **Argv) {
+  std::string Socket = flagString(Argc, Argv, "socket");
+  std::string Json = flagString(Argc, Argv, "json");
+  if (Socket.empty() || Json.empty()) {
+    std::fprintf(stderr, "error: [usage-error] request requires "
+                         "--socket=PATH and --json=REQ\n");
+    return 1;
+  }
+  unsigned TimeoutMs = static_cast<unsigned>(
+      std::max<int64_t>(1, flagValue(Argc, Argv, "timeout-ms", 10000)));
+  std::string Reply, Err;
+  if (!serviceRequest(Socket, Json, Reply, &Err, TimeoutMs)) {
+    std::fprintf(stderr, "error: [io-error] %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", Reply.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -476,11 +474,15 @@ int main(int Argc, char **Argv) {
     return cmdCensus();
   if (Cmd == "file")
     return cmdFile(Argc, Argv);
+  if (Cmd == "serve")
+    return cmdServe(Argc, Argv);
+  if (Cmd == "request")
+    return cmdRequest(Argc, Argv);
   if (Argc < 3)
     return usage();
 
-  auto It = registry().find(Argv[2]);
-  if (It == registry().end()) {
+  auto It = benchRegistry().find(Argv[2]);
+  if (It == benchRegistry().end()) {
     std::fprintf(stderr, "unknown benchmark '%s'; try 'shackle list'\n",
                  Argv[2]);
     return 1;
@@ -678,7 +680,43 @@ int main(int Argc, char **Argv) {
         Opts.TaskLevel = static_cast<unsigned>(L);
       }
     }
-    ParallelPlan Plan = ParallelPlan::build(P, Chain, Params, Opts);
+    // Offline persisted-plan reuse: route the build through a PlanCache
+    // primed from --plan-cache=PATH. A warm hit revives the persisted plan
+    // and skips legality, simplification, and DAG construction entirely.
+    std::string CachePath = flagString(Argc, Argv, "plan-cache");
+    std::unique_ptr<ParallelPlan> OwnedPlan;
+    std::shared_ptr<const CachedPlan> Cached;
+    if (!CachePath.empty()) {
+      PlanCache PC;
+      Status Loaded = PC.loadSnapshot(CachePath);
+      if (!Loaded.ok())
+        std::fprintf(stderr, "%s\n", Loaded.diagnostic().Message.c_str());
+      unsigned KeyLevel =
+          Opts.AutoTaskLevel ? PlanKeyAutoTaskLevel : Opts.TaskLevel;
+      PlanKey Key =
+          makePlanKey(P, Chain, Params, KeyLevel, detectMachineShape());
+      // Non-owning alias: the benchmark Program outlives this command, and
+      // the cache dies with it.
+      std::shared_ptr<const Program> ProgRef(&P, [](const Program *) {});
+      PlanCache::Outcome Out = PC.getOrBuild(Key, ProgRef, [&] {
+        return ParallelPlan::build(P, Chain, Params, Opts);
+      });
+      if (!Out.Plan) {
+        std::fprintf(stderr, "plan-cache: build failed: %s\n",
+                     Out.Error.c_str());
+        return 1;
+      }
+      std::printf("plan-cache: %s %s\n", Out.Hit ? "hit" : "miss",
+                  Key.str().c_str());
+      Status Saved = PC.saveSnapshot(CachePath);
+      if (!Saved.ok())
+        std::fprintf(stderr, "%s\n", Saved.diagnostic().str().c_str());
+      Cached = Out.Plan;
+    } else {
+      OwnedPlan = std::make_unique<ParallelPlan>(
+          ParallelPlan::build(P, Chain, Params, Opts));
+    }
+    const ParallelPlan &Plan = Cached ? Cached->Plan : *OwnedPlan;
     for (const Diagnostic &D : Plan.diags())
       std::fprintf(stderr, "%s\n", D.str().c_str());
     std::printf("plan: %s\n", Plan.summary().c_str());
