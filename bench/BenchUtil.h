@@ -198,6 +198,21 @@ inline void setServiceStats(benchmark::State &St, double Hits, double Misses,
   St.counters["req_per_s"] = benchmark::Counter(ReqPerS);
 }
 
+/// Tags a saturation benchmark with the admission-control telemetry behind
+/// one offered-load point (DESIGN.md §14): requests shed with `overloaded`,
+/// requests whose deadline expired, the p95 latency over *accepted*
+/// requests only (shed replies return in microseconds and would flatter the
+/// tail), and goodput — ok replies per second, the number that stays flat
+/// past the knee when load shedding works.
+inline void setSaturationStats(benchmark::State &St, double Shed,
+                               double DeadlineExpired, double AcceptedP95Us,
+                               double GoodputReqS) {
+  St.counters["shed"] = benchmark::Counter(Shed);
+  St.counters["deadline_expired"] = benchmark::Counter(DeadlineExpired);
+  St.counters["accepted_p95_us"] = benchmark::Counter(AcceptedP95Us);
+  St.counters["goodput_req_s"] = benchmark::Counter(GoodputReqS);
+}
+
 /// Tags a benchmark with cache-simulation miss counts accumulated over the
 /// per-worker traces of a parallel run (see WorkerTraces).
 inline void setWorkerMissStats(benchmark::State &St, double L1Misses,
@@ -230,6 +245,9 @@ public:
     /// Plan-cache service telemetry (0 unless set via setServiceStats).
     int64_t Hits = 0, Misses = 0, Coalesced = 0, SolverSaved = 0;
     double ReqPerS = 0.0;
+    /// Admission-control telemetry (0 unless set via setSaturationStats).
+    int64_t Shed = 0, DeadlineExpired = 0;
+    double AcceptedP95Us = 0.0, GoodputReqS = 0.0;
   };
   std::vector<Record> Records;
 
@@ -275,6 +293,16 @@ public:
         auto It = R.counters.find("req_per_s");
         Rec.ReqPerS = It == R.counters.end() ? 0.0 : It->second.value;
       }
+      Rec.Shed = Counter("shed");
+      Rec.DeadlineExpired = Counter("deadline_expired");
+      {
+        auto It = R.counters.find("accepted_p95_us");
+        Rec.AcceptedP95Us = It == R.counters.end() ? 0.0 : It->second.value;
+      }
+      {
+        auto It = R.counters.find("goodput_req_s");
+        Rec.GoodputReqS = It == R.counters.end() ? 0.0 : It->second.value;
+      }
       Rec.NsPerIter = R.real_accumulated_time /
                       static_cast<double>(R.iterations) * 1e9;
       Records.push_back(std::move(Rec));
@@ -312,7 +340,9 @@ inline bool writeJsonRecords(const char *Path,
                  "\"faults_injected\": %lld, \"retries\": %lld, "
                  "\"degraded\": %lld, "
                  "\"hits\": %lld, \"misses\": %lld, \"coalesced\": %lld, "
-                 "\"solver_saved\": %lld, \"req_per_s\": %.1f}%s\n",
+                 "\"solver_saved\": %lld, \"req_per_s\": %.1f, "
+                 "\"shed\": %lld, \"deadline_expired\": %lld, "
+                 "\"accepted_p95_us\": %.1f, \"goodput_req_s\": %.1f}%s\n",
                  jsonEscape(Rs[I].Name).c_str(),
                  static_cast<long long>(Rs[I].N),
                  static_cast<long long>(Rs[I].Block),
@@ -331,6 +361,9 @@ inline bool writeJsonRecords(const char *Path,
                  static_cast<long long>(Rs[I].Misses),
                  static_cast<long long>(Rs[I].Coalesced),
                  static_cast<long long>(Rs[I].SolverSaved), Rs[I].ReqPerS,
+                 static_cast<long long>(Rs[I].Shed),
+                 static_cast<long long>(Rs[I].DeadlineExpired),
+                 Rs[I].AcceptedP95Us, Rs[I].GoodputReqS,
                  I + 1 < Rs.size() ? "," : "");
   std::fprintf(F, "]\n");
   std::fclose(F);

@@ -1,0 +1,232 @@
+//===- Admission.cpp - Overload-safe request admission ------------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace shackle;
+
+JsonValue shackle::serviceErrorReply(const std::string &Code,
+                                     const std::string &Message) {
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(false));
+  R.set("code", JsonValue::string(Code));
+  R.set("error", JsonValue::string(Message));
+  return R;
+}
+
+AdmissionController::AdmissionController(ServiceCore &Core,
+                                         AdmissionOptions O)
+    : Core(Core), Opts(O) {
+  if (Opts.MaxInflight == 0)
+    Opts.MaxInflight = 1;
+  Workers.reserve(Opts.MaxInflight);
+  for (unsigned I = 0; I < Opts.MaxInflight; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+AdmissionController::~AdmissionController() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Draining = true;
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void AdmissionController::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Ticket> T;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCV.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and nothing left to finish.
+      T = std::move(Queue.front());
+      Queue.pop_front();
+      ++Inflight;
+    }
+
+    auto Start = std::chrono::steady_clock::now();
+    JsonValue Reply = Core.handle(T->Req);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+    bool WasAbandoned;
+    {
+      std::lock_guard<std::mutex> Lock(T->M);
+      T->Done = true;
+      T->Reply = Reply.str();
+      WasAbandoned = T->Abandoned;
+    }
+    T->CV.notify_all();
+
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --Inflight;
+      ++Completed;
+      if (WasAbandoned)
+        ++Abandoned;
+      EwmaMs = EwmaMs == 0 ? Ms : 0.8 * EwmaMs + 0.2 * Ms;
+      if (Queue.empty() && Inflight == 0)
+        IdleCV.notify_all();
+    }
+  }
+}
+
+uint64_t AdmissionController::retryAfterMs() const {
+  std::lock_guard<std::mutex> Lock(M);
+  double PerSlot = EwmaMs > 0 ? EwmaMs : 10.0;
+  double Backlog = static_cast<double>(Queue.size() + Inflight + 1);
+  double Est = PerSlot * Backlog / static_cast<double>(Opts.MaxInflight);
+  return static_cast<uint64_t>(std::min(30000.0, std::max(1.0, Est)));
+}
+
+std::string AdmissionController::process(const std::string &Line) {
+  JsonValue Req;
+  std::string Err;
+  if (!parseJson(Line, Req, &Err))
+    return serviceErrorReply("parse-error", Err).str();
+  if (!Req.isObject())
+    return serviceErrorReply("parse-error", "request must be a JSON object")
+        .str();
+
+  std::string Op = Req.getString("op");
+  if (Op != "compile" && Op != "run") {
+    // Control ops bypass the queue: stats and shutdown must stay
+    // responsive exactly when the pool is saturated. Usage errors are
+    // cheap to answer and would only waste queue capacity.
+    JsonValue Reply = Core.handle(Req);
+    if (Op == "stats")
+      mergeStats(Reply);
+    return Reply.str();
+  }
+
+  // The effective deadline: the daemon default, tightened (never loosened)
+  // by a client-supplied deadline_ms.
+  uint64_t DeadlineMs = Opts.RequestDeadlineMs;
+  int64_t ClientDeadline = Req.getInt("deadline_ms", 0);
+  if (ClientDeadline > 0)
+    DeadlineMs = DeadlineMs == 0
+                     ? static_cast<uint64_t>(ClientDeadline)
+                     : std::min(DeadlineMs,
+                                static_cast<uint64_t>(ClientDeadline));
+
+  auto T = std::make_shared<Ticket>();
+  T->Req = std::move(Req);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Draining) {
+      ++Shed;
+      return serviceErrorReply("draining",
+                               "server is draining and not admitting new "
+                               "requests; retry against a fresh instance")
+          .str();
+    }
+    if (Queue.size() + Inflight >= Opts.MaxInflight + Opts.QueueDepth) {
+      ++Shed;
+      // Compute the hint inline (retryAfterMs() would re-lock M).
+      double PerSlot = EwmaMs > 0 ? EwmaMs : 10.0;
+      double Backlog = static_cast<double>(Queue.size() + Inflight + 1);
+      uint64_t RetryMs = static_cast<uint64_t>(std::min(
+          30000.0,
+          std::max(1.0, PerSlot * Backlog /
+                            static_cast<double>(Opts.MaxInflight))));
+      JsonValue R = serviceErrorReply(
+          "overloaded", "server at capacity (" +
+                            std::to_string(Inflight) + " in flight, " +
+                            std::to_string(Queue.size()) + " queued)");
+      R.set("retry_after_ms",
+            JsonValue::integer(static_cast<int64_t>(RetryMs)));
+      return R.str();
+    }
+    Queue.push_back(T);
+    ++Admitted;
+    QueuePeak = std::max<uint64_t>(QueuePeak, Queue.size());
+  }
+  WorkCV.notify_one();
+
+  std::unique_lock<std::mutex> TLock(T->M);
+  if (DeadlineMs == 0) {
+    T->CV.wait(TLock, [&] { return T->Done; });
+    return T->Reply;
+  }
+  if (!T->CV.wait_for(TLock, std::chrono::milliseconds(DeadlineMs),
+                      [&] { return T->Done; })) {
+    // The waiter leaves; the worker still completes the build so the
+    // plan-cache entry lands for future hits (DESIGN.md §14).
+    T->Abandoned = true;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++DeadlineExpired;
+    }
+    JsonValue R = serviceErrorReply(
+        "deadline-exceeded",
+        "request exceeded its " + std::to_string(DeadlineMs) +
+            "ms deadline; the compilation continues in the background "
+            "and will be cached");
+    R.set("deadline_ms",
+          JsonValue::integer(static_cast<int64_t>(DeadlineMs)));
+    return R.str();
+  }
+  return T->Reply;
+}
+
+void AdmissionController::drain() {
+  std::unique_lock<std::mutex> Lock(M);
+  Draining = true;
+  IdleCV.wait(Lock, [&] { return Queue.empty() && Inflight == 0; });
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  AdmissionStats S;
+  S.Admitted = Admitted;
+  S.Shed = Shed;
+  S.DeadlineExpired = DeadlineExpired;
+  S.Completed = Completed;
+  S.Abandoned = Abandoned;
+  S.QueuePeak = QueuePeak;
+  S.QueuedNow = Queue.size();
+  S.InflightNow = Inflight;
+  S.EwmaMs = EwmaMs;
+  return S;
+}
+
+void AdmissionController::mergeStats(JsonValue &Reply) const {
+  AdmissionStats S = stats();
+  Reply.set("admitted", JsonValue::integer(static_cast<int64_t>(S.Admitted)));
+  Reply.set("shed", JsonValue::integer(static_cast<int64_t>(S.Shed)));
+  Reply.set("deadline_expired",
+            JsonValue::integer(static_cast<int64_t>(S.DeadlineExpired)));
+  Reply.set("queue_peak",
+            JsonValue::integer(static_cast<int64_t>(S.QueuePeak)));
+  Reply.set("queued", JsonValue::integer(static_cast<int64_t>(S.QueuedNow)));
+  Reply.set("inflight",
+            JsonValue::integer(static_cast<int64_t>(S.InflightNow)));
+}
+
+std::string AdmissionController::statsLine() const {
+  AdmissionStats S = stats();
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "admission: admitted=%llu shed=%llu deadline-expired=%llu "
+                "completed=%llu abandoned=%llu queue-peak=%llu ewma=%.2fms",
+                static_cast<unsigned long long>(S.Admitted),
+                static_cast<unsigned long long>(S.Shed),
+                static_cast<unsigned long long>(S.DeadlineExpired),
+                static_cast<unsigned long long>(S.Completed),
+                static_cast<unsigned long long>(S.Abandoned),
+                static_cast<unsigned long long>(S.QueuePeak), S.EwmaMs);
+  return Buf;
+}

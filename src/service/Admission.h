@@ -1,0 +1,149 @@
+//===- Admission.h - Overload-safe request admission ------------*- C++ -*-===//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission layer between connection I/O and request execution
+/// (DESIGN.md §14). Connection threads hand request lines to process() and
+/// block for the reply; the actual compile/run work happens on a bounded
+/// worker pool fed from a bounded queue, so the daemon's concurrency and
+/// memory footprint stay fixed no matter how many clients pile on:
+///
+///   * At most MaxInflight requests execute at once; at most QueueDepth
+///     more wait. Anything beyond that is *shed* immediately with a
+///     structured `{"ok":false,"code":"overloaded","retry_after_ms":R}`
+///     reply — the server never queues without bound and never stalls a
+///     client silently.
+///   * Per-request deadlines (the daemon-wide RequestDeadlineMs default
+///     and/or a client-supplied `deadline_ms` field) bound how long a
+///     client waits for queue + execution. An expired request gets a
+///     structured `deadline-exceeded` reply, but the work itself still
+///     completes on the worker so the plan-cache entry lands for future
+///     hits — the cost is paid once, just not waited on twice.
+///   * drain() stops admitting (new requests shed with code "draining"),
+///     waits for every queued and in-flight request to finish, and leaves
+///     the pool idle — the SIGTERM/shutdown path.
+///
+/// Cheap control ops (stats, shutdown) and request-line parse errors bypass
+/// the queue entirely: they must stay responsive precisely when the pool is
+/// saturated. The stats reply is augmented with the admission counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHACKLE_SERVICE_ADMISSION_H
+#define SHACKLE_SERVICE_ADMISSION_H
+
+#include "service/Service.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace shackle {
+
+struct AdmissionOptions {
+  /// Worker threads executing compile/run requests (the execution cap).
+  unsigned MaxInflight = 4;
+  /// Requests allowed to wait beyond the executing ones; the (queue +
+  /// inflight) total is capped at MaxInflight + QueueDepth. 0 means "shed
+  /// whenever every worker is busy".
+  unsigned QueueDepth = 64;
+  /// Daemon-wide deadline applied to every compile/run request; 0 = none.
+  /// A client `deadline_ms` field tightens (never loosens) this.
+  uint64_t RequestDeadlineMs = 0;
+};
+
+struct AdmissionStats {
+  uint64_t Admitted = 0;        ///< Requests that entered the queue.
+  uint64_t Shed = 0;            ///< Rejected with `overloaded`/`draining`.
+  uint64_t DeadlineExpired = 0; ///< Waiters that got a timeout reply.
+  uint64_t Completed = 0;       ///< Worker executions finished.
+  uint64_t Abandoned = 0;       ///< Completions whose waiter had expired.
+  uint64_t QueuePeak = 0;       ///< High-water mark of the wait queue.
+  uint64_t QueuedNow = 0;
+  uint64_t InflightNow = 0;
+  double EwmaMs = 0;            ///< Smoothed per-request execution time.
+};
+
+/// Builds the uniform structured error reply the overload paths use
+/// (Server.cpp shares it for connection-level errors).
+JsonValue serviceErrorReply(const std::string &Code,
+                            const std::string &Message);
+
+class AdmissionController {
+public:
+  /// Starts Opts.MaxInflight workers. \p Core must outlive the controller.
+  explicit AdmissionController(ServiceCore &Core,
+                               AdmissionOptions Opts = AdmissionOptions());
+  /// Drains and joins the pool; queued work is completed, not dropped.
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController &) = delete;
+  AdmissionController &operator=(const AdmissionController &) = delete;
+
+  /// Handles one request line end to end: parse, admit (or shed), wait for
+  /// the reply up to the request's deadline. Always returns one reply
+  /// document; never throws. Safe to call from many connection threads.
+  std::string process(const std::string &Line);
+
+  /// Stops admitting (subsequent requests shed with code "draining") and
+  /// blocks until every queued and in-flight request has completed.
+  /// Idempotent; the workers stay alive (the destructor joins them).
+  void drain();
+
+  /// The shed hint in milliseconds: roughly how long until a queue slot
+  /// frees up, from the smoothed execution time and the current backlog.
+  uint64_t retryAfterMs() const;
+
+  AdmissionStats stats() const;
+  /// One-line `admission:` summary for the CLI exit report.
+  std::string statsLine() const;
+
+private:
+  struct Ticket {
+    JsonValue Req;
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    bool Abandoned = false; ///< The waiter gave up (deadline expired).
+    std::string Reply;
+  };
+
+  void workerLoop();
+  /// Appends the admission counters to a `stats` op reply.
+  void mergeStats(JsonValue &Reply) const;
+
+  ServiceCore &Core;
+  AdmissionOptions Opts;
+
+  mutable std::mutex M;
+  std::condition_variable WorkCV; ///< Workers wait for queued tickets.
+  std::condition_variable IdleCV; ///< drain() waits for quiescence.
+  std::deque<std::shared_ptr<Ticket>> Queue;
+  unsigned Inflight = 0;
+  bool Draining = false;
+  bool Stopping = false;
+
+  // Counters (guarded by M; read via stats()).
+  uint64_t Admitted = 0;
+  uint64_t Shed = 0;
+  uint64_t DeadlineExpired = 0;
+  uint64_t Completed = 0;
+  uint64_t Abandoned = 0;
+  uint64_t QueuePeak = 0;
+  double EwmaMs = 0; ///< 0 until the first completion.
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace shackle
+
+#endif // SHACKLE_SERVICE_ADMISSION_H

@@ -8,6 +8,7 @@
 #include "service/PlanSerdes.h"
 
 #include "support/Checksum.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstring>
@@ -498,6 +499,22 @@ Status shackle::saveSnapshotFile(const std::string &Path,
   if (!F)
     return Status::error(DiagCode::IOError,
                          "[service-cache] cannot write snapshot " + Tmp);
+  // Service chaos: a failed or truncated tmp-file write must leave the
+  // previous snapshot at Path untouched — only a complete tmp file is ever
+  // renamed over it.
+  if (int Mode = injectSnapshotWriteFail()) {
+    if (Mode == 2)
+      std::fwrite(W.Buf.data(), 1, W.Buf.size() / 2, F);
+    std::fclose(F);
+    std::remove(Tmp.c_str());
+    return Status::error(DiagCode::IOError,
+                         Mode == 1
+                             ? "[service-cache] cannot write snapshot " +
+                                   Tmp + ": no space left on device "
+                                         "(injected)"
+                             : "[service-cache] short write to snapshot " +
+                                   Tmp + " (injected)");
+  }
   std::size_t Wrote = std::fwrite(W.Buf.data(), 1, W.Buf.size(), F);
   bool CloseOk = std::fclose(F) == 0;
   if (Wrote != W.Buf.size() || !CloseOk) {

@@ -7,10 +7,13 @@
 
 #include "service/Server.h"
 
+#include "support/FaultInjector.h"
+
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -40,6 +43,14 @@ bool sendAll(int Fd, const char *Data, size_t Len) {
   return true;
 }
 
+/// Sends one structured error reply line; best-effort (the peer may be
+/// gone, which is fine — the connection is closing anyway).
+void sendErrorLine(int Fd, JsonValue Reply) {
+  std::string Line = Reply.str();
+  Line += '\n';
+  sendAll(Fd, Line.data(), Line.size());
+}
+
 bool fillSockaddr(const std::string &Path, sockaddr_un &Addr) {
   if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
     return false;
@@ -49,23 +60,69 @@ bool fillSockaddr(const std::string &Path, sockaddr_un &Addr) {
   return true;
 }
 
+/// SplitMix64 finalizer for deterministic retry jitter.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
 } // namespace
 
 struct ServiceServer::Impl {
+  Impl(ServiceCore &Core, const AdmissionOptions &AOpts)
+      : Admission(Core, AOpts) {}
+
+  AdmissionController Admission;
   std::atomic<bool> Stop{false};
-  std::mutex ThreadsM;
-  std::vector<std::thread> Threads;
   std::atomic<uint64_t> Connections{0};
+  std::atomic<unsigned> LiveConns{0};
+  std::atomic<uint64_t> Autosaves{0};
+
+  struct Conn {
+    std::thread T;
+    std::shared_ptr<std::atomic<bool>> Done;
+  };
+  std::mutex ConnsM;
+  std::vector<Conn> Conns;
+
+  /// Joins every finished connection thread (\p All joins the live ones
+  /// too — only safe once the draining predicate is visible to them).
+  void reapConns(bool All) {
+    std::vector<std::thread> Join;
+    {
+      std::lock_guard<std::mutex> Lock(ConnsM);
+      for (size_t I = 0; I < Conns.size();) {
+        if (All || Conns[I].Done->load(std::memory_order_acquire)) {
+          Join.push_back(std::move(Conns[I].T));
+          Conns.erase(Conns.begin() + I);
+        } else {
+          ++I;
+        }
+      }
+    }
+    for (std::thread &T : Join)
+      T.join();
+  }
 };
 
-ServiceServer::ServiceServer(ServiceCore &Core, std::string SocketPath)
-    : Core(Core), SocketPath(std::move(SocketPath)), State(new Impl) {}
+ServiceServer::ServiceServer(ServiceCore &Core, std::string SocketPath,
+                             ServerOptions Opts)
+    : Core(Core), SocketPath(std::move(SocketPath)), Opts(Opts),
+      State(new Impl(Core, Opts.Admission)) {}
 
 ServiceServer::~ServiceServer() {
   if (ListenFd >= 0)
     ::close(ListenFd);
   delete State;
 }
+
+const AdmissionController &ServiceServer::admission() const {
+  return State->Admission;
+}
+
+uint64_t ServiceServer::autosaves() const { return State->Autosaves.load(); }
 
 Status ServiceServer::start() {
   sockaddr_un Addr;
@@ -94,27 +151,88 @@ Status ServiceServer::start() {
 void ServiceServer::stop() { State->Stop.store(true); }
 
 uint64_t ServiceServer::serve() {
-  auto Draining = [&] {
+  auto Draining = [this] {
     return Core.shutdownRequested() || State->Stop.load();
   };
 
-  auto Connection = [this, Draining](int Fd) {
+  // Periodic snapshot autosave: a crash then loses at most one interval of
+  // cache warmth instead of the whole uptime (the shutdown-path save
+  // becomes a final flush, not the only persistence point).
+  std::thread Autosaver;
+  if (Opts.SnapshotIntervalS > 0 && !Core.options().SnapshotPath.empty()) {
+    Autosaver = std::thread([this, Draining] {
+      auto Last = std::chrono::steady_clock::now();
+      while (!Draining()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        auto Now = std::chrono::steady_clock::now();
+        if (Now - Last < std::chrono::seconds(Opts.SnapshotIntervalS))
+          continue;
+        Last = Now;
+        Status S = Core.saveSnapshot();
+        if (S.ok())
+          State->Autosaves.fetch_add(1);
+        else
+          std::fprintf(stderr, "%s\n", S.diagnostic().str().c_str());
+      }
+    });
+  }
+
+  auto Connection = [this, Draining](int Fd, uint64_t ConnIdx,
+                                     std::shared_ptr<std::atomic<bool>>
+                                         Done) {
     std::string Buf;
     char Chunk[4096];
-    while (!Draining()) {
+    auto LastActivity = std::chrono::steady_clock::now();
+    bool Close = false;
+    while (!Close && !Draining()) {
       pollfd P{Fd, POLLIN, 0};
       int R = ::poll(&P, 1, 100);
       if (R < 0 && errno != EINTR)
         break;
-      if (R <= 0)
+      if (R <= 0) {
+        if (Opts.IdleTimeoutMs > 0 &&
+            std::chrono::steady_clock::now() - LastActivity >
+                std::chrono::milliseconds(Opts.IdleTimeoutMs)) {
+          sendErrorLine(Fd, serviceErrorReply(
+                                "idle-timeout",
+                                "connection idle for more than " +
+                                    std::to_string(Opts.IdleTimeoutMs) +
+                                    "ms; closing"));
+          break;
+        }
         continue;
+      }
       ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
       if (N <= 0)
         break; // EOF or error: client is done.
+      LastActivity = std::chrono::steady_clock::now();
       Buf.append(Chunk, static_cast<size_t>(N));
       size_t Start = 0, Nl;
       while ((Nl = Buf.find('\n', Start)) != std::string::npos) {
-        std::string Reply = Core.handleLine(Buf.substr(Start, Nl - Start));
+        if (Nl - Start > Opts.MaxLineBytes) {
+          sendErrorLine(Fd, [this] {
+            JsonValue R = serviceErrorReply(
+                "line-too-long",
+                "request line exceeds " +
+                    std::to_string(Opts.MaxLineBytes) +
+                    " bytes; closing connection");
+            R.set("max_line_bytes",
+                  JsonValue::integer(
+                      static_cast<int64_t>(Opts.MaxLineBytes)));
+            return R;
+          }());
+          Close = true;
+          break;
+        }
+        if (injectConnKill(ConnIdx)) {
+          // Service chaos: the connection dies mid-request, after the
+          // request arrived but before any reply. The client sees a
+          // clean close; the daemon must stay healthy.
+          Close = true;
+          break;
+        }
+        std::string Reply = State->Admission.process(
+            Buf.substr(Start, Nl - Start));
         Reply += '\n';
         if (!sendAll(Fd, Reply.data(), Reply.size())) {
           Start = Buf.size();
@@ -122,9 +240,27 @@ uint64_t ServiceServer::serve() {
         }
         Start = Nl + 1;
       }
+      if (Close)
+        break;
       Buf.erase(0, Start);
+      // A buffered partial line may never see its newline (a hostile or
+      // broken client streaming bytes forever): cap it.
+      if (Buf.size() > Opts.MaxLineBytes) {
+        sendErrorLine(Fd, [this] {
+          JsonValue R = serviceErrorReply(
+              "line-too-long",
+              "request line exceeds " + std::to_string(Opts.MaxLineBytes) +
+                  " bytes without a newline; closing connection");
+          R.set("max_line_bytes",
+                JsonValue::integer(static_cast<int64_t>(Opts.MaxLineBytes)));
+          return R;
+        }());
+        break;
+      }
     }
     ::close(Fd);
+    State->LiveConns.fetch_sub(1);
+    Done->store(true, std::memory_order_release);
   };
 
   while (!Draining()) {
@@ -132,35 +268,55 @@ uint64_t ServiceServer::serve() {
     int R = ::poll(&P, 1, 100);
     if (R < 0 && errno != EINTR)
       break;
+    State->reapConns(false);
     if (R <= 0)
       continue;
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
-    State->Connections.fetch_add(1);
-    std::lock_guard<std::mutex> Lock(State->ThreadsM);
-    State->Threads.emplace_back(Connection, Fd);
+    if (State->LiveConns.load() >= Opts.MaxConnections) {
+      // Connection cap: answer with the same structured shed reply the
+      // admission layer uses, then close — no thread is spent on it.
+      JsonValue Reply = serviceErrorReply(
+          "overloaded", "connection limit (" +
+                            std::to_string(Opts.MaxConnections) +
+                            ") reached");
+      Reply.set("retry_after_ms",
+                JsonValue::integer(static_cast<int64_t>(
+                    State->Admission.retryAfterMs())));
+      sendErrorLine(Fd, std::move(Reply));
+      ::close(Fd);
+      continue;
+    }
+    uint64_t ConnIdx = State->Connections.fetch_add(1);
+    State->LiveConns.fetch_add(1);
+    auto Done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> Lock(State->ConnsM);
+    State->Conns.push_back(
+        {std::thread(Connection, Fd, ConnIdx, Done), Done});
   }
 
-  // Every connection thread polls the same draining predicate, so this
-  // join terminates within one poll interval of shutdown.
-  std::vector<std::thread> Threads;
-  {
-    std::lock_guard<std::mutex> Lock(State->ThreadsM);
-    Threads.swap(State->Threads);
-  }
-  for (std::thread &T : Threads)
-    T.join();
+  // Graceful drain: no new connections (the loop above has exited), no new
+  // admissions; everything queued or in flight finishes and its reply is
+  // flushed by the still-running connection threads, which then observe
+  // the draining predicate and exit within one poll interval.
+  State->Admission.drain();
+  State->reapConns(true);
+  if (Autosaver.joinable())
+    Autosaver.join();
   ::close(ListenFd);
   ListenFd = -1;
   ::unlink(SocketPath.c_str());
   return State->Connections.load();
 }
 
-bool shackle::serviceRequest(const std::string &SocketPath,
-                             const std::string &RequestLine,
-                             std::string &ReplyLine, std::string *Err,
-                             unsigned TimeoutMs) {
+namespace {
+
+/// One connect-send-receive round against the daemon. Factored out so the
+/// retrying wrapper below can re-send on `overloaded`.
+bool requestOnce(const std::string &SocketPath,
+                 const std::string &RequestLine, std::string &ReplyLine,
+                 std::string *Err, unsigned TimeoutMs) {
   sockaddr_un Addr;
   if (!fillSockaddr(SocketPath, Addr)) {
     if (Err)
@@ -198,7 +354,26 @@ bool shackle::serviceRequest(const std::string &SocketPath,
   std::string Req = RequestLine;
   if (Req.empty() || Req.back() != '\n')
     Req += '\n';
-  if (!sendAll(Fd, Req.data(), Req.size())) {
+
+  // Service chaos: a drip-feeding client sends its request a few bytes at
+  // a time with pauses, exercising the server's split-read reassembly and
+  // idle accounting.
+  uint64_t DripBytes = 0, DripMs = 0;
+  bool Sent;
+  if (injectClientDrip(DripBytes, DripMs)) {
+    Sent = true;
+    for (size_t Off = 0; Off < Req.size() && Sent;
+         Off += static_cast<size_t>(DripBytes)) {
+      size_t Len = std::min(static_cast<size_t>(DripBytes),
+                            Req.size() - Off);
+      Sent = sendAll(Fd, Req.data() + Off, Len);
+      if (DripMs > 0 && Off + Len < Req.size())
+        std::this_thread::sleep_for(std::chrono::milliseconds(DripMs));
+    }
+  } else {
+    Sent = sendAll(Fd, Req.data(), Req.size());
+  }
+  if (!Sent) {
     if (Err)
       *Err = std::string("send: ") + std::strerror(errno);
     ::close(Fd);
@@ -231,5 +406,53 @@ bool shackle::serviceRequest(const std::string &SocketPath,
     }
   }
   ::close(Fd);
+  return true;
+}
+
+} // namespace
+
+bool shackle::serviceRequest(const std::string &SocketPath,
+                             const std::string &RequestLine,
+                             std::string &ReplyLine, std::string *Err,
+                             unsigned TimeoutMs) {
+  ServiceRequestOptions Opts;
+  Opts.TimeoutMs = TimeoutMs;
+  return serviceRequest(SocketPath, RequestLine, ReplyLine, Err, Opts);
+}
+
+bool shackle::serviceRequest(const std::string &SocketPath,
+                             const std::string &RequestLine,
+                             std::string &ReplyLine, std::string *Err,
+                             const ServiceRequestOptions &Opts) {
+  unsigned Retries = 0;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (!requestOnce(SocketPath, RequestLine, ReplyLine, Err,
+                     Opts.TimeoutMs)) {
+      if (Opts.RetriesOut)
+        *Opts.RetriesOut = Retries;
+      return false;
+    }
+    if (Attempt >= Opts.MaxRetries)
+      break;
+    JsonValue Reply;
+    std::string ParseErr;
+    if (!parseJson(ReplyLine, Reply, &ParseErr) ||
+        Reply.getString("code") != "overloaded")
+      break; // Anything but a shed reply is final.
+    // Exponential backoff with deterministic jitter, honoring the
+    // server's retry_after_ms as a floor: the server knows its backlog
+    // better than any client-side schedule.
+    uint64_t Hint = static_cast<uint64_t>(
+        std::max<int64_t>(0, Reply.getInt("retry_after_ms", 0)));
+    uint64_t Backoff = Opts.BackoffBaseMs << std::min(Attempt, 20u);
+    Backoff = std::min(Backoff, Opts.BackoffMaxMs);
+    uint64_t Jittered =
+        Backoff / 2 + mix64(Opts.Seed ^ (Attempt + 1)) % (Backoff / 2 + 1);
+    uint64_t DelayMs = std::max(Hint, Jittered);
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    ++Retries;
+  }
+  if (Opts.RetriesOut)
+    *Opts.RetriesOut = Retries;
   return true;
 }

@@ -8,31 +8,67 @@
 /// \file
 /// The daemon transport: a stream Unix-domain socket speaking newline-
 /// delimited JSON (one request per line, one reply line per request;
-/// docs/SERVE.md). Each accepted connection gets its own thread that feeds
-/// lines to the shared ServiceCore — which is where all concurrency control
-/// (single-flight plan cache, verdict cache) lives — so N clients pipeline
-/// freely. The accept loop polls with a short timeout and exits once the
-/// core has accepted a shutdown request; connection threads watch the same
-/// flag, so serve() always joins everything before returning.
+/// docs/SERVE.md). Each accepted connection gets its own I/O thread that
+/// feeds complete lines to the shared AdmissionController — connection I/O
+/// is decoupled from request execution, which happens on the controller's
+/// bounded worker pool (Admission.h), so a flood of clients saturates into
+/// structured `overloaded` replies instead of unbounded threads and memory.
+///
+/// Connection hygiene (DESIGN.md §14): request lines are capped at
+/// MaxLineBytes (a newline-free stream gets one `line-too-long` reply and
+/// the connection closes), idle connections time out after IdleTimeoutMs,
+/// and at most MaxConnections clients are served at once (excess
+/// connections get one `overloaded` reply and close). Finished connection
+/// threads are reaped continuously, so a long-lived daemon's thread count
+/// stays bounded by the connection cap.
+///
+/// Shutdown is a graceful drain: once the core accepts a shutdown request
+/// or stop() is called (the CLI's SIGTERM/SIGINT hook), the server stops
+/// accepting, drains the admission queue (in-flight requests finish or
+/// deadline-expire, their replies are flushed), joins every thread, and
+/// returns — after which the CLI writes the final snapshot and exits 0.
+/// With SnapshotIntervalS > 0 a background thread also autosaves the plan
+/// cache periodically (atomic tmp+rename), so a crash loses at most one
+/// interval of cache warmth.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHACKLE_SERVICE_SERVER_H
 #define SHACKLE_SERVICE_SERVER_H
 
+#include "service/Admission.h"
 #include "service/Service.h"
 #include "support/Diagnostics.h"
 
+#include <cstdint>
 #include <string>
 
 namespace shackle {
+
+struct ServerOptions {
+  AdmissionOptions Admission;
+  /// Longest accepted request line; beyond it the connection gets a
+  /// structured `line-too-long` reply and closes.
+  uint64_t MaxLineBytes = 1ull << 20;
+  /// Connections with no traffic for this long get a structured
+  /// `idle-timeout` reply and close; 0 disables the timeout.
+  uint64_t IdleTimeoutMs = 0;
+  /// Concurrent-connection cap; excess connections are told `overloaded`
+  /// (with retry_after_ms) and closed without a serving thread.
+  unsigned MaxConnections = 256;
+  /// Autosave the plan-cache snapshot every this many seconds (0 = only
+  /// the final save at shutdown). No-op when the core has no snapshot
+  /// path.
+  uint64_t SnapshotIntervalS = 0;
+};
 
 class ServiceServer {
 public:
   /// \p Core must outlive the server. \p SocketPath is created on start()
   /// (a stale file from a dead server is replaced) and unlinked when
   /// serve() returns.
-  ServiceServer(ServiceCore &Core, std::string SocketPath);
+  ServiceServer(ServiceCore &Core, std::string SocketPath,
+                ServerOptions Opts = ServerOptions());
   ~ServiceServer();
 
   ServiceServer(const ServiceServer &) = delete;
@@ -42,20 +78,41 @@ public:
   Status start();
 
   /// Accepts and serves connections until the core accepts a shutdown
-  /// request (or stop() is called), then joins every connection thread and
-  /// removes the socket file. Returns the number of connections served.
+  /// request (or stop() is called), then drains the admission queue, joins
+  /// every connection thread, and removes the socket file. Returns the
+  /// number of connections served.
   uint64_t serve();
 
   /// Asks serve() to wind down from another thread (tests, signal hooks).
+  /// Only performs an atomic store — safe to call from a signal handler.
   void stop();
+
+  const AdmissionController &admission() const;
+  /// Snapshot autosaves performed so far (successful ones).
+  uint64_t autosaves() const;
 
 private:
   ServiceCore &Core;
   std::string SocketPath;
+  ServerOptions Opts;
   int ListenFd = -1;
   // Defined in the .cpp to keep <thread>/<atomic> plumbing private.
   struct Impl;
   Impl *State;
+};
+
+/// Options for serviceRequest. Retries fire only on `overloaded` replies:
+/// the client honors the server's retry_after_ms hint as a floor under an
+/// exponential-backoff-with-jitter schedule (deterministic per Seed), up to
+/// MaxRetries re-sends. Transport errors and every other reply (including
+/// `draining`, which will not recover on this instance) are returned as-is.
+struct ServiceRequestOptions {
+  unsigned TimeoutMs = 10000;  ///< Connect/serve deadline per attempt.
+  unsigned MaxRetries = 0;     ///< Re-sends after an `overloaded` reply.
+  uint64_t BackoffBaseMs = 10; ///< Doubles per attempt before jitter.
+  uint64_t BackoffMaxMs = 2000;
+  uint64_t Seed = 0;           ///< Jitter seed (deterministic tests).
+  unsigned *RetriesOut = nullptr; ///< Optional: retries actually spent.
 };
 
 /// One-shot client: connects to \p SocketPath (retrying until
@@ -65,6 +122,11 @@ private:
 bool serviceRequest(const std::string &SocketPath,
                     const std::string &RequestLine, std::string &ReplyLine,
                     std::string *Err = nullptr, unsigned TimeoutMs = 10000);
+
+/// Retry-aware form (see ServiceRequestOptions).
+bool serviceRequest(const std::string &SocketPath,
+                    const std::string &RequestLine, std::string &ReplyLine,
+                    std::string *Err, const ServiceRequestOptions &Opts);
 
 } // namespace shackle
 

@@ -119,7 +119,9 @@ Status badSpec(const std::string &Clause, const char *Why, unsigned Col = 0) {
             "die@domain=D[,count=C]; alloc-fail@grow=N[,count=C]; "
             "solver-unknown@query=N[,count=C]; "
             "flip@block=K[,bit=B][,count=C]; corrupt-undo@block=K[,count=C]; "
-            "nan@block=K[,count=C]; inf@block=K[,count=C]");
+            "nan@block=K[,count=C]; inf@block=K[,count=C]; "
+            "drip@client=B[,ms=M][,count=C]; kill@conn=N[,count=C]; "
+            "snapshot-fail@write=enospc|short[,count=C]");
   return Status::error(std::move(D));
 }
 
@@ -153,6 +155,13 @@ void FaultInjector::disarm() {
   NanBudget.store(0, std::memory_order_relaxed);
   InfBlock = -1;
   InfBudget.store(0, std::memory_order_relaxed);
+  DripBytes = 0;
+  DripMs = 1;
+  DripBudget.store(0, std::memory_order_relaxed);
+  KillConn = -1;
+  KillConnBudget.store(0, std::memory_order_relaxed);
+  SnapshotFailMode = 0;
+  SnapshotFailBudget.store(0, std::memory_order_relaxed);
   NumTaskThrows.store(0, std::memory_order_relaxed);
   NumWorkerStalls.store(0, std::memory_order_relaxed);
   NumWorkerDeaths.store(0, std::memory_order_relaxed);
@@ -163,6 +172,9 @@ void FaultInjector::disarm() {
   NumUndoCorruptions.store(0, std::memory_order_relaxed);
   NumNansInjected.store(0, std::memory_order_relaxed);
   NumInfsInjected.store(0, std::memory_order_relaxed);
+  NumClientDrips.store(0, std::memory_order_relaxed);
+  NumConnKills.store(0, std::memory_order_relaxed);
+  NumSnapshotWriteFails.store(0, std::memory_order_relaxed);
 }
 
 Status FaultInjector::configure(const std::string &Spec) {
@@ -308,10 +320,41 @@ Status FaultInjector::configure(const std::string &Spec) {
       (Site == "nan" ? NanBlock : InfBlock) = static_cast<int64_t>(K);
       (Site == "nan" ? NanBudget : InfBudget)
           .store(static_cast<int64_t>(Count), std::memory_order_relaxed);
+    } else if (Site == "drip") {
+      if (!takeKey("client", V))
+        return badSpec(Clause, "drip needs client=B (chunk bytes)", Col);
+      if (!parseU64(V, DripBytes) || DripBytes == 0)
+        return badSpec(Clause, "client must be a positive chunk size", Col);
+      DripBudget.store(static_cast<int64_t>(Count),
+                       std::memory_order_relaxed);
+      if (takeKey("ms", V) && !parseU64(V, DripMs))
+        return badSpec(Clause, "ms must be a duration in milliseconds", Col);
+    } else if (Site == "kill") {
+      if (!takeKey("conn", V))
+        return badSpec(Clause, "kill needs conn=N (0-based accept order)",
+                       Col);
+      uint64_t N;
+      if (!parseU64(V, N))
+        return badSpec(Clause, "conn must be a connection index", Col);
+      KillConn = static_cast<int64_t>(N);
+      KillConnBudget.store(static_cast<int64_t>(Count),
+                           std::memory_order_relaxed);
+    } else if (Site == "snapshot-fail") {
+      if (!takeKey("write", V))
+        return badSpec(Clause, "snapshot-fail needs write=enospc|short", Col);
+      if (V == "enospc")
+        SnapshotFailMode = 1;
+      else if (V == "short")
+        SnapshotFailMode = 2;
+      else
+        return badSpec(Clause, "write must be 'enospc' or 'short'", Col);
+      SnapshotFailBudget.store(static_cast<int64_t>(Count),
+                               std::memory_order_relaxed);
     } else {
       return badSpec(Clause,
                      "unknown site (throw, stall, die, alloc-fail, "
-                     "solver-unknown, flip, corrupt-undo, nan, inf)",
+                     "solver-unknown, flip, corrupt-undo, nan, inf, drip, "
+                     "kill, snapshot-fail)",
                      Col);
     }
     if (!Keys.empty())
@@ -426,6 +469,30 @@ int FaultInjector::firePoisonValue(uint64_t Block, uint64_t &Pick) {
   return 0;
 }
 
+bool FaultInjector::fireClientDrip(uint64_t &Bytes, uint64_t &Ms) {
+  if (DripBytes == 0 || !takeBudget(DripBudget))
+    return false;
+  Bytes = DripBytes;
+  Ms = DripMs;
+  NumClientDrips.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::fireConnKill(uint64_t Conn) {
+  if (KillConn < 0 || static_cast<int64_t>(Conn) != KillConn ||
+      !takeBudget(KillConnBudget))
+    return false;
+  NumConnKills.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int FaultInjector::fireSnapshotWriteFail() {
+  if (SnapshotFailMode == 0 || !takeBudget(SnapshotFailBudget))
+    return 0;
+  NumSnapshotWriteFails.fetch_add(1, std::memory_order_relaxed);
+  return SnapshotFailMode;
+}
+
 FaultCounters FaultInjector::counters() const {
   FaultCounters C;
   C.TaskThrows = NumTaskThrows.load(std::memory_order_relaxed);
@@ -438,5 +505,8 @@ FaultCounters FaultInjector::counters() const {
   C.UndoCorruptions = NumUndoCorruptions.load(std::memory_order_relaxed);
   C.NansInjected = NumNansInjected.load(std::memory_order_relaxed);
   C.InfsInjected = NumInfsInjected.load(std::memory_order_relaxed);
+  C.ClientDrips = NumClientDrips.load(std::memory_order_relaxed);
+  C.ConnKills = NumConnKills.load(std::memory_order_relaxed);
+  C.SnapshotWriteFails = NumSnapshotWriteFails.load(std::memory_order_relaxed);
   return C;
 }

@@ -18,11 +18,20 @@
 ///   data corruption    injectBitFlip(block)        after a block body runs
 ///                      injectUndoCorrupt(block)    before an undo restore
 ///                      injectPoisonValue(block)    after a block body runs
+///   service chaos      injectClientDrip()          in the serviceRequest send
+///                      injectConnKill(conn)        per request line served
+///                      injectSnapshotWriteFail()   in the snapshot writer
 ///
 /// The data-fault sites model *silent* corruption: unlike the control-flow
 /// faults above, they do not signal — they mutate committed data (bit-flip,
 /// NaN/Inf poison) or a saved pre-image (undo corruption) and leave
 /// detection entirely to the integrity layer (DESIGN.md §12).
+///
+/// The service-chaos sites model the serving layer's failure domain
+/// (DESIGN.md §14): a client that drip-feeds its request a few bytes at a
+/// time, a connection that dies mid-request after the request arrived but
+/// before the reply, and a snapshot autosave that hits ENOSPC or a short
+/// write. The daemon must stay healthy through all three.
 ///
 /// Spec grammar (clauses separated by ';'):
 ///
@@ -50,6 +59,18 @@
 ///   nan@block=K[,count=C]        overwrite one seed-chosen element of block
 ///                                K's committed footprint with a quiet NaN
 ///   inf@block=K[,count=C]        same, with +infinity
+///   drip@client=B[,ms=M][,count=C]    serviceRequest sends its request B
+///                                bytes at a time with an M ms pause between
+///                                chunks (default 1), C requests (default 1)
+///   kill@conn=N[,count=C]        the serving thread of connection N
+///                                (0-based accept order) closes the socket
+///                                after a request line arrives but before
+///                                any reply is written
+///   snapshot-fail@write=enospc|short[,count=C]  a snapshot save fails:
+///                                enospc aborts the tmp-file write with a
+///                                disk-full error, short truncates it —
+///                                either way the previous snapshot must
+///                                survive intact (atomic tmp+rename)
 ///
 /// Every clause has a finite fire budget, so a recovery path that retries
 /// eventually gets a clean run — the property chaos tests rely on. All
@@ -92,11 +113,15 @@ struct FaultCounters {
   uint64_t UndoCorruptions = 0;
   uint64_t NansInjected = 0;
   uint64_t InfsInjected = 0;
+  uint64_t ClientDrips = 0;
+  uint64_t ConnKills = 0;
+  uint64_t SnapshotWriteFails = 0;
 
   uint64_t total() const {
     return TaskThrows + WorkerStalls + WorkerDeaths + DomainDeaths +
            AllocFails + SolverUnknowns + BitFlips + UndoCorruptions +
-           NansInjected + InfsInjected;
+           NansInjected + InfsInjected + ClientDrips + ConnKills +
+           SnapshotWriteFails;
   }
 };
 
@@ -132,6 +157,12 @@ public:
   bool fireUndoCorrupt(uint64_t Block, uint64_t &Pick);
   /// 0 = no fault, 1 = NaN, 2 = +Inf.
   int firePoisonValue(uint64_t Block, uint64_t &Pick);
+  /// Service-chaos sites. Drip: \p Bytes and \p Ms come back as the chunk
+  /// size and inter-chunk pause for a drip-fed send.
+  bool fireClientDrip(uint64_t &Bytes, uint64_t &Ms);
+  bool fireConnKill(uint64_t Conn);
+  /// 0 = no fault, 1 = ENOSPC (write fails), 2 = short write (truncated).
+  int fireSnapshotWriteFail();
 
   FaultCounters counters() const;
 
@@ -167,6 +198,13 @@ private:
   std::atomic<int64_t> NanBudget{0};
   int64_t InfBlock = -1;
   std::atomic<int64_t> InfBudget{0};
+  uint64_t DripBytes = 0; ///< Chunk size; 0 disabled.
+  uint64_t DripMs = 1;
+  std::atomic<int64_t> DripBudget{0};
+  int64_t KillConn = -1; ///< Connection index; -1 disabled.
+  std::atomic<int64_t> KillConnBudget{0};
+  int SnapshotFailMode = 0; ///< 0 disabled, 1 ENOSPC, 2 short write.
+  std::atomic<int64_t> SnapshotFailBudget{0};
 
   // Delivered-fault counters.
   std::atomic<uint64_t> NumTaskThrows{0};
@@ -179,6 +217,9 @@ private:
   std::atomic<uint64_t> NumUndoCorruptions{0};
   std::atomic<uint64_t> NumNansInjected{0};
   std::atomic<uint64_t> NumInfsInjected{0};
+  std::atomic<uint64_t> NumClientDrips{0};
+  std::atomic<uint64_t> NumConnKills{0};
+  std::atomic<uint64_t> NumSnapshotWriteFails{0};
 };
 
 // Inline call-site wrappers: one relaxed atomic load on the common path,
@@ -273,6 +314,37 @@ inline int injectPoisonValue(uint64_t Block, uint64_t &Pick) {
 #else
   (void)Block;
   (void)Pick;
+  return 0;
+#endif
+}
+
+inline bool injectClientDrip(uint64_t &Bytes, uint64_t &Ms) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireClientDrip(Bytes, Ms);
+#else
+  (void)Bytes;
+  (void)Ms;
+  return false;
+#endif
+}
+
+inline bool injectConnKill(uint64_t Conn) {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() && FI.fireConnKill(Conn);
+#else
+  (void)Conn;
+  return false;
+#endif
+}
+
+/// 0 = no fault, 1 = ENOSPC, 2 = short write.
+inline int injectSnapshotWriteFail() {
+#ifdef SHACKLE_ENABLE_FAULT_INJECTION
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.armed() ? FI.fireSnapshotWriteFail() : 0;
+#else
   return 0;
 #endif
 }

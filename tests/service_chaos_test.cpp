@@ -1,0 +1,812 @@
+//===- service_chaos_test.cpp - Overload-safe serving tests -------------------//
+//
+// Part of the Shackle project: a reproduction of "Data-centric Multi-level
+// Blocking" (Kodukula, Ahmed, Pingali; PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving layer's failure domain (ctest label: service-chaos): admission
+// control under saturation, per-request deadlines, connection hygiene
+// (line caps, idle timeout, connection cap), hostile socket input (random
+// bytes, 1-byte writes, pipelining), graceful drain on SIGTERM, kill -9 +
+// warm restart riding the periodic autosave, injected client drip-feed,
+// mid-request connection kills, snapshot write failures, and the retrying
+// client. Runs under tsan with the parallel/chaos/service suites.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Admission.h"
+#include "service/Json.h"
+#include "service/PlanSerdes.h"
+#include "service/Server.h"
+#include "service/Service.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace shackle;
+
+namespace {
+
+#ifndef SHACKLE_CLI_PATH
+#error "SHACKLE_CLI_PATH must be defined by the build"
+#endif
+
+/// A cold compile+run of this takes hundreds of milliseconds (1024 blocks):
+/// long enough to hold a worker slot while other clients pile on.
+const char *SlowReq =
+    R"({"op":"run","benchmark":"matmul","config":"c","block":4,"params":[128]})";
+/// A small request: tens of milliseconds cold, sub-millisecond warm.
+const char *FastReq =
+    R"({"op":"run","benchmark":"matmul","config":"c","block":16,"params":[48]})";
+const char *StatsReq = R"({"op":"stats"})";
+
+/// A per-test unique temp path (tests run concurrently under ctest -j).
+std::string tmpPath(const std::string &Stem) {
+  static std::atomic<unsigned> Counter{0};
+  return testing::TempDir() + "shkchaos_" + std::to_string(getpid()) + "_" +
+         std::to_string(Counter.fetch_add(1)) + "_" + Stem;
+}
+
+std::string readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return "";
+  std::string Out;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, Got);
+  std::fclose(F);
+  return Out;
+}
+
+/// Parses a service reply; fails the test on malformed JSON.
+JsonValue parseReply(const std::string &Line) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(parseJson(Line, V, &Err)) << Err << " in: " << Line;
+  return V;
+}
+
+/// Arms the process-wide injector for one test and disarms on scope exit,
+/// so a failing test cannot leak faults into its neighbors.
+struct InjectorGuard {
+  explicit InjectorGuard(const std::string &Spec) {
+    Status S = FaultInjector::instance().configure(Spec);
+    EXPECT_TRUE(S.ok()) << S.diagnostic().str();
+  }
+  ~InjectorGuard() { FaultInjector::instance().disarm(); }
+};
+
+/// In-process daemon: starts serving on construction, drains on destruction.
+struct TestServer {
+  ServiceServer Server;
+  std::thread T;
+  TestServer(ServiceCore &Core, const std::string &Sock,
+             ServerOptions Opts = ServerOptions())
+      : Server(Core, Sock, Opts) {
+    Status S = Server.start();
+    EXPECT_TRUE(S.ok()) << S.diagnostic().str();
+    T = std::thread([this] { Server.serve(); });
+  }
+  ~TestServer() {
+    Server.stop();
+    if (T.joinable())
+      T.join();
+  }
+};
+
+/// Connects a raw stream socket, retrying while the server comes up.
+int rawConnect(const std::string &Path, int TimeoutMs = 5000) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(Fd, 0);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      return Fd;
+    ::close(Fd);
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+/// Reads one newline-terminated line (newline stripped). False on EOF,
+/// error, or timeout.
+bool rawReadLine(int Fd, std::string &Line, int TimeoutMs = 20000) {
+  Line.clear();
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  char C;
+  for (;;) {
+    pollfd P{Fd, POLLIN, 0};
+    int Remain = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Deadline - std::chrono::steady_clock::now())
+            .count());
+    if (Remain <= 0 || ::poll(&P, 1, Remain) <= 0)
+      return false;
+    ssize_t N = ::recv(Fd, &C, 1, 0);
+    if (N <= 0)
+      return false;
+    if (C == '\n')
+      return true;
+    Line += C;
+  }
+}
+
+/// Best-effort bulk send; stops at the first error (the server may close
+/// the connection mid-stream on purpose — that's what some tests provoke).
+void rawSendAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+/// Forks and execs `shackle serve --socket=SOCK <ExtraArgs>` with stdio
+/// routed to /dev/null. Returns the child pid.
+pid_t spawnServe(const std::string &Sock,
+                 const std::vector<std::string> &ExtraArgs) {
+  pid_t Pid = fork();
+  if (Pid != 0)
+    return Pid;
+  int Null = ::open("/dev/null", O_RDWR);
+  ::dup2(Null, 0);
+  ::dup2(Null, 1);
+  ::dup2(Null, 2);
+  std::vector<std::string> Args = {SHACKLE_CLI_PATH, "serve",
+                                   "--socket=" + Sock};
+  Args.insert(Args.end(), ExtraArgs.begin(), ExtraArgs.end());
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+  ::execv(SHACKLE_CLI_PATH, Argv.data());
+  _exit(127);
+}
+
+/// Waits for \p Pid with a deadline; returns the wait status, or -1 if the
+/// child is still running at the deadline (the test then fails and kills).
+int waitForExit(pid_t Pid, int TimeoutMs) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    int St = 0;
+    pid_t R = ::waitpid(Pid, &St, WNOHANG);
+    if (R == Pid)
+      return St;
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, &St, 0);
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control under saturation
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceOverload, ShedsWithStructuredRepliesUnderSaturation) {
+  // Offered load 8 against capacity 2 (1 in flight + 1 queued): 4x over.
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.Admission.MaxInflight = 1;
+  Opts.Admission.QueueDepth = 1;
+  std::string Sock = tmpPath("overload.sock");
+  TestServer S(Core, Sock, Opts);
+
+  constexpr int N = 8;
+  std::vector<std::string> Replies(N), Errs(N);
+  std::vector<std::thread> Clients;
+  for (int I = 0; I < N; ++I)
+    Clients.emplace_back([&, I] {
+      serviceRequest(Sock, SlowReq, Replies[I], &Errs[I], 60000u);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  unsigned Ok = 0, Shed = 0;
+  std::string Checksum;
+  for (int I = 0; I < N; ++I) {
+    ASSERT_FALSE(Replies[I].empty()) << Errs[I];
+    JsonValue R = parseReply(Replies[I]);
+    if (R.getBool("ok", false)) {
+      ++Ok;
+      if (Checksum.empty())
+        Checksum = R.getString("checksum");
+      EXPECT_EQ(R.getString("checksum"), Checksum)
+          << "every accepted request must see bitwise-identical results";
+    } else {
+      ASSERT_EQ(R.getString("code"), "overloaded") << Replies[I];
+      EXPECT_GE(R.getInt("retry_after_ms", 0), 1) << Replies[I];
+      ++Shed;
+    }
+  }
+  EXPECT_GE(Ok, 1u);
+  EXPECT_GE(Shed, 1u);
+  EXPECT_EQ(Ok + Shed, static_cast<unsigned>(N));
+
+  // The reply reaches the waiter just before the worker bumps its own
+  // completion counters; give the pool a moment to quiesce.
+  AdmissionStats St;
+  for (int Spin = 0; Spin < 1000; ++Spin) {
+    St = S.Server.admission().stats();
+    if (St.Completed == Ok && St.InflightNow == 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(St.Admitted, Ok);
+  EXPECT_EQ(St.Shed, Shed);
+  EXPECT_EQ(St.Completed, Ok);
+  EXPECT_EQ(St.QueuedNow, 0u);
+  EXPECT_EQ(St.InflightNow, 0u);
+}
+
+TEST(ServiceOverload, ControlOpsBypassTheSaturatedQueue) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.Admission.MaxInflight = 1;
+  Opts.Admission.QueueDepth = 0;
+  std::string Sock = tmpPath("bypass.sock");
+  TestServer S(Core, Sock, Opts);
+
+  std::thread Background([&] {
+    std::string Reply, Err;
+    serviceRequest(Sock, SlowReq, Reply, &Err, 60000u);
+  });
+  // Once the slow request holds the only worker, stats must still answer —
+  // and must see that worker busy, proving it did not wait behind it.
+  for (int Spin = 0; Spin < 1000; ++Spin) {
+    if (S.Server.admission().stats().InflightNow == 1)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(S.Server.admission().stats().InflightNow, 1u);
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, StatsReq, Reply, &Err, 20000u)) << Err;
+  JsonValue R = parseReply(Reply);
+  EXPECT_TRUE(R.getBool("ok", false)) << Reply;
+  EXPECT_EQ(R.getInt("inflight", -1), 1) << Reply;
+  Background.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-request deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDeadline, ClientDeadlineExpiresButThePlanStillCaches) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.Admission.MaxInflight = 1;
+  std::string Sock = tmpPath("deadline.sock");
+  TestServer S(Core, Sock, Opts);
+
+  std::string WithDeadline(SlowReq);
+  WithDeadline.insert(WithDeadline.size() - 1, ",\"deadline_ms\":10");
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, WithDeadline, Reply, &Err, 20000u))
+      << Err;
+  JsonValue R = parseReply(Reply);
+  EXPECT_FALSE(R.getBool("ok", true)) << Reply;
+  EXPECT_EQ(R.getString("code"), "deadline-exceeded") << Reply;
+  EXPECT_EQ(R.getInt("deadline_ms", -1), 10) << Reply;
+  EXPECT_EQ(S.Server.admission().stats().DeadlineExpired, 1u);
+
+  // The abandoned build still completes and lands in the plan cache: the
+  // same request without a deadline eventually answers as a hit.
+  bool Hit = false;
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!Hit && std::chrono::steady_clock::now() < Deadline) {
+    ASSERT_TRUE(serviceRequest(Sock, SlowReq, Reply, &Err, 60000u)) << Err;
+    JsonValue R2 = parseReply(Reply);
+    ASSERT_TRUE(R2.getBool("ok", false)) << Reply;
+    Hit = R2.getBool("hit", false);
+  }
+  EXPECT_TRUE(Hit) << "plan-cache entry from the abandoned request";
+  EXPECT_GE(S.Server.admission().stats().Abandoned, 1u);
+}
+
+TEST(ServiceDeadline, ServerDefaultAppliesAndClientsCannotLoosenIt) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.Admission.MaxInflight = 1;
+  Opts.Admission.RequestDeadlineMs = 10;
+  std::string Sock = tmpPath("defdeadline.sock");
+  TestServer S(Core, Sock, Opts);
+
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, SlowReq, Reply, &Err, 20000u)) << Err;
+  JsonValue R = parseReply(Reply);
+  EXPECT_EQ(R.getString("code"), "deadline-exceeded") << Reply;
+
+  // A huge client deadline_ms must not loosen the server's 10ms default.
+  std::string Loose =
+      R"({"op":"run","benchmark":"matmul","config":"c","block":4,"params":[120],"deadline_ms":60000})";
+  ASSERT_TRUE(serviceRequest(Sock, Loose, Reply, &Err, 20000u)) << Err;
+  JsonValue R2 = parseReply(Reply);
+  EXPECT_EQ(R2.getString("code"), "deadline-exceeded") << Reply;
+  EXPECT_EQ(R2.getInt("deadline_ms", -1), 10) << Reply;
+}
+
+//===----------------------------------------------------------------------===//
+// Connection hygiene
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceHygiene, TenMiBNewlineFreeStreamGetsLineTooLongAndClose) {
+  ServiceCore Core;
+  std::string Sock = tmpPath("longline.sock");
+  TestServer S(Core, Sock); // Default 1 MiB line cap.
+
+  int Fd = rawConnect(Sock);
+  ASSERT_GE(Fd, 0);
+  std::string Chunk(64 << 10, 'a');
+  for (int I = 0; I < 160; ++I) // 10 MiB, no newline anywhere.
+    rawSendAll(Fd, Chunk.data(), Chunk.size());
+  std::string Line;
+  ASSERT_TRUE(rawReadLine(Fd, Line));
+  JsonValue R = parseReply(Line);
+  EXPECT_EQ(R.getString("code"), "line-too-long") << Line;
+  EXPECT_EQ(R.getInt("max_line_bytes", -1), 1 << 20) << Line;
+  // After the structured reply the server closes the connection.
+  char C;
+  pollfd P{Fd, POLLIN, 0};
+  ASSERT_GT(::poll(&P, 1, 20000), 0);
+  EXPECT_EQ(::recv(Fd, &C, 1, 0), 0);
+  ::close(Fd);
+
+  // The daemon is unharmed: a fresh connection still gets served.
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, StatsReq, Reply, &Err, 20000u)) << Err;
+  EXPECT_TRUE(parseReply(Reply).getBool("ok", false)) << Reply;
+}
+
+TEST(ServiceHygiene, OversizedTerminatedLineIsAlsoRejected) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.MaxLineBytes = 1024;
+  std::string Sock = tmpPath("cap.sock");
+  TestServer S(Core, Sock, Opts);
+
+  int Fd = rawConnect(Sock);
+  ASSERT_GE(Fd, 0);
+  std::string Line(4096, 'b');
+  Line += '\n';
+  rawSendAll(Fd, Line.data(), Line.size());
+  std::string Reply;
+  ASSERT_TRUE(rawReadLine(Fd, Reply));
+  EXPECT_EQ(parseReply(Reply).getString("code"), "line-too-long") << Reply;
+  ::close(Fd);
+}
+
+TEST(ServiceHygiene, IdleConnectionTimesOutWithStructuredReply) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.IdleTimeoutMs = 150;
+  std::string Sock = tmpPath("idle.sock");
+  TestServer S(Core, Sock, Opts);
+
+  int Fd = rawConnect(Sock);
+  ASSERT_GE(Fd, 0);
+  // Send nothing; the server must evict us, not hold the thread forever.
+  std::string Line;
+  ASSERT_TRUE(rawReadLine(Fd, Line));
+  EXPECT_EQ(parseReply(Line).getString("code"), "idle-timeout") << Line;
+  char C;
+  pollfd P{Fd, POLLIN, 0};
+  ASSERT_GT(::poll(&P, 1, 20000), 0);
+  EXPECT_EQ(::recv(Fd, &C, 1, 0), 0);
+  ::close(Fd);
+}
+
+TEST(ServiceHygiene, ConnectionCapShedsExcessClients) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.MaxConnections = 1;
+  std::string Sock = tmpPath("cap1.sock");
+  TestServer S(Core, Sock, Opts);
+
+  int Held = rawConnect(Sock);
+  ASSERT_GE(Held, 0);
+  // Make sure the first connection is accepted (counted) before the probe:
+  // send a request and read its reply.
+  std::string Probe = std::string(StatsReq) + "\n";
+  rawSendAll(Held, Probe.data(), Probe.size());
+  std::string Line;
+  ASSERT_TRUE(rawReadLine(Held, Line));
+
+  int Extra = rawConnect(Sock);
+  ASSERT_GE(Extra, 0);
+  ASSERT_TRUE(rawReadLine(Extra, Line));
+  JsonValue R = parseReply(Line);
+  EXPECT_EQ(R.getString("code"), "overloaded") << Line;
+  EXPECT_GE(R.getInt("retry_after_ms", 0), 1) << Line;
+  ::close(Extra);
+
+  // Freeing the held connection frees the slot (reaping is async: retry).
+  ::close(Held);
+  bool Served = false;
+  for (int Spin = 0; Spin < 200 && !Served; ++Spin) {
+    std::string Reply, Err;
+    if (serviceRequest(Sock, StatsReq, Reply, &Err, 5000u) &&
+        parseReply(Reply).getBool("ok", false))
+      Served = true;
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_TRUE(Served);
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile socket input
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceHostile, RandomBytesNeverCrashOrWedgeTheServer) {
+  ServiceCore Core;
+  std::string Sock = tmpPath("fuzz.sock");
+  TestServer S(Core, Sock);
+
+  // Deterministic junk: every byte value, newlines sprinkled in so the
+  // server actually parses (and rejects) many "lines".
+  uint64_t X = 0x5eed;
+  std::string Junk;
+  Junk.reserve(64 << 10);
+  for (int I = 0; I < (64 << 10); ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    Junk += static_cast<char>(X & 0xff);
+  }
+  int Fd = rawConnect(Sock);
+  ASSERT_GE(Fd, 0);
+  rawSendAll(Fd, Junk.data(), Junk.size());
+  ::shutdown(Fd, SHUT_WR);
+  // Every reply the server emits must be a well-formed error document.
+  std::string Line;
+  unsigned ErrorReplies = 0;
+  while (rawReadLine(Fd, Line, 5000)) {
+    JsonValue R = parseReply(Line);
+    EXPECT_FALSE(R.getBool("ok", true)) << Line;
+    ++ErrorReplies;
+  }
+  ::close(Fd);
+  EXPECT_GE(ErrorReplies, 1u);
+
+  // And the daemon still serves real work afterwards.
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, FastReq, Reply, &Err, 60000u)) << Err;
+  EXPECT_TRUE(parseReply(Reply).getBool("ok", false)) << Reply;
+}
+
+TEST(ServiceHostile, RequestSplitIntoSingleByteWritesReassembles) {
+  ServiceCore Core;
+  std::string Sock = tmpPath("bytes.sock");
+  TestServer S(Core, Sock);
+
+  int Fd = rawConnect(Sock);
+  ASSERT_GE(Fd, 0);
+  std::string Req = std::string(StatsReq) + "\n";
+  for (char C : Req) {
+    rawSendAll(Fd, &C, 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  std::string Line;
+  ASSERT_TRUE(rawReadLine(Fd, Line));
+  EXPECT_TRUE(parseReply(Line).getBool("ok", false)) << Line;
+  ::close(Fd);
+}
+
+TEST(ServiceHostile, PipelinedRequestsAreAnsweredInOrder) {
+  ServiceCore Core;
+  // Two distinct programs, warmed directly so the checksums are known.
+  const std::string ReqA =
+      R"({"op":"run","benchmark":"matmul","config":"c","block":16,"params":[32]})";
+  const std::string ReqB =
+      R"({"op":"run","benchmark":"matmul","config":"c","block":16,"params":[40]})";
+  JsonValue WarmA = parseReply(Core.handleLine(ReqA));
+  JsonValue WarmB = parseReply(Core.handleLine(ReqB));
+  ASSERT_TRUE(WarmA.getBool("ok", false));
+  ASSERT_TRUE(WarmB.getBool("ok", false));
+  std::string CkA = WarmA.getString("checksum");
+  std::string CkB = WarmB.getString("checksum");
+  ASSERT_NE(CkA, CkB);
+
+  std::string Sock = tmpPath("pipeline.sock");
+  TestServer S(Core, Sock);
+  int Fd = rawConnect(Sock);
+  ASSERT_GE(Fd, 0);
+  // One write, four requests: replies must come back in request order even
+  // though execution happens on a worker pool.
+  std::string Batch = ReqA + "\n" + ReqB + "\n" + ReqA + "\n" + ReqB + "\n";
+  rawSendAll(Fd, Batch.data(), Batch.size());
+  const std::string Expect[4] = {CkA, CkB, CkA, CkB};
+  for (int I = 0; I < 4; ++I) {
+    std::string Line;
+    ASSERT_TRUE(rawReadLine(Fd, Line)) << "reply " << I;
+    JsonValue R = parseReply(Line);
+    ASSERT_TRUE(R.getBool("ok", false)) << Line;
+    EXPECT_EQ(R.getString("checksum"), Expect[I]) << "reply " << I;
+  }
+  ::close(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Injected service chaos
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceChaos, DripFedClientIsStillServed) {
+  ServiceCore Core;
+  std::string Sock = tmpPath("drip.sock");
+  // Guard before server: ~TestServer joins every connection thread (they
+  // poll the injector per line) before ~InjectorGuard rewrites the plan.
+  InjectorGuard G("drip@client=3,ms=1");
+  TestServer S(Core, Sock);
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, StatsReq, Reply, &Err, 20000u)) << Err;
+  EXPECT_TRUE(parseReply(Reply).getBool("ok", false)) << Reply;
+  EXPECT_EQ(FaultInjector::instance().counters().ClientDrips, 1u);
+}
+
+TEST(ServiceChaos, MidRequestConnectionKillLeavesTheServerHealthy) {
+  ServiceCore Core;
+  std::string Sock = tmpPath("kill.sock");
+  // Guard before server, as above: disarm must not race the fire checks.
+  InjectorGuard G("kill@conn=0");
+  TestServer S(Core, Sock);
+  // Connection 0 dies after its request arrives, before any reply.
+  std::string Reply, Err;
+  EXPECT_FALSE(serviceRequest(Sock, StatsReq, Reply, &Err, 20000u));
+  EXPECT_EQ(FaultInjector::instance().counters().ConnKills, 1u);
+  // Connection 1 is served normally.
+  ASSERT_TRUE(serviceRequest(Sock, FastReq, Reply, &Err, 60000u)) << Err;
+  EXPECT_TRUE(parseReply(Reply).getBool("ok", false)) << Reply;
+}
+
+TEST(ServiceChaos, SnapshotWriteFailureKeepsThePreviousSnapshotIntact) {
+  std::string Snap = tmpPath("snapfail.bin");
+  ServiceOptions Opts;
+  Opts.SnapshotPath = Snap;
+  ServiceCore Core(Opts);
+  ASSERT_TRUE(parseReply(Core.handleLine(FastReq)).getBool("ok", false));
+  ASSERT_TRUE(Core.saveSnapshot().ok());
+  std::string Good = readFile(Snap);
+  ASSERT_FALSE(Good.empty());
+
+  {
+    InjectorGuard G("snapshot-fail@write=enospc");
+    Status S = Core.saveSnapshot();
+    EXPECT_FALSE(S.ok());
+    EXPECT_NE(S.diagnostic().Message.find("no space"), std::string::npos)
+        << S.diagnostic().str();
+    EXPECT_EQ(FaultInjector::instance().counters().SnapshotWriteFails, 1u);
+  }
+  EXPECT_EQ(readFile(Snap), Good) << "atomic tmp+rename must keep the old "
+                                     "snapshot on a failed write";
+  EXPECT_NE(::access((Snap + ".tmp").c_str(), F_OK), 0)
+      << "no stale tmp file";
+
+  {
+    InjectorGuard G("snapshot-fail@write=short");
+    Status S = Core.saveSnapshot();
+    EXPECT_FALSE(S.ok());
+    EXPECT_NE(S.diagnostic().Message.find("short write"), std::string::npos)
+        << S.diagnostic().str();
+  }
+  EXPECT_EQ(readFile(Snap), Good);
+
+  // The surviving snapshot still loads cleanly.
+  ServiceCore Fresh(Opts);
+  EXPECT_TRUE(Fresh.loadSnapshot().ok());
+  JsonValue Warm = parseReply(Fresh.handleLine(FastReq));
+  EXPECT_TRUE(Warm.getBool("hit", false)) << Warm.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Retrying client
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceRetry, BackoffRetrySucceedsOnceTheOverloadClears) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.Admission.MaxInflight = 1;
+  Opts.Admission.QueueDepth = 0;
+  std::string Sock = tmpPath("retry.sock");
+  TestServer S(Core, Sock, Opts);
+
+  std::thread Background([&] {
+    std::string Reply, Err;
+    serviceRequest(Sock, SlowReq, Reply, &Err, 60000u);
+  });
+  // Ensure the only worker is genuinely busy before the retrying client
+  // starts, so its first attempt deterministically sheds.
+  for (int Spin = 0; Spin < 2000; ++Spin) {
+    if (S.Server.admission().stats().InflightNow == 1)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(S.Server.admission().stats().InflightNow, 1u);
+
+  ServiceRequestOptions ROpts;
+  ROpts.TimeoutMs = 60000;
+  // Generous: retries stop the moment the slow request frees the worker,
+  // but under TSan plus a loaded machine that can take tens of seconds,
+  // and exhausting the budget returns the final overloaded reply.
+  ROpts.MaxRetries = 5000;
+  ROpts.BackoffBaseMs = 5;
+  ROpts.BackoffMaxMs = 100;
+  ROpts.Seed = 42;
+  unsigned Retries = 0;
+  ROpts.RetriesOut = &Retries;
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, FastReq, Reply, &Err, ROpts)) << Err;
+  JsonValue R = parseReply(Reply);
+  EXPECT_TRUE(R.getBool("ok", false)) << Reply;
+  EXPECT_GE(Retries, 1u) << "first attempt must have been shed";
+  Background.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain and crash durability (subprocess daemon)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDrain, SigtermMidLoadDrainsSavesSnapshotAndWarmRestartHits) {
+  std::string Sock = tmpPath("drain.sock");
+  std::string Snap = tmpPath("drain-snap.bin");
+  pid_t Pid = spawnServe(Sock, {"--snapshot=" + Snap, "--max-inflight=2"});
+  ASSERT_GT(Pid, 0);
+  // Wait for the daemon to come up.
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, StatsReq, Reply, &Err, 20000u)) << Err;
+
+  // A slow request rides through the SIGTERM: drain must finish it and
+  // flush its reply before exiting.
+  std::string ClientReply, ClientErr;
+  bool ClientOk = false;
+  std::thread Client([&] {
+    ClientOk = serviceRequest(Sock, SlowReq, ClientReply, &ClientErr,
+                              60000u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::kill(Pid, SIGTERM), 0);
+  Client.join();
+  ASSERT_TRUE(ClientOk) << ClientErr;
+  JsonValue R = parseReply(ClientReply);
+  EXPECT_TRUE(R.getBool("ok", false)) << ClientReply;
+  std::string Checksum = R.getString("checksum");
+
+  int St = waitForExit(Pid, 60000);
+  ASSERT_NE(St, -1) << "daemon failed to drain and exit";
+  ASSERT_TRUE(WIFEXITED(St));
+  EXPECT_EQ(WEXITSTATUS(St), 0) << "graceful drain must exit 0";
+  EXPECT_EQ(::access(Sock.c_str(), F_OK), -1) << "socket file removed";
+
+  // The shutdown path saved a snapshot; a warm restart serves a hit with
+  // the identical result.
+  std::vector<SnapshotEntry> Entries;
+  ASSERT_TRUE(loadSnapshotFile(Snap, Entries).ok());
+  EXPECT_GE(Entries.size(), 1u);
+  pid_t Pid2 = spawnServe(Sock, {"--snapshot=" + Snap});
+  ASSERT_GT(Pid2, 0);
+  ASSERT_TRUE(serviceRequest(Sock, SlowReq, Reply, &Err, 60000u)) << Err;
+  JsonValue Warm = parseReply(Reply);
+  EXPECT_TRUE(Warm.getBool("ok", false)) << Reply;
+  EXPECT_TRUE(Warm.getBool("hit", false)) << Reply;
+  EXPECT_EQ(Warm.getString("checksum"), Checksum);
+  ::kill(Pid2, SIGTERM);
+  EXPECT_NE(waitForExit(Pid2, 60000), -1);
+}
+
+TEST(ServiceDurability, Kill9ThenWarmRestartServesHitsViaAutosave) {
+  std::string Sock = tmpPath("kill9.sock");
+  std::string Snap = tmpPath("kill9-snap.bin");
+  pid_t Pid = spawnServe(
+      Sock, {"--snapshot=" + Snap, "--snapshot-interval-s=1"});
+  ASSERT_GT(Pid, 0);
+
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRequest(Sock, FastReq, Reply, &Err, 60000u)) << Err;
+  JsonValue Cold = parseReply(Reply);
+  ASSERT_TRUE(Cold.getBool("ok", false)) << Reply;
+  std::string Checksum = Cold.getString("checksum");
+
+  // Wait for an autosave cycle to persist the entry, then SIGKILL: no
+  // drain, no shutdown save — durability comes from the autosave alone.
+  bool Persisted = false;
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!Persisted && std::chrono::steady_clock::now() < Deadline) {
+    std::vector<SnapshotEntry> Entries;
+    if (loadSnapshotFile(Snap, Entries).ok() && !Entries.empty())
+      Persisted = true;
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(Persisted) << "autosave never wrote the snapshot";
+  ASSERT_EQ(::kill(Pid, SIGKILL), 0);
+  int St = waitForExit(Pid, 20000);
+  ASSERT_NE(St, -1);
+  ASSERT_TRUE(WIFSIGNALED(St));
+
+  pid_t Pid2 = spawnServe(Sock, {"--snapshot=" + Snap});
+  ASSERT_GT(Pid2, 0);
+  ASSERT_TRUE(serviceRequest(Sock, FastReq, Reply, &Err, 60000u)) << Err;
+  JsonValue Warm = parseReply(Reply);
+  EXPECT_TRUE(Warm.getBool("ok", false)) << Reply;
+  EXPECT_TRUE(Warm.getBool("hit", false)) << Reply;
+  EXPECT_TRUE(Warm.getBool("from_snapshot", false)) << Reply;
+  EXPECT_EQ(Warm.getString("checksum"), Checksum);
+  ::kill(Pid2, SIGTERM);
+  EXPECT_NE(waitForExit(Pid2, 60000), -1);
+}
+
+TEST(ServiceDrain, InProcessStopUnderLoadLeavesConsistentState) {
+  ServiceCore Core;
+  ServerOptions Opts;
+  Opts.Admission.MaxInflight = 2;
+  Opts.Admission.QueueDepth = 2;
+  std::string Sock = tmpPath("stopload.sock");
+
+  constexpr int N = 8;
+  std::vector<std::string> Replies(N), Errs(N);
+  // Not vector<bool>: clients write concurrently and bit-packed elements
+  // share words. Distinct chars are distinct memory locations.
+  std::vector<char> Transport(N, 0);
+  {
+    TestServer S(Core, Sock, Opts);
+    std::vector<std::thread> Clients;
+    for (int I = 0; I < N; ++I)
+      Clients.emplace_back([&, I] {
+        Transport[I] = serviceRequest(Sock, I % 2 ? SlowReq : FastReq,
+                                      Replies[I], &Errs[I], 60000u);
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    S.Server.stop(); // Destructor joins serve(); must not hang.
+    for (std::thread &T : Clients)
+      T.join();
+  }
+
+  for (int I = 0; I < N; ++I) {
+    if (!Transport[I])
+      continue; // Raced the teardown: a clean transport error, not a hang.
+    JsonValue R = parseReply(Replies[I]);
+    if (R.getBool("ok", false))
+      continue;
+    std::string Code = R.getString("code");
+    EXPECT_TRUE(Code == "draining" || Code == "overloaded" ||
+                Code == "deadline-exceeded")
+        << Replies[I];
+  }
+}
+
+} // namespace

@@ -34,7 +34,9 @@
 #include "support/FaultInjector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,10 +90,20 @@ int usage() {
       "  shackle file <path> auto --array=NAME [--eval=N]\n"
       "  shackle serve    --socket=PATH [--snapshot=PATH]\n"
       "      [--cache-bytes=N] [--threads=N]\n"
+      "      [--max-inflight=N] [--queue-depth=N] [--request-deadline-ms=N]\n"
+      "      [--max-line-bytes=N] [--idle-timeout-ms=N] "
+      "[--max-connections=N]\n"
+      "      [--snapshot-interval-s=N] [--inject=SPEC]\n"
       "      (daemon: newline-delimited JSON requests over a Unix socket;\n"
-      "       plan cache persisted to --snapshot; see docs/SERVE.md)\n"
+      "       bounded worker pool sheds overload with structured replies,\n"
+      "       SIGTERM/SIGINT drains gracefully, plan cache persisted to\n"
+      "       --snapshot with periodic autosave; see docs/SERVE.md)\n"
       "  shackle request  --socket=PATH --json=REQ  [--timeout-ms=N]\n"
-      "      (send one request to a running daemon, print the reply)\n"
+      "      [--max-retries=N] [--backoff-base-ms=N] [--backoff-max-ms=N]\n"
+      "      [--retry-seed=S] [--inject=SPEC]\n"
+      "      (send one request to a running daemon, print the reply;\n"
+      "       retries `overloaded` replies with jittered backoff honoring\n"
+      "       the server's retry_after_ms hint)\n"
       "common flags:\n"
       "  --solver-budget=N   Omega-test work-unit budget per query\n"
       "  --strict            fail instead of falling back to simpler code\n"
@@ -403,6 +415,16 @@ int cmdFile(int Argc, char **Argv) {
   return usage();
 }
 
+// The SIGTERM/SIGINT hook for graceful drain: the handler only performs an
+// atomic load and an atomic store (ServiceServer::stop()), both
+// async-signal-safe.
+std::atomic<ServiceServer *> GServeServer{nullptr};
+
+extern "C" void serveSignalHandler(int) {
+  if (ServiceServer *S = GServeServer.load())
+    S->stop();
+}
+
 int cmdServe(int Argc, char **Argv) {
   std::string Socket = flagString(Argc, Argv, "socket");
   if (Socket.empty()) {
@@ -418,28 +440,67 @@ int cmdServe(int Argc, char **Argv) {
       std::max<int64_t>(1, flagValue(Argc, Argv, "threads", 1)));
   Opts.Budget = budgetFromFlags(Argc, Argv);
 
+  ServerOptions SOpts;
+  SOpts.Admission.MaxInflight = static_cast<unsigned>(std::max<int64_t>(
+      1, flagValue(Argc, Argv, "max-inflight",
+                   static_cast<int64_t>(SOpts.Admission.MaxInflight))));
+  SOpts.Admission.QueueDepth = static_cast<unsigned>(std::max<int64_t>(
+      0, flagValue(Argc, Argv, "queue-depth",
+                   static_cast<int64_t>(SOpts.Admission.QueueDepth))));
+  SOpts.Admission.RequestDeadlineMs = static_cast<uint64_t>(
+      std::max<int64_t>(0, flagValue(Argc, Argv, "request-deadline-ms", 0)));
+  SOpts.MaxLineBytes = static_cast<uint64_t>(std::max<int64_t>(
+      1, flagValue(Argc, Argv, "max-line-bytes",
+                   static_cast<int64_t>(SOpts.MaxLineBytes))));
+  SOpts.IdleTimeoutMs = static_cast<uint64_t>(
+      std::max<int64_t>(0, flagValue(Argc, Argv, "idle-timeout-ms", 0)));
+  SOpts.MaxConnections = static_cast<unsigned>(std::max<int64_t>(
+      1, flagValue(Argc, Argv, "max-connections",
+                   static_cast<int64_t>(SOpts.MaxConnections))));
+  SOpts.SnapshotIntervalS = static_cast<uint64_t>(
+      std::max<int64_t>(0, flagValue(Argc, Argv, "snapshot-interval-s", 0)));
+
+  std::string InjectSpec = flagString(Argc, Argv, "inject");
+  if (!InjectSpec.empty()) {
+    Status IS = FaultInjector::instance().configure(InjectSpec);
+    if (!IS.ok()) {
+      std::fprintf(stderr, "%s\n", IS.diagnostic().str().c_str());
+      return 2;
+    }
+  }
+
   ServiceCore Core(Opts);
   Status Loaded = Core.loadSnapshot();
   if (!Loaded.ok())
     // A malformed snapshot must never block startup: warn and serve cold.
     std::fprintf(stderr, "%s\n", Loaded.diagnostic().Message.c_str());
 
-  ServiceServer Server(Core, Socket);
+  ServiceServer Server(Core, Socket, SOpts);
   Status S = Server.start();
   if (!S.ok())
     return reportError(nullptr, S.diagnostic());
-  std::printf("serving on %s (cache %llu MiB%s%s)\n", Socket.c_str(),
+  GServeServer.store(&Server);
+  std::signal(SIGTERM, serveSignalHandler);
+  std::signal(SIGINT, serveSignalHandler);
+  std::printf("serving on %s (cache %llu MiB%s%s, %u workers, queue %u)\n",
+              Socket.c_str(),
               static_cast<unsigned long long>(Opts.CacheBytes >> 20),
               Opts.SnapshotPath.empty() ? "" : ", snapshot ",
-              Opts.SnapshotPath.c_str());
+              Opts.SnapshotPath.c_str(), SOpts.Admission.MaxInflight,
+              SOpts.Admission.QueueDepth);
   std::fflush(stdout);
   uint64_t Conns = Server.serve();
+  GServeServer.store(nullptr);
+  // The shutdown save is a final flush: with --snapshot-interval-s the
+  // cache has been autosaved all along (atomic tmp+rename each time).
   Status Saved = Core.saveSnapshot();
   if (!Saved.ok())
     std::fprintf(stderr, "%s\n", Saved.diagnostic().str().c_str());
-  std::printf("served %llu connection(s)\n",
-              static_cast<unsigned long long>(Conns));
+  std::printf("served %llu connection(s), %llu autosave(s)\n",
+              static_cast<unsigned long long>(Conns),
+              static_cast<unsigned long long>(Server.autosaves()));
   std::printf("%s\n", Core.statsLine().c_str());
+  std::printf("%s\n", Server.admission().statsLine().c_str());
   return 0;
 }
 
@@ -451,13 +512,37 @@ int cmdRequest(int Argc, char **Argv) {
                          "--socket=PATH and --json=REQ\n");
     return 1;
   }
-  unsigned TimeoutMs = static_cast<unsigned>(
+  std::string InjectSpec = flagString(Argc, Argv, "inject");
+  if (!InjectSpec.empty()) {
+    Status IS = FaultInjector::instance().configure(InjectSpec);
+    if (!IS.ok()) {
+      std::fprintf(stderr, "%s\n", IS.diagnostic().str().c_str());
+      return 2;
+    }
+  }
+  ServiceRequestOptions ROpts;
+  ROpts.TimeoutMs = static_cast<unsigned>(
       std::max<int64_t>(1, flagValue(Argc, Argv, "timeout-ms", 10000)));
+  ROpts.MaxRetries = static_cast<unsigned>(
+      std::max<int64_t>(0, flagValue(Argc, Argv, "max-retries", 0)));
+  ROpts.BackoffBaseMs = static_cast<uint64_t>(std::max<int64_t>(
+      1, flagValue(Argc, Argv, "backoff-base-ms",
+                   static_cast<int64_t>(ROpts.BackoffBaseMs))));
+  ROpts.BackoffMaxMs = static_cast<uint64_t>(std::max<int64_t>(
+      1, flagValue(Argc, Argv, "backoff-max-ms",
+                   static_cast<int64_t>(ROpts.BackoffMaxMs))));
+  ROpts.Seed = static_cast<uint64_t>(
+      std::max<int64_t>(0, flagValue(Argc, Argv, "retry-seed", 0)));
+  unsigned Retries = 0;
+  ROpts.RetriesOut = &Retries;
   std::string Reply, Err;
-  if (!serviceRequest(Socket, Json, Reply, &Err, TimeoutMs)) {
+  if (!serviceRequest(Socket, Json, Reply, &Err, ROpts)) {
     std::fprintf(stderr, "error: [io-error] %s\n", Err.c_str());
     return 1;
   }
+  if (Retries > 0)
+    std::fprintf(stderr, "note: retried %u time(s) after overload\n",
+                 Retries);
   std::printf("%s\n", Reply.c_str());
   return 0;
 }
